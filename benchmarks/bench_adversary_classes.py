@@ -1,0 +1,118 @@
+"""E11a: adversary-power ablation.
+
+How much do richer adversaries hurt?  Compares success probabilities of
+the composed statement and mean times-to-critical across the adversary
+family — oblivious-ish fixed orders, the rotating order, the
+coin-peeking obstructionist heuristic, the per-process starver, and
+derandomised random orders.  The paper's bounds must survive all of
+them (they quantify over every Unit-Time adversary).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import adversary_power_comparison
+from repro.analysis.reporting import format_table
+
+
+def test_asynchrony_ablation(benchmark):
+    """E11c: round-synchronous vs fractional-time staggered scheduling.
+
+    The staggered deadline adversaries interleave processes at
+    quarter-unit phase offsets — schedules the round-synchronous
+    subclass cannot express.  The composed statement and the
+    expected-time bound must survive them too.
+    """
+    import random
+    from fractions import Fraction
+
+    from repro.adversary.deadline import (
+        StaggeredDeadlineAdversary,
+        evenly_staggered,
+    )
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.automaton.execution import ExecutionFragment
+    from repro.events.reach import ReachWithinTime
+    from repro.execution.sampler import sample_event, sample_time_until
+
+    quantum = Fraction(1, 4)
+    automaton = lr.lehmann_rabin_automaton(3, time_increments=(quantum,))
+    view = lr.LRProcessView(3)
+    adversaries = [
+        ("staggered-even", evenly_staggered(view, quantum)),
+        (
+            "staggered-clustered",
+            StaggeredDeadlineAdversary(
+                view, [Fraction(0), Fraction(0), Fraction(3, 4)], quantum
+            ),
+        ),
+    ]
+    start = lr.canonical_states(3)["all_flip"]
+    schema = ReachWithinTime(lr.in_critical, 13, lr.lr_time_of)
+
+    def run():
+        rng = random.Random(0)
+        rows = []
+        for name, adversary in adversaries:
+            samples = 120
+            wins = sum(
+                bool(
+                    sample_event(
+                        automaton, adversary,
+                        ExecutionFragment.initial(start), schema, rng,
+                        3_000,
+                    ).verdict
+                )
+                for _ in range(samples)
+            )
+            times = [
+                sample_time_until(
+                    automaton, adversary, ExecutionFragment.initial(start),
+                    lr.in_critical, lr.lr_time_of, rng, 20_000,
+                )
+                for _ in range(60)
+            ]
+            rows.append(
+                (name, wins / samples, float(sum(times) / len(times)))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ("scheduler", "P[T -13-> C] (>=0.125)", "mean time to C"),
+            [(n, f"{p:.3f}", f"{m:.2f}") for n, p, m in rows],
+        )
+    )
+    for name, probability, mean in rows:
+        assert probability >= 0.125, name
+        assert mean <= 63.0, name
+
+
+def test_adversary_power(benchmark):
+    rows = benchmark.pedantic(
+        adversary_power_comparison,
+        kwargs=dict(n=3, samples_per_pair=80, time_samples=80),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ("adversary", "P[T -13-> C] (>=0.125)", "mean time to C",
+             "unreached"),
+            [
+                (
+                    row.adversary,
+                    f"{row.success_estimate:.3f}",
+                    f"{row.mean_time_to_c:.2f}",
+                    row.unreached,
+                )
+                for row in rows
+            ],
+        )
+    )
+    for row in rows:
+        assert row.success_estimate >= 0.125, row
+        assert row.unreached == 0, row
+        assert row.mean_time_to_c <= 63.0, row

@@ -1,0 +1,237 @@
+"""E10: method generality — leader election and the deterministic baseline.
+
+Section 7 hopes the technique applies to other protocols.  This bench:
+
+* re-derives the election chain ``D_n --(3(n-1)+2)-->_{2^{1-n}} L`` and
+  validates it by simulation under hostile Unit-Time adversaries;
+* compares worst-case time-to-critical of Lehmann-Rabin against the
+  deterministic ordered-philosophers baseline on growing rings (both
+  bounded; the randomized algorithm needs no symmetry-breaking
+  assumption).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import (
+    FifoRoundPolicy,
+    ReversedRoundPolicy,
+    RoundBasedAdversary,
+)
+from repro.algorithms import election as el
+from repro.algorithms import lehmann_rabin as lr
+from repro.algorithms import ordered as od
+from repro.algorithms.ordered.automaton import OPC, OrderedState
+from repro.analysis.reporting import format_table
+from repro.automaton.execution import ExecutionFragment
+from repro.events.reach import ReachWithinTime
+from repro.execution.sampler import sample_event, sample_time_until
+
+
+@pytest.mark.parametrize("n", [3, 4, 5], ids=lambda n: f"n{n}")
+def test_election_composed_bound(benchmark, n):
+    chain = el.election_proof(n)
+    final = chain.final_statement
+    assert final.probability == Fraction(1, 2 ** (n - 1))
+    automaton = el.election_automaton(n)
+    view = el.ElectionProcessView(n)
+    schema = ReachWithinTime(
+        el.leader_elected, final.time_bound, el.election_time_of
+    )
+    start = ExecutionFragment.initial(el.election_initial_state(n))
+
+    def run():
+        rng = random.Random(0)
+        worst = 1.0
+        for policy in (
+            FifoRoundPolicy(), ReversedRoundPolicy(), HashedRandomRoundPolicy(3)
+        ):
+            adversary = RoundBasedAdversary(view, policy)
+            samples = 200
+            wins = sum(
+                bool(
+                    sample_event(
+                        automaton, adversary, start, schema, rng, 4_000
+                    ).verdict
+                )
+                for _ in range(samples)
+            )
+            worst = min(worst, wins / samples)
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nworst P[leader within {final.time_bound}] = {worst:.3f} "
+          f"(claimed >= {float(final.probability):.3f})")
+    assert worst >= float(final.probability)
+
+
+def test_election_expected_time(benchmark):
+    n = 4
+    automaton = el.election_automaton(n)
+    adversary = RoundBasedAdversary(
+        el.ElectionProcessView(n), FifoRoundPolicy()
+    )
+    start = ExecutionFragment.initial(el.election_initial_state(n))
+
+    def run():
+        rng = random.Random(1)
+        times = [
+            sample_time_until(
+                automaton, adversary, start, el.leader_elected,
+                el.election_time_of, rng, 5_000,
+            )
+            for _ in range(200)
+        ]
+        return float(sum(times) / len(times))
+
+    mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = float(el.election_expected_time_bound(n))
+    print(f"\nmean election time: {mean:.2f} (bound {bound})")
+    assert mean <= bound
+
+
+def test_benor_progress_and_agreement(benchmark):
+    """Ben-Or consensus: the hand-derived arrow statement and safety.
+
+    ``INIT --10-->_{1/8} DECIDED`` (n = 3) must survive every adversary
+    tried, including one that spends its crash budget; agreement and
+    validity must hold at every sampled state.
+    """
+    from repro.algorithms import benor as bo
+
+    inputs = (0, 1, 0)
+    statement = bo.benor_progress_statement(3)
+    automaton = bo.benor_automaton(inputs)
+    view = bo.BenOrProcessView(3)
+
+    class CrashingPolicy(FifoRoundPolicy):
+        def next_move(self, automaton, fragment, pending, view):
+            state = fragment.lstate
+            if state.crashed_count() < 1 and state.time >= 1:
+                for step in automaton.transitions(state):
+                    if step.action == (bo.CRASH, 1):
+                        return step
+            return super().next_move(automaton, fragment, pending, view)
+
+    schema = ReachWithinTime(
+        bo.some_decided, statement.time_bound, bo.benor_time_of
+    )
+    start = ExecutionFragment.initial(bo.benor_initial_state(inputs))
+
+    def run():
+        rng = random.Random(0)
+        worst = 1.0
+        for policy in (
+            FifoRoundPolicy(),
+            ReversedRoundPolicy(),
+            HashedRandomRoundPolicy(9),
+            CrashingPolicy(),
+        ):
+            adversary = RoundBasedAdversary(view, policy)
+            samples = 150
+            wins = 0
+            for _ in range(samples):
+                result = sample_event(
+                    automaton, adversary, start, schema, rng, 3_000
+                )
+                wins += bool(result.verdict)
+                for state in result.final.states:
+                    assert bo.agreement_holds(state)
+                    assert bo.validity_holds(state, inputs)
+            worst = min(worst, wins / samples)
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nworst P[decision within {statement.time_bound}] = {worst:.3f} "
+          f"(claimed >= {float(statement.probability):.3f})")
+    assert worst >= float(statement.probability)
+
+
+def test_benor_decision_time(benchmark):
+    """Measured time to first decision vs the retry-recursion bound."""
+    from repro.algorithms import benor as bo
+
+    inputs = (0, 1, 1)
+    automaton = bo.benor_automaton(inputs)
+    adversary = RoundBasedAdversary(
+        bo.BenOrProcessView(3), HashedRandomRoundPolicy(4)
+    )
+    start = ExecutionFragment.initial(bo.benor_initial_state(inputs))
+
+    def run():
+        rng = random.Random(2)
+        times = [
+            sample_time_until(
+                automaton, adversary, start, bo.some_decided,
+                bo.benor_time_of, rng, 5_000,
+            )
+            for _ in range(150)
+        ]
+        assert all(t is not None for t in times)
+        return float(sum(times) / len(times))
+
+    mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = float(bo.benor_expected_time_bound(3))
+    print(f"\nmean Ben-Or decision time: {mean:.2f} (bound {bound})")
+    assert mean <= bound
+
+
+def test_baseline_comparison(benchmark):
+    """LR vs ordered philosophers: worst mean time-to-C by ring size."""
+
+    def measure(automaton, view, start, target, time_of, rng):
+        worst = 0.0
+        for policy in (FifoRoundPolicy(), HashedRandomRoundPolicy(5)):
+            adversary = RoundBasedAdversary(view, policy)
+            times = [
+                sample_time_until(
+                    automaton, adversary, ExecutionFragment.initial(start),
+                    target, time_of, rng, 20_000,
+                )
+                for _ in range(40)
+            ]
+            assert all(t is not None for t in times)
+            worst = max(worst, float(sum(times) / len(times)))
+        return worst
+
+    def run():
+        rng = random.Random(0)
+        rows = []
+        for n in (3, 5, 7):
+            lr_mean = measure(
+                lr.lehmann_rabin_automaton(n),
+                lr.LRProcessView(n),
+                lr.canonical_states(n)["all_flip"],
+                lr.in_critical,
+                lr.lr_time_of,
+                rng,
+            )
+            od_mean = measure(
+                od.ordered_automaton(n),
+                od.OrderedProcessView(n),
+                OrderedState(
+                    tuple([OPC.W1] * n), tuple([False] * n), Fraction(0)
+                ),
+                od.ordered_in_critical,
+                od.ordered_time_of,
+                rng,
+            )
+            rows.append((n, lr_mean, od_mean))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ("ring size", "LR worst mean", "ordered worst mean"),
+            [(n, f"{a:.2f}", f"{b:.2f}") for n, a, b in rows],
+        )
+    )
+    for n, lr_mean, od_mean in rows:
+        assert lr_mean <= 63.0  # the paper's constant, n-independent
+        assert od_mean <= n + 2  # the baseline's order-imposed bound

@@ -1,0 +1,58 @@
+"""E9: Lemma 6.1 and mutual exclusion along adversarial executions.
+
+The safety side of the paper.  The bench measures the throughput of the
+invariant checkers over a long sampled execution (they are in every
+analysis hot loop) while asserting that no state ever violates
+Lemma 6.1 or mutual exclusion.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import RoundBasedAdversary
+from repro.algorithms import lehmann_rabin as lr
+from repro.automaton.execution import ExecutionFragment
+
+
+def long_walk(n: int, steps: int, seed: int):
+    automaton = lr.lehmann_rabin_automaton(n)
+    adversary = RoundBasedAdversary(
+        lr.LRProcessView(n), HashedRandomRoundPolicy(seed)
+    )
+    rng = random.Random(seed)
+    fragment = ExecutionFragment.initial(lr.canonical_states(n)["all_flip"])
+    states = [fragment.lstate]
+    for _ in range(steps):
+        step = adversary.checked_choose(automaton, fragment)
+        fragment = fragment.extend(step.action, step.target.sample(rng))
+        states.append(fragment.lstate)
+    return states
+
+
+def test_lemma_6_1_along_execution(benchmark):
+    states = long_walk(5, 400, seed=0)
+
+    def check():
+        return all(lr.lemma_6_1_holds(s) for s in states)
+
+    assert benchmark(check)
+
+
+def test_mutual_exclusion_along_execution(benchmark):
+    states = long_walk(5, 400, seed=1)
+
+    def check():
+        return all(lr.mutual_exclusion_holds(s) for s in states)
+
+    assert benchmark(check)
+
+
+def test_simulation_throughput(benchmark):
+    """Steps-per-second of the full adversarial simulation stack."""
+    result = benchmark.pedantic(
+        long_walk, args=(4, 300, 2), rounds=3, iterations=1
+    )
+    assert len(result) == 301
+    assert all(lr.lemma_6_1_holds(s) for s in result)

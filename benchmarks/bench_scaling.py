@@ -1,0 +1,64 @@
+"""E11b: ring-size and deadline ablations.
+
+The paper's constants are independent of the ring size ``n``; the
+scaling sweep confirms the measured worst-case probability of
+``T --13--> C`` and the measured expected times do not degrade as the
+ring grows.  The horizon sweep locates the paper's (loose) deadline 13
+on the measured probability-vs-deadline curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import horizon_sweep, ring_size_sweep
+from repro.analysis.reporting import format_table
+
+
+def test_ring_size_sweep(benchmark):
+    rows = benchmark.pedantic(
+        ring_size_sweep,
+        kwargs=dict(sizes=(3, 4, 5), samples_per_pair=50, time_samples=50),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ("n", "min P[T -13-> C]", "claimed", "worst mean time",
+             "worst max time"),
+            [
+                (
+                    row.n,
+                    f"{row.min_success_estimate:.3f}",
+                    f"{row.claimed:.3f}",
+                    f"{row.mean_time_to_c:.2f}",
+                    f"{row.max_time_to_c:.1f}",
+                )
+                for row in rows
+            ],
+        )
+    )
+    for row in rows:
+        assert row.min_success_estimate >= row.claimed, row
+        assert row.mean_time_to_c <= 63.0, row
+
+
+def test_horizon_sweep(benchmark):
+    rows = benchmark.pedantic(
+        horizon_sweep,
+        kwargs=dict(bounds=(3, 5, 8, 13, 20), n=3, samples_per_pair=60),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ("deadline t", "min P[T -t-> C]"),
+            [(row.time_bound, f"{row.min_success_estimate:.3f}") for row in rows],
+        )
+    )
+    # Monotone (within sampling noise) and already above 1/8 at t = 13.
+    at_13 = next(r for r in rows if r.time_bound == 13)
+    assert at_13.min_success_estimate >= 0.125
+    estimates = [row.min_success_estimate for row in rows]
+    for earlier, later in zip(estimates, estimates[1:]):
+        assert later >= earlier - 0.15  # allow sampling noise

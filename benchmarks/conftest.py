@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one experiment row from DESIGN.md's index
+(the paper has no numbered tables; every quantitative claim of
+Sections 4 and 6.2 and the appendix is reproduced here).  Benchmarks
+assert the paper's *shape* — measured worst-case probabilities meet the
+claimed lower bounds, measured expected times stay under the claimed
+constants — and time the verification machinery itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.montecarlo import LRExperimentSetup
+
+
+@pytest.fixture(scope="session")
+def setup3() -> LRExperimentSetup:
+    """The standard ring-of-3 experiment setup."""
+    return LRExperimentSetup.build(3, random_seeds=(1, 2, 3))
+
+
+@pytest.fixture(scope="session")
+def setup4() -> LRExperimentSetup:
+    """The ring-of-4 experiment setup."""
+    return LRExperimentSetup.build(4, random_seeds=(1, 2))

@@ -1,0 +1,120 @@
+"""Randomized vs deterministic philosophers under hostile scheduling.
+
+The paper motivates randomization by the impossibility of symmetric
+deterministic solutions; the standard deterministic escape hatch breaks
+symmetry with a global resource order instead.  This example runs both
+algorithms under the same Unit-Time adversaries and compares worst-case
+time to the critical region as the ring grows: Lehmann-Rabin's constant
+expected bound versus the baseline's (still bounded, but order-imposed)
+behaviour.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import (
+    FifoRoundPolicy,
+    ReversedRoundPolicy,
+    RoundBasedAdversary,
+)
+from repro.algorithms import lehmann_rabin as lr
+from repro.algorithms import ordered as od
+from repro.algorithms.ordered.automaton import OPC, OrderedState
+from repro.analysis.reporting import banner, format_table
+from repro.automaton.execution import ExecutionFragment
+from repro.execution.sampler import sample_time_until
+
+
+def lr_start(n: int):
+    """All philosophers ready to flip: full contention."""
+    return lr.canonical_states(n)["all_flip"]
+
+
+def ordered_start(n: int) -> OrderedState:
+    """All philosophers waiting for their first resource."""
+    return OrderedState(tuple([OPC.W1] * n), tuple([False] * n), Fraction(0))
+
+
+def measure(automaton, view, start, target, time_of, samples, rng):
+    """Worst observed mean/max time across three adversaries."""
+    adversaries = [
+        RoundBasedAdversary(view, FifoRoundPolicy()),
+        RoundBasedAdversary(view, ReversedRoundPolicy()),
+        RoundBasedAdversary(view, HashedRandomRoundPolicy(11)),
+    ]
+    worst_mean, worst_max = 0.0, Fraction(0)
+    for adversary in adversaries:
+        times = []
+        for _ in range(samples):
+            t = sample_time_until(
+                automaton,
+                adversary,
+                ExecutionFragment.initial(start),
+                target,
+                time_of,
+                rng,
+                max_steps=20_000,
+            )
+            assert t is not None, "progress must occur under Unit-Time"
+            times.append(t)
+        worst_mean = max(worst_mean, float(sum(times) / len(times)))
+        worst_max = max(worst_max, max(times))
+    return worst_mean, worst_max
+
+
+def main() -> None:
+    print(banner("Time to first critical entry: Lehmann-Rabin vs ordered"))
+    rng = random.Random(0)
+    rows = []
+    for n in (3, 4, 5, 6):
+        lr_mean, lr_max = measure(
+            lr.lehmann_rabin_automaton(n),
+            lr.LRProcessView(n),
+            lr_start(n),
+            lr.in_critical,
+            lr.lr_time_of,
+            samples=60,
+            rng=rng,
+        )
+        od_mean, od_max = measure(
+            od.ordered_automaton(n),
+            od.OrderedProcessView(n),
+            ordered_start(n),
+            od.ordered_in_critical,
+            od.ordered_time_of,
+            samples=60,
+            rng=rng,
+        )
+        rows.append(
+            (
+                n,
+                f"{lr_mean:.2f}",
+                str(lr_max),
+                f"{od_mean:.2f}",
+                str(od_max),
+            )
+        )
+    print(format_table(
+        (
+            "ring size",
+            "LR mean",
+            "LR max",
+            "ordered mean",
+            "ordered max",
+        ),
+        rows,
+    ))
+    print(
+        "\nBoth are bounded; Lehmann-Rabin pays a small randomized "
+        "constant (paper bound: expected <= 63) without needing any "
+        "symmetry-breaking assumption."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the wheel package.
+
+The project is fully described in pyproject.toml; this file only lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+editable install path when ``bdist_wheel`` is unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

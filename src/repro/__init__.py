@@ -1,0 +1,48 @@
+"""repro: probabilistic automata and the Lynch-Saias-Segala proof method.
+
+A reproduction of *Proving Time Bounds for Randomized Distributed
+Algorithms* (Lynch, Saias, Segala; PODC 1994): the simple probabilistic
+automaton model, adversaries and adversary schemas, execution automata
+and their cone measure, event schemas with the Section 4 independence
+rules, arrow statements ``U --t-->_p U'`` with the Proposition 3.2 and
+Theorem 3.4 proof rules, and the Lehmann-Rabin Dining Philosophers case
+study with its ``T --13-->_{1/8} C`` bound and expected-time bound 63.
+
+Quickstart::
+
+    from repro.algorithms import lehmann_rabin as lr
+
+    chain = lr.lehmann_rabin_proof()
+    print(chain.final_statement)          # T --13-->_1/8 C  [Unit-Time]
+    print(lr.expected_time_bound())       # 63
+"""
+
+from repro.automaton import (
+    ActionSignature,
+    ExecutionFragment,
+    ExplicitAutomaton,
+    FunctionalAutomaton,
+    ProbabilisticAutomaton,
+    TIME_PASSAGE,
+    Transition,
+)
+from repro.probability import FiniteDistribution, ProbabilitySpace
+from repro.proofs import ArrowStatement, ProofLedger, StateClass
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActionSignature",
+    "ArrowStatement",
+    "ExecutionFragment",
+    "ExplicitAutomaton",
+    "FiniteDistribution",
+    "FunctionalAutomaton",
+    "ProbabilisticAutomaton",
+    "ProbabilitySpace",
+    "ProofLedger",
+    "StateClass",
+    "TIME_PASSAGE",
+    "Transition",
+    "__version__",
+]

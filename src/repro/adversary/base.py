@@ -1,0 +1,231 @@
+"""Adversaries and adversary schemas (Definitions 2.2, 2.6, 3.3).
+
+An adversary for ``M`` is a function taking a finite execution fragment
+and returning either nothing (the adversary stops the system) or one of
+the steps enabled in the fragment's last state.  Following the paper's
+footnote 1, adversaries here are deterministic: the same fragment always
+yields the same choice.
+
+An *adversary schema* is a subset of the adversaries, represented
+intensionally by a membership test plus a name.  The key structural
+property is *execution closure* (Definition 3.3): for each adversary
+``A`` in the schema and each finite fragment ``alpha`` there must be an
+adversary ``A'`` in the schema with ``A'(alpha') = A(alpha ^ alpha')``.
+The function :func:`shift` builds exactly that ``A'`` as a wrapper; a
+schema declares itself execution closed when shifting does not leave it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Generic,
+    Hashable,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.transition import Transition
+from repro.errors import AdversaryError
+
+State = TypeVar("State", bound=Hashable)
+
+
+class Adversary(Generic[State], abc.ABC):
+    """A deterministic adversary (Definition 2.2).
+
+    Subclasses implement :meth:`choose`.  Returning ``None`` means the
+    adversary halts the system (the paper's "nothing"); any returned
+    step must be enabled in ``lstate(fragment)``, which
+    :meth:`checked_choose` enforces.
+    """
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        """The step this adversary schedules after ``fragment``."""
+
+    def checked_choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        """Like :meth:`choose` but validates the adversary's contract."""
+        step = self.choose(automaton, fragment)
+        if step is None:
+            return None
+        if step.source != fragment.lstate:
+            raise AdversaryError(
+                f"adversary returned a step from {step.source!r}, but the "
+                f"fragment ends in {fragment.lstate!r}"
+            )
+        if step not in automaton.transitions(fragment.lstate):
+            raise AdversaryError(
+                f"adversary returned a step not enabled in {fragment.lstate!r}: "
+                f"{step!r}"
+            )
+        return step
+
+
+class FunctionAdversary(Adversary[State]):
+    """Wrap a plain function as an adversary."""
+
+    def __init__(
+        self,
+        fn: Callable[
+            [ProbabilisticAutomaton[State], ExecutionFragment[State]],
+            Optional[Transition[State]],
+        ],
+        name: str = "function-adversary",
+    ):
+        self._fn = fn
+        self.name = name
+
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        return self._fn(automaton, fragment)
+
+    def __repr__(self) -> str:
+        return f"FunctionAdversary({self.name})"
+
+
+class ShiftedAdversary(Adversary[State]):
+    """The adversary ``A'`` of Definition 3.3 for a given prefix.
+
+    ``A'(alpha') = A(prefix ^ alpha')`` whenever
+    ``lstate(prefix) == fstate(alpha')``.  This wrapper witnesses that
+    *functional* execution closure always holds; whether the wrapper
+    stays inside a particular schema is the schema's own claim.
+    """
+
+    def __init__(self, base: Adversary[State], prefix: ExecutionFragment[State]):
+        self._base = base
+        self._prefix = prefix
+
+    @property
+    def base(self) -> Adversary[State]:
+        """The adversary being shifted."""
+        return self._base
+
+    @property
+    def prefix(self) -> ExecutionFragment[State]:
+        """The fragment prepended to every query."""
+        return self._prefix
+
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        if self._prefix.lstate != fragment.fstate:
+            raise AdversaryError(
+                "shifted adversary queried with a fragment that does not "
+                f"start at {self._prefix.lstate!r}"
+            )
+        return self._base.choose(automaton, self._prefix.concat(fragment))
+
+
+def shift(
+    adversary: Adversary[State], prefix: ExecutionFragment[State]
+) -> Adversary[State]:
+    """Build the Definition 3.3 witness ``A'`` for ``adversary``.
+
+    Shifting a shifted adversary composes the prefixes rather than
+    nesting wrappers, keeping query cost linear.
+    """
+    if isinstance(adversary, ShiftedAdversary):
+        return ShiftedAdversary(adversary.base, adversary.prefix.concat(prefix))
+    return ShiftedAdversary(adversary, prefix)
+
+
+@dataclass(frozen=True)
+class AdversarySchema(Generic[State]):
+    """A named subset of ``Advs_M`` (Definition 2.6).
+
+    ``contains`` is the membership test.  ``execution_closed`` records
+    the schema's claim that shifting stays inside it (Definition 3.3) —
+    the hypothesis Theorem 3.4 needs.  ``generators`` optionally lists
+    representative adversaries used by verifiers to approximate the
+    universal quantification.
+    """
+
+    name: str
+    contains: Callable[[Adversary[State]], bool]
+    execution_closed: bool = False
+    generators: Tuple[Adversary[State], ...] = field(default_factory=tuple)
+
+    def check_membership(self, adversary: Adversary[State]) -> None:
+        """Raise :class:`AdversaryError` when ``adversary`` is outside."""
+        if not self.contains(adversary):
+            raise AdversaryError(
+                f"adversary {adversary!r} is not a member of schema {self.name!r}"
+            )
+
+    def with_generators(
+        self, generators: Iterable[Adversary[State]]
+    ) -> "AdversarySchema[State]":
+        """A copy of this schema with the given representative adversaries."""
+        new_generators = tuple(generators)
+        for adversary in new_generators:
+            self.check_membership(adversary)
+        return AdversarySchema(
+            name=self.name,
+            contains=self.contains,
+            execution_closed=self.execution_closed,
+            generators=new_generators,
+        )
+
+
+def all_adversaries_schema(name: str = "Advs") -> AdversarySchema:
+    """The schema of *all* deterministic adversaries.
+
+    Trivially execution closed: shifting any adversary yields another
+    adversary.
+    """
+    return AdversarySchema(
+        name=name, contains=lambda adversary: True, execution_closed=True
+    )
+
+
+def check_execution_closure_on_samples(
+    schema: AdversarySchema[State],
+    automaton: ProbabilisticAutomaton[State],
+    adversaries: Sequence[Adversary[State]],
+    prefixes: Sequence[ExecutionFragment[State]],
+    probes: Sequence[ExecutionFragment[State]],
+) -> bool:
+    """Empirically probe Definition 3.3 on concrete samples.
+
+    For each sampled adversary and prefix, checks that the shifted
+    wrapper (a) remains in the schema by the schema's own membership
+    test and (b) agrees with the defining equation on each probe
+    fragment.  This cannot *prove* closure (the quantifiers are
+    infinite) but catches schema definitions that are wrong on their
+    own representatives.
+    """
+    for adversary in adversaries:
+        for prefix in prefixes:
+            shifted = shift(adversary, prefix)
+            if not schema.contains(shifted):
+                return False
+            for probe in probes:
+                if probe.fstate != prefix.lstate:
+                    continue
+                expected = adversary.choose(automaton, prefix.concat(probe))
+                actual = shifted.choose(automaton, probe)
+                if expected != actual:
+                    return False
+    return True

@@ -1,0 +1,185 @@
+"""Asynchronous deadline-driven Unit-Time adversaries.
+
+The round-based schedulers of :mod:`repro.adversary.unit_time` make
+every process step in every unit interval, synchronously.  The
+Unit-Time schema is bigger than that: the only obligation is that each
+*ready* process steps within one time unit of any point at which it is
+ready.  :class:`StaggeredDeadlineAdversary` realises a genuinely
+asynchronous family inside the schema: process ``i`` steps exactly at
+the grid times ``offset_i, offset_i + 1, offset_i + 2, ...`` (whenever
+it is ready there), with per-process phase offsets on a fractional
+grid.  Between events the adversary lets time pass in quantum steps.
+
+Consecutive steps of a ready process are exactly one time unit apart,
+and a process that becomes ready mid-interval first steps at its next
+grid point, strictly less than one unit later — so every member of the
+family satisfies the Unit-Time obligation, while the interleavings it
+produces (processes acting at staggered fractional times) are exactly
+the ones the round-synchronous subclass cannot express.
+
+The automaton must enable time-passage steps of the quantum (pass
+``time_increments=(quantum,)`` to
+:func:`repro.algorithms.lehmann_rabin.automaton.lehmann_rabin_automaton`).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Hashable, Optional, Sequence, Tuple, TypeVar
+
+from repro.adversary.base import Adversary
+from repro.adversary.unit_time import ProcessView
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import TIME_PASSAGE
+from repro.automaton.transition import Transition
+from repro.errors import AdversaryError
+
+State = TypeVar("State", bound=Hashable)
+
+
+class StaggeredDeadlineAdversary(Adversary[State]):
+    """Each process acts at its own phase-shifted unit grid.
+
+    ``offsets[i]`` is process ``i``'s phase in ``[0, 1)``; it must be a
+    multiple of ``quantum``, as must ``1`` itself, so the grid is
+    reachable by quantum-sized time-passage steps.  Among processes due
+    at the same instant, the lowest index acts first; a due process's
+    step is its first enabled one (the nondeterministic exit choice
+    resolves to the first alternative).
+    """
+
+    def __init__(
+        self,
+        view: ProcessView[State],
+        offsets: Sequence[Fraction],
+        quantum: Fraction = Fraction(1, 4),
+    ):
+        if quantum <= 0 or Fraction(1) % quantum != 0:
+            raise AdversaryError(
+                f"quantum must positively divide 1, got {quantum}"
+            )
+        offsets = tuple(Fraction(o) for o in offsets)
+        if len(offsets) != len(view.processes):
+            raise AdversaryError(
+                f"{len(offsets)} offsets for {len(view.processes)} processes"
+            )
+        for offset in offsets:
+            if not 0 <= offset < 1:
+                raise AdversaryError(f"offset {offset} outside [0, 1)")
+            if offset % quantum != 0:
+                raise AdversaryError(
+                    f"offset {offset} is not a multiple of the quantum "
+                    f"{quantum}"
+                )
+        self._view = view
+        self._offsets: Dict[Hashable, Fraction] = dict(
+            zip(view.processes, offsets)
+        )
+        self._quantum = quantum
+
+    @property
+    def view(self) -> ProcessView[State]:
+        """The process view this adversary schedules against."""
+        return self._view
+
+    def _last_step_times(
+        self, fragment: ExecutionFragment[State]
+    ) -> Dict[Hashable, Fraction]:
+        """The time at which each process last acted, from the history."""
+        last: Dict[Hashable, Fraction] = {}
+        for source, action, _ in fragment.steps():
+            process = self._view.process_of(action)
+            if process is not None:
+                last[process] = self._view.time_of(source)
+        return last
+
+    def _next_grid_point(
+        self, process: Hashable, after: Fraction
+    ) -> Fraction:
+        """The smallest grid time of ``process`` strictly after ``after``."""
+        offset = self._offsets[process]
+        k = math.floor(after - offset) + 1
+        candidate = offset + k
+        # Guard against exact-landing rounding of Fraction floor.
+        while candidate <= after:
+            candidate += 1
+        return candidate
+
+    def _due_time(
+        self,
+        process: Hashable,
+        now: Fraction,
+        last: Dict[Hashable, Fraction],
+    ) -> Fraction:
+        """When ``process`` must next act."""
+        if process in last:
+            return self._next_grid_point(process, last[process])
+        # Never acted: its first grid point at or after the start of the
+        # fragment would need the readiness history; the conservative
+        # (and Unit-Time-safe) choice is the next grid point >= now.
+        offset = self._offsets[process]
+        k = math.ceil(now - offset)
+        candidate = offset + k
+        while candidate < now:
+            candidate += 1
+        return candidate
+
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        state = fragment.lstate
+        now = self._view.time_of(state)
+        ready = self._view.ready(state)
+        last = self._last_step_times(fragment)
+
+        due: Optional[Tuple[Fraction, Hashable]] = None
+        for process in self._view.processes:
+            if process not in ready:
+                continue
+            when = self._due_time(process, now, last)
+            if due is None or when < due[0] or (
+                when == due[0] and process < due[1]
+            ):
+                due = (when, process)
+
+        if due is not None and due[0] <= now:
+            process = due[1]
+            for step in automaton.transitions(state):
+                if self._view.process_of(step.action) == process:
+                    return step
+            raise AdversaryError(
+                f"process {process!r} is ready but has no enabled steps"
+            )
+
+        # Nobody due yet: advance one quantum (the automaton must offer
+        # a quantum-sized time-passage step).
+        for step in automaton.transitions(state):
+            if step.action != TIME_PASSAGE:
+                continue
+            advanced = step.target.the_point()
+            if self._view.time_of(advanced) - now == self._quantum:
+                return step
+        raise AdversaryError(
+            f"no time-passage step of {self._quantum} enabled in {state!r}; "
+            "build the automaton with matching time_increments"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StaggeredDeadlineAdversary(offsets="
+            f"{list(self._offsets.values())!r}, quantum={self._quantum})"
+        )
+
+
+def evenly_staggered(
+    view: ProcessView[State], quantum: Fraction = Fraction(1, 4)
+) -> StaggeredDeadlineAdversary[State]:
+    """Offsets spread evenly over [0, 1) on the quantum grid."""
+    n = len(view.processes)
+    slots = int(Fraction(1) / quantum)
+    offsets = [quantum * (i % slots) for i in range(n)]
+    return StaggeredDeadlineAdversary(view, offsets, quantum)

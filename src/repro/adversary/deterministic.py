@@ -1,0 +1,167 @@
+"""Concrete deterministic adversaries.
+
+These are the workhorse schedulers used in tests, examples, and the
+verification harness: simple strategies whose behaviour is easy to
+predict, plus combinators (stopping, sequencing) for building richer
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Hashable,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.adversary.base import Adversary
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.transition import Transition
+from repro.errors import AdversaryError
+
+State = TypeVar("State", bound=Hashable)
+
+
+class FirstEnabledAdversary(Adversary[State]):
+    """Always schedules the first enabled step (a fixed priority rule).
+
+    Deterministic and history free, hence oblivious in the paper's
+    sense.
+    """
+
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        steps = automaton.transitions(fragment.lstate)
+        return steps[0] if steps else None
+
+    def __repr__(self) -> str:
+        return "FirstEnabledAdversary()"
+
+
+class RoundRobinAdversary(Adversary[State]):
+    """Cycles through enabled-step indices based on history length.
+
+    At a fragment with ``k`` steps taken so far, schedules enabled step
+    ``k mod (number enabled)``.  History dependent only through the step
+    count, so it is oblivious to states and coin outcomes.
+    """
+
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        steps = automaton.transitions(fragment.lstate)
+        if not steps:
+            return None
+        return steps[len(fragment) % len(steps)]
+
+    def __repr__(self) -> str:
+        return "RoundRobinAdversary()"
+
+
+class StoppingAdversary(Adversary[State]):
+    """Runs a base adversary for at most ``max_steps`` steps, then halts.
+
+    The paper's adversaries may return "nothing"; this combinator makes
+    any adversary do so after a bounded number of steps, which keeps
+    execution automata finite for exact analysis.
+    """
+
+    def __init__(self, base: Adversary[State], max_steps: int):
+        if max_steps < 0:
+            raise AdversaryError("max_steps must be nonnegative")
+        self._base = base
+        self._max_steps = max_steps
+
+    @property
+    def max_steps(self) -> int:
+        """Number of steps after which this adversary halts."""
+        return self._max_steps
+
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        if len(fragment) >= self._max_steps:
+            return None
+        return self._base.choose(automaton, fragment)
+
+    def __repr__(self) -> str:
+        return f"StoppingAdversary({self._base!r}, max_steps={self._max_steps})"
+
+
+class SequenceAdversary(Adversary[State]):
+    """Plays a fixed sequence of enabled-step indices, then halts.
+
+    The classic *oblivious* adversary: its whole strategy is committed
+    in advance, independent of the execution (choice ``i`` selects the
+    enabled step with index ``sequence[i] mod count``).
+    """
+
+    def __init__(self, sequence: Sequence[int]):
+        self._sequence: Tuple[int, ...] = tuple(sequence)
+        if any(i < 0 for i in self._sequence):
+            raise AdversaryError("choice indices must be nonnegative")
+
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        position = len(fragment)
+        if position >= len(self._sequence):
+            return None
+        steps = automaton.transitions(fragment.lstate)
+        if not steps:
+            return None
+        return steps[self._sequence[position] % len(steps)]
+
+    def __repr__(self) -> str:
+        return f"SequenceAdversary({list(self._sequence)!r})"
+
+
+class StatePolicyAdversary(Adversary[State]):
+    """A memoryless (positional) adversary: choice depends on lstate only.
+
+    ``policy`` maps a state to the index of the enabled step to take, or
+    ``None`` to halt.  Memoryless adversaries suffice for many extremal
+    questions on finite MDPs, which is why the exact checker in
+    :mod:`repro.mdp` enumerates them implicitly.
+    """
+
+    def __init__(
+        self,
+        policy: Callable[[State], Optional[int]],
+        name: str = "state-policy",
+    ):
+        self._policy = policy
+        self.name = name
+
+    def choose(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+    ) -> Optional[Transition[State]]:
+        steps = automaton.transitions(fragment.lstate)
+        if not steps:
+            return None
+        index = self._policy(fragment.lstate)
+        if index is None:
+            return None
+        if not 0 <= index < len(steps):
+            raise AdversaryError(
+                f"policy index {index} out of range for {len(steps)} enabled steps"
+            )
+        return steps[index]
+
+    def __repr__(self) -> str:
+        return f"StatePolicyAdversary({self.name})"

@@ -1,0 +1,106 @@
+"""Greedy score-minimising Unit-Time policies.
+
+A systematic way to hunt for bad schedules: give the adversary a
+*potential function* estimating how close the system is to its goal,
+and have it always fire the move whose expected successor potential is
+lowest.  With full knowledge of the state (which records all past coin
+outcomes) this realises the "complete knowledge of the past" adversary
+of the paper in a directed, rather than merely random, way.
+
+The policy is deterministic (ties break by process id, then step
+order), so it is a legitimate member of the paper's adversary class,
+and it only ever schedules pending processes, so it is Unit-Time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Tuple, TypeVar
+
+from repro.adversary.unit_time import (
+    ADVANCE_TIME,
+    Move,
+    ProcessView,
+    RoundPolicy,
+    steps_of_process,
+)
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import AdversaryError
+
+State = TypeVar("State", bound=Hashable)
+
+
+class GreedyMinimizerPolicy(RoundPolicy[State]):
+    """Fires the pending move with the lowest expected potential.
+
+    ``potential`` maps a state to a float; higher means closer to the
+    goal the adversary wants to prevent.  At each decision point the
+    policy evaluates every enabled step of every pending process and
+    schedules the one whose expected successor potential is smallest —
+    one-step-lookahead expectation minimisation.
+    """
+
+    def __init__(self, potential: Callable[[State], float]):
+        self._potential = potential
+
+    def next_move(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+        pending: Tuple[Hashable, ...],
+        view: ProcessView[State],
+    ) -> Move:
+        if not pending:
+            return ADVANCE_TIME
+        best = None
+        best_key = None
+        for rank, process in enumerate(pending):
+            steps = steps_of_process(
+                automaton, fragment.lstate, view, process
+            )
+            if not steps:
+                raise AdversaryError(
+                    f"process {process!r} is pending but has no enabled steps"
+                )
+            for step_index, step in enumerate(steps):
+                expected = sum(
+                    float(weight) * self._potential(successor)
+                    for successor, weight in step.target.items()
+                )
+                key = (expected, rank, step_index)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = step
+        return best
+
+    def __repr__(self) -> str:
+        return "GreedyMinimizerPolicy()"
+
+
+def lr_progress_potential(state) -> float:
+    """A progress potential for the Lehmann-Rabin ring.
+
+    Rewards states the algorithm wants: critical/pre-critical processes
+    dominate, then committed processes whose second resource is free
+    (one step from ``P``), then good processes, then committed ones.
+    The greedy minimiser therefore delays promising checks and
+    manufactures contention — a sharper version of the hand-written
+    obstructionist heuristic.
+    """
+    from repro.algorithms.lehmann_rabin.regions import good_processes
+    from repro.algorithms.lehmann_rabin.state import FREE, PC
+
+    score = 0.0
+    for i in range(state.n):
+        local = state.process(i)
+        if local.pc is PC.C:
+            score += 100.0
+        elif local.pc is PC.P:
+            score += 50.0
+        elif local.pc is PC.S:
+            second = state.resource_index(i, local.u.opp)
+            score += 8.0 if state.resource(second) == FREE else 2.0
+        elif local.pc is PC.W:
+            score += 1.0
+    score += 3.0 * len(good_processes(state))
+    return score

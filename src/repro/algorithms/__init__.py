@@ -1,0 +1,1 @@
+"""Case-study algorithms: Lehmann-Rabin, baselines, and extensions."""

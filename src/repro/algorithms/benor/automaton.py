@@ -1,0 +1,421 @@
+"""Ben-Or randomized binary consensus, in the probabilistic-automaton model.
+
+A third case study for the framework (Section 7: "it is desirable that
+the general model and this technique be used for the analysis of other
+algorithms").  Ben-Or's algorithm is the canonical randomized
+distributed algorithm: ``n`` processes with binary inputs reach
+agreement despite up to ``f < n/2`` crash faults, using local coin
+flips to escape the adversary.
+
+Model.  Message passing is represented by a shared, monotonically
+growing message board (a broadcast network with adversary-controlled
+asynchrony: a process *reads* the board only when the adversary
+schedules its collect step, so delivery order and interleaving are
+fully adversarial).  Crashes are adversary-controlled optional actions,
+capped at ``f``.  Each round has two phases:
+
+1. *Report*: broadcast ``(1, r, v_i)``; wait for ``n - f`` round-``r``
+   reports; if more than ``n/2`` carry the same value ``w``, propose
+   ``w``, else propose ``?``.
+2. *Proposal*: broadcast ``(2, r, proposal)``; wait for ``n - f``
+   round-``r`` proposals; if some value ``w`` appears at least
+   ``f + 1`` times, *decide* ``w``; else if ``w`` appears at all, adopt
+   ``v_i := w``; else flip a fair coin for ``v_i``.  Advance to round
+   ``r + 1`` (decided processes keep participating with their decided
+   value, as in the original algorithm).
+
+Collect steps that find too few messages are busy-waiting no-ops
+(state-preserving steps, like the Lehmann-Rabin ``wait``), so Unit-Time
+scheduling applies unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.adversary.unit_time import ProcessView
+from repro.automaton.automaton import FunctionalAutomaton
+from repro.automaton.signature import TIME_PASSAGE, Action, ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+from repro.probability.space import FiniteDistribution
+
+
+class Phase(enum.Enum):
+    """The four program points of a Ben-Or round."""
+
+    SEND1 = "send1"
+    COLLECT1 = "collect1"
+    SEND2 = "send2"
+    COLLECT2 = "collect2"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+#: A message: (phase, round, sender, value); proposal value None is '?'.
+Message = Tuple[int, int, int, Optional[int]]
+
+SEND1, COLLECT1, SEND2, COLLECT2, FLIP, CRASH = (
+    "send1", "collect1", "send2", "collect2", "flip", "crash",
+)
+
+
+@dataclass(frozen=True)
+class BenOrProcess:
+    """The local state of one Ben-Or process."""
+
+    phase: Phase
+    round: int
+    value: int
+    proposal: Optional[int]
+    decided: Optional[int]
+    crashed: bool
+
+    @classmethod
+    def initial(cls, value: int) -> "BenOrProcess":
+        """A fresh process with the given binary input."""
+        if value not in (0, 1):
+            raise AutomatonError(f"inputs are binary, got {value!r}")
+        return cls(
+            phase=Phase.SEND1, round=1, value=value, proposal=None,
+            decided=None, crashed=False,
+        )
+
+
+@dataclass(frozen=True)
+class BenOrState:
+    """Global state: processes, the message board, and the clock."""
+
+    processes: Tuple[BenOrProcess, ...]
+    messages: FrozenSet[Message]
+    time: Fraction
+
+    @property
+    def n(self) -> int:
+        """The number of processes."""
+        return len(self.processes)
+
+    def with_process(self, i: int, process: BenOrProcess) -> "BenOrState":
+        """Copy with process ``i`` replaced."""
+        return BenOrState(
+            self.processes[:i] + (process,) + self.processes[i + 1 :],
+            self.messages,
+            self.time,
+        )
+
+    def with_message(self, message: Message) -> "BenOrState":
+        """Copy with one more message on the board."""
+        return BenOrState(
+            self.processes, self.messages | {message}, self.time
+        )
+
+    def advanced(self, amount: Fraction) -> "BenOrState":
+        """Copy with the clock advanced."""
+        return BenOrState(self.processes, self.messages, self.time + amount)
+
+    def untimed(self) -> Tuple:
+        """The state without its clock."""
+        return (self.processes, self.messages)
+
+    def round_messages(self, phase: int, round_number: int) -> List[Message]:
+        """All board messages of the given phase and round."""
+        return [
+            message
+            for message in self.messages
+            if message[0] == phase and message[1] == round_number
+        ]
+
+    def crashed_count(self) -> int:
+        """How many processes have crashed so far."""
+        return sum(1 for p in self.processes if p.crashed)
+
+    def __repr__(self) -> str:
+        parts = []
+        for p in self.processes:
+            tag = "X" if p.crashed else (
+                f"D{p.decided}" if p.decided is not None else str(p.value)
+            )
+            parts.append(f"{tag}@r{p.round}{p.phase.value[-1]}{p.phase.value[0]}")
+        return f"BenOrState[{' '.join(parts)} | msgs={len(self.messages)} | t={self.time}]"
+
+
+def benor_initial_state(inputs: Sequence[int]) -> BenOrState:
+    """The start state for the given binary input vector."""
+    if len(inputs) < 2:
+        raise AutomatonError("consensus needs at least two processes")
+    return BenOrState(
+        processes=tuple(BenOrProcess.initial(v) for v in inputs),
+        messages=frozenset(),
+        time=Fraction(0),
+    )
+
+
+def benor_signature(n: int) -> ActionSignature:
+    """Action signature: decisions are visible through ``collect2``."""
+    external = frozenset((CRASH, i) for i in range(n))
+    internal = frozenset(
+        (kind, i)
+        for kind in (SEND1, COLLECT1, SEND2, COLLECT2, FLIP)
+        for i in range(n)
+    ) | {TIME_PASSAGE}
+    return ActionSignature(external=external, internal=internal)
+
+
+def _majority_value(messages: List[Message], n: int) -> Optional[int]:
+    """The value reported by more than ``n/2`` messages, if any."""
+    counts: Dict[int, int] = {}
+    for _, _, _, value in messages:
+        if value is not None:
+            counts[value] = counts.get(value, 0) + 1
+    for value, count in counts.items():
+        if count * 2 > n:
+            return value
+    return None
+
+
+def _proposal_counts(messages: List[Message]) -> Dict[int, int]:
+    """Non-'?' proposal counts by value."""
+    counts: Dict[int, int] = {}
+    for _, _, _, value in messages:
+        if value is not None:
+            counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def benor_process_transitions(
+    state: BenOrState, i: int, f: int
+) -> List[Transition[BenOrState]]:
+    """The steps of process ``i`` enabled in ``state``."""
+    local = state.processes[i]
+    n = state.n
+    steps: List[Transition[BenOrState]] = []
+    if local.crashed:
+        return steps
+
+    # The adversary may crash any live process while budget remains.
+    if state.crashed_count() < f:
+        steps.append(
+            Transition.deterministic(
+                state,
+                (CRASH, i),
+                state.with_process(
+                    i,
+                    BenOrProcess(
+                        local.phase, local.round, local.value,
+                        local.proposal, local.decided, crashed=True,
+                    ),
+                ),
+            )
+        )
+
+    if local.phase is Phase.SEND1:
+        after = state.with_message((1, local.round, i, local.value))
+        after = after.with_process(
+            i,
+            BenOrProcess(
+                Phase.COLLECT1, local.round, local.value, None,
+                local.decided, False,
+            ),
+        )
+        steps.append(Transition.deterministic(state, (SEND1, i), after))
+    elif local.phase is Phase.COLLECT1:
+        reports = state.round_messages(1, local.round)
+        if len(reports) >= n - f:
+            proposal = _majority_value(reports, n)
+            after = state.with_process(
+                i,
+                BenOrProcess(
+                    Phase.SEND2, local.round, local.value, proposal,
+                    local.decided, False,
+                ),
+            )
+        else:
+            after = state  # busy-wait for more reports
+        steps.append(Transition.deterministic(state, (COLLECT1, i), after))
+    elif local.phase is Phase.SEND2:
+        after = state.with_message((2, local.round, i, local.proposal))
+        after = after.with_process(
+            i,
+            BenOrProcess(
+                Phase.COLLECT2, local.round, local.value, local.proposal,
+                local.decided, False,
+            ),
+        )
+        steps.append(Transition.deterministic(state, (SEND2, i), after))
+    elif local.phase is Phase.COLLECT2:
+        proposals = state.round_messages(2, local.round)
+        if len(proposals) < n - f:
+            steps.append(
+                Transition.deterministic(state, (COLLECT2, i), state)
+            )
+        else:
+            counts = _proposal_counts(proposals)
+            next_round = local.round + 1
+            if counts and max(counts.values()) >= f + 1:
+                winner = max(counts, key=lambda v: counts[v])
+                decided = local.decided if local.decided is not None else winner
+                after = state.with_process(
+                    i,
+                    BenOrProcess(
+                        Phase.SEND1, next_round, winner, None, decided,
+                        False,
+                    ),
+                )
+                steps.append(
+                    Transition.deterministic(state, (COLLECT2, i), after)
+                )
+            elif counts:
+                adopted = min(counts)  # at most one value is proposable
+                after = state.with_process(
+                    i,
+                    BenOrProcess(
+                        Phase.SEND1, next_round, adopted, None,
+                        local.decided, False,
+                    ),
+                )
+                steps.append(
+                    Transition.deterministic(state, (COLLECT2, i), after)
+                )
+            else:
+                # No value proposed: flip a fair coin for the estimate.
+                heads = state.with_process(
+                    i,
+                    BenOrProcess(
+                        Phase.SEND1, next_round, 1, None, local.decided,
+                        False,
+                    ),
+                )
+                tails = state.with_process(
+                    i,
+                    BenOrProcess(
+                        Phase.SEND1, next_round, 0, None, local.decided,
+                        False,
+                    ),
+                )
+                steps.append(
+                    Transition(
+                        state,
+                        (FLIP, i),
+                        FiniteDistribution.bernoulli(heads, tails),
+                    )
+                )
+    return steps
+
+
+def benor_automaton(
+    inputs: Sequence[int], f: Optional[int] = None
+) -> FunctionalAutomaton[BenOrState]:
+    """The Ben-Or automaton for the given inputs and crash budget.
+
+    ``f`` defaults to the maximum tolerated, ``ceil(n/2) - 1`` (the
+    algorithm requires ``n > 2f``).
+    """
+    n = len(inputs)
+    if f is None:
+        f = (n - 1) // 2
+    if not 0 <= f or n <= 2 * f:
+        raise AutomatonError(f"Ben-Or requires n > 2f; got n={n}, f={f}")
+    start = benor_initial_state(inputs)
+    crash_budget = f
+
+    def transitions(state: BenOrState) -> List[Transition[BenOrState]]:
+        steps: List[Transition[BenOrState]] = []
+        for i in range(state.n):
+            steps.extend(benor_process_transitions(state, i, crash_budget))
+        steps.append(
+            Transition.deterministic(
+                state, TIME_PASSAGE, state.advanced(Fraction(1))
+            )
+        )
+        return steps
+
+    return FunctionalAutomaton(
+        start_states=(start,),
+        signature=benor_signature(n),
+        transition_fn=transitions,
+    )
+
+
+def benor_time_of(state: BenOrState) -> Fraction:
+    """The clock of a Ben-Or state."""
+    return state.time
+
+
+class BenOrProcessView(ProcessView[BenOrState]):
+    """Process decomposition for Unit-Time scheduling.
+
+    Live processes are always obligated (they always enable a protocol
+    step — sends, collects including busy-waits, or coin flips).
+    Crashes are user-style actions and impose no obligation.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise AutomatonError("consensus needs at least two processes")
+        self._processes = tuple(range(n))
+
+    @property
+    def processes(self) -> Tuple[int, ...]:
+        return self._processes
+
+    def ready(self, state: BenOrState) -> FrozenSet[int]:
+        return frozenset(
+            i for i in self._processes if not state.processes[i].crashed
+        )
+
+    def process_of(self, action: Action) -> Optional[int]:
+        if action == TIME_PASSAGE:
+            return None
+        kind, index = action
+        if kind == CRASH:
+            return None  # crashes are the adversary's, not obligations
+        return index
+
+    def time_of(self, state: BenOrState) -> Fraction:
+        return state.time
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+
+def some_decided(state: BenOrState) -> bool:
+    """Some live-or-crashed process has decided."""
+    return any(p.decided is not None for p in state.processes)
+
+
+def all_live_decided(state: BenOrState) -> bool:
+    """Every non-crashed process has decided."""
+    return all(
+        p.decided is not None for p in state.processes if not p.crashed
+    )
+
+
+def agreement_holds(state: BenOrState) -> bool:
+    """No two processes have decided differently."""
+    decided = {
+        p.decided for p in state.processes if p.decided is not None
+    }
+    return len(decided) <= 1
+
+
+def validity_holds(state: BenOrState, inputs: Sequence[int]) -> bool:
+    """Every decision equals some process's input."""
+    allowed = set(inputs)
+    return all(
+        p.decided in allowed
+        for p in state.processes
+        if p.decided is not None
+    )

@@ -1,0 +1,87 @@
+"""Arrow-statement claims for Ben-Or consensus.
+
+A hand-derived progress statement in the paper's style, validated
+empirically by the benchmarks:
+
+    INIT --(4r+2)-->_{2^{-n}} DECIDED    for r = 2 rounds,
+
+justified exactly as Section 6.2 justifies its leaves: under Unit-Time
+scheduling a Ben-Or round completes within 4 time units (one unit per
+phase: everyone reports, everyone collects — at least ``n - f`` reports
+are then on the board — everyone proposes, everyone resolves).  In the
+worst adversarial round nobody decides, and each process either adopts
+the unique proposable value or flips; with probability at least
+``2^{-n}`` all estimates agree afterwards, and a unanimous round
+decides deterministically.  The extra 2 time units absorb crash-induced
+stutter.
+
+Expected-decision-time bound via the same retry recursion as the paper:
+success probability ``2^{-n}`` per 2-round window of length 8 gives
+``E <= 8 * 2^n + 2`` — wildly loose for the same reason the paper's 63
+is loose, and the benchmarks show measured means of a few units.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.algorithms.benor.automaton import (
+    BenOrState,
+    Phase,
+    all_live_decided,
+    some_decided,
+)
+from repro.errors import ProofError
+from repro.proofs.expected_time import RetryBranch, RetryRecursion
+from repro.proofs.statements import ArrowStatement, StateClass
+
+#: The schema name (same Unit-Time notion as the other case studies).
+BENOR_SCHEMA = "Unit-Time"
+
+
+def at_protocol_start(state: BenOrState) -> bool:
+    """Every process is at the top of round 1 with an empty board."""
+    return not state.messages and all(
+        p.phase is Phase.SEND1 and p.round == 1 and not p.crashed
+        and p.decided is None
+        for p in state.processes
+    )
+
+
+#: ``INIT``: the protocol has not begun.
+INIT_CLASS = StateClass("Init", at_protocol_start)
+#: ``Decided``: some process has decided.
+DECIDED_CLASS = StateClass("Decided", some_decided)
+#: ``AllDecided``: every live process has decided.
+ALL_DECIDED_CLASS = StateClass("AllDecided", all_live_decided)
+
+
+def benor_progress_statement(n: int) -> ArrowStatement:
+    """``INIT --10-->_{2^{-n}} DECIDED`` (two rounds plus slack)."""
+    if n < 2:
+        raise ProofError("consensus needs at least two processes")
+    return ArrowStatement(
+        source=INIT_CLASS,
+        target=DECIDED_CLASS,
+        time_bound=4 * 2 + 2,
+        probability=Fraction(1, 2**n),
+        schema_name=BENOR_SCHEMA,
+    )
+
+
+def benor_expected_time_bound(n: int) -> Fraction:
+    """The retry-recursion bound on expected time to a first decision."""
+    statement = benor_progress_statement(n)
+    recursion = RetryRecursion(
+        [
+            RetryBranch.of(
+                statement.probability, statement.time_bound, retries=False
+            ),
+            RetryBranch.of(
+                1 - statement.probability, statement.time_bound,
+                retries=True,
+            ),
+        ]
+    )
+    return recursion.solve()

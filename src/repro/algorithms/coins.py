@@ -1,0 +1,121 @@
+"""The two-coin model of Example 4.1.
+
+Two processes, ``P`` and ``Q``, may each flip one fair coin.  The
+adversary decides who flips and when — in particular it may look at the
+outcome of one flip before deciding whether to schedule the other,
+which is precisely how it breaks naive independence reasoning.
+
+States are pairs ``(p, q)`` with each component one of ``None`` (not
+flipped yet), ``"H"``, or ``"T"``.  The model is an
+:class:`~repro.automaton.automaton.ExplicitAutomaton`, small enough for
+exhaustive analysis, and ships with the hostile adversaries the example
+discusses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.adversary.base import Adversary, FunctionAdversary
+from repro.automaton.automaton import ExplicitAutomaton, ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import ActionSignature
+from repro.automaton.transition import Transition
+from repro.probability.space import FiniteDistribution
+
+#: Coin outcomes.
+HEADS, TAILS = "H", "T"
+
+FLIP_P, FLIP_Q = "flip_p", "flip_q"
+
+CoinState = Tuple[Optional[str], Optional[str]]
+
+
+def two_coin_automaton() -> ExplicitAutomaton[CoinState]:
+    """The Example 4.1 automaton: each process may flip one fair coin."""
+    outcomes = (None, HEADS, TAILS)
+    states: List[CoinState] = [(p, q) for p in outcomes for q in outcomes]
+    steps: List[Transition[CoinState]] = []
+    for p, q in states:
+        if p is None:
+            steps.append(
+                Transition(
+                    (p, q),
+                    FLIP_P,
+                    FiniteDistribution.bernoulli((HEADS, q), (TAILS, q)),
+                )
+            )
+        if q is None:
+            steps.append(
+                Transition(
+                    (p, q),
+                    FLIP_Q,
+                    FiniteDistribution.bernoulli((p, HEADS), (p, TAILS)),
+                )
+            )
+    return ExplicitAutomaton(
+        states=states,
+        start_states=[(None, None)],
+        signature=ActionSignature(internal=frozenset({FLIP_P, FLIP_Q})),
+        steps=steps,
+    )
+
+
+def p_heads(state: CoinState) -> bool:
+    """``P``'s coin shows heads."""
+    return state[0] == HEADS
+
+
+def q_tails(state: CoinState) -> bool:
+    """``Q``'s coin shows tails."""
+    return state[1] == TAILS
+
+
+def both_flip_adversary() -> Adversary[CoinState]:
+    """Flips ``P`` then ``Q`` unconditionally, then halts."""
+
+    def choose(automaton: ProbabilisticAutomaton, fragment: ExecutionFragment):
+        p, q = fragment.lstate
+        for step in automaton.transitions(fragment.lstate):
+            if p is None and step.action == FLIP_P:
+                return step
+            if p is not None and q is None and step.action == FLIP_Q:
+                return step
+        return None
+
+    return FunctionAdversary(choose, name="both-flip")
+
+
+def peek_adversary(schedule_q_on: str = HEADS) -> Adversary[CoinState]:
+    """Example 4.1's spoiler: flips ``P``, peeks, then maybe flips ``Q``.
+
+    ``Q`` is scheduled only when ``P``'s outcome equals
+    ``schedule_q_on``; otherwise the adversary halts.  This induces the
+    dependence the paper warns about: conditioned on both coins having
+    been flipped, ``P``'s outcome is forced.
+    """
+
+    def choose(automaton: ProbabilisticAutomaton, fragment: ExecutionFragment):
+        p, q = fragment.lstate
+        for step in automaton.transitions(fragment.lstate):
+            if p is None and step.action == FLIP_P:
+                return step
+            if p == schedule_q_on and q is None and step.action == FLIP_Q:
+                return step
+        return None
+
+    return FunctionAdversary(choose, name=f"peek-q-on-{schedule_q_on}")
+
+
+def never_flip_q_adversary() -> Adversary[CoinState]:
+    """Flips only ``P``; the ``first(flip_q, .)`` event holds vacuously."""
+
+    def choose(automaton: ProbabilisticAutomaton, fragment: ExecutionFragment):
+        p, _ = fragment.lstate
+        if p is None:
+            for step in automaton.transitions(fragment.lstate):
+                if step.action == FLIP_P:
+                    return step
+        return None
+
+    return FunctionAdversary(choose, name="never-flip-q")

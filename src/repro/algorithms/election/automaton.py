@@ -1,0 +1,273 @@
+"""Randomized leader election among anonymous candidates.
+
+The second case study (Section 7 asks for the method to be exercised on
+other algorithms).  ``k`` anonymous candidates repeatedly flip fair
+coins in lock-step rounds; after a round in which some candidates drew 1
+and some drew 0, the 0-drawers withdraw.  When a single candidate
+remains, it declares itself leader.  Symmetry makes the problem
+unsolvable deterministically — the same motivation as the Dining
+Philosophers ring — and the expected number of rounds is logarithmic in
+``k``.
+
+Model.  The automaton enforces the phases of a round structurally (a
+candidate resolves only after every active candidate committed its
+coin, and nobody re-flips until every candidate resolved), while the
+adversary keeps full control of ordering within each phase and of the
+timing, exactly like the Lehmann-Rabin Unit-Time setting.  Per-candidate
+statuses:
+
+* ``F``           — active, must flip this round;
+* ``W0``/``W1``   — active, committed its coin, must resolve;
+* ``RS0``/``RS1`` — active, resolved "stay", waiting for the round
+  barrier (the coin is retained so that later resolvers still see the
+  full round bit-vector);
+* ``O``           — withdrawn (out);
+* ``L``           — elected leader.
+
+A ``resolve_i`` step is enabled once no active candidate is still in
+``F``: candidate ``i`` inspects all committed coins (``W*`` and ``RS*``)
+— if both values are present and ``i`` holds a 0 it withdraws,
+otherwise it moves to ``RS``; the *last* resolver also releases the
+barrier, sending every ``RS`` candidate back to ``F``.  A sole
+surviving candidate takes ``lead_i`` instead of flipping.
+
+This is a full-information substitution for the ring circulation of
+coin values in a message-passing implementation; it preserves the
+adversary's scheduling power and the algorithm's probabilistic
+structure (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.adversary.unit_time import ProcessView
+from repro.automaton.automaton import FunctionalAutomaton
+from repro.automaton.signature import TIME_PASSAGE, Action, ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+from repro.probability.space import FiniteDistribution
+
+
+class EStatus(enum.Enum):
+    """Per-candidate status."""
+
+    F = "F"      # active, about to flip
+    W0 = "W0"    # active, committed coin 0, not yet resolved
+    W1 = "W1"    # active, committed coin 1, not yet resolved
+    RS0 = "RS0"  # active, resolved to stay, coin was 0
+    RS1 = "RS1"  # active, resolved to stay, coin was 1
+    O = "O"      # withdrawn
+    L = "L"      # leader
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+#: Statuses of candidates still in the race.
+ACTIVE: FrozenSet[EStatus] = frozenset(
+    {EStatus.F, EStatus.W0, EStatus.W1, EStatus.RS0, EStatus.RS1}
+)
+#: Statuses awaiting resolution.
+WAITING: FrozenSet[EStatus] = frozenset({EStatus.W0, EStatus.W1})
+#: Statuses carrying a committed coin for the current round.
+COMMITTED: FrozenSet[EStatus] = frozenset(
+    {EStatus.W0, EStatus.W1, EStatus.RS0, EStatus.RS1}
+)
+
+FLIP, RESOLVE, LEAD = "flip", "resolve", "lead"
+
+
+def _bit_of(status: EStatus) -> int:
+    """The committed coin carried by a ``W*``/``RS*`` status."""
+    return 1 if status in (EStatus.W1, EStatus.RS1) else 0
+
+
+@dataclass(frozen=True)
+class ElectionState:
+    """Global state: per-candidate statuses and the clock."""
+
+    statuses: Tuple[EStatus, ...]
+    time: Fraction
+
+    def __post_init__(self) -> None:
+        if len(self.statuses) < 2:
+            raise AutomatonError("an election needs at least two candidates")
+
+    @property
+    def n(self) -> int:
+        """The number of candidates."""
+        return len(self.statuses)
+
+    def with_status(self, i: int, status: EStatus) -> "ElectionState":
+        """Copy with candidate ``i``'s status replaced."""
+        return ElectionState(
+            self.statuses[:i] + (status,) + self.statuses[i + 1 :], self.time
+        )
+
+    def advanced(self, amount: Fraction) -> "ElectionState":
+        """Copy with the clock advanced."""
+        return ElectionState(self.statuses, self.time + amount)
+
+    def untimed(self) -> Tuple[EStatus, ...]:
+        """The state without its clock."""
+        return self.statuses
+
+    def active_candidates(self) -> List[int]:
+        """Indices of candidates still in the race."""
+        return [i for i, s in enumerate(self.statuses) if s in ACTIVE]
+
+    def flip_phase_open(self) -> bool:
+        """Is some candidate still waiting to flip this round?"""
+        return any(s is EStatus.F for s in self.statuses)
+
+    def committed_bits(self) -> List[int]:
+        """All coins committed in the current round (``W*`` and ``RS*``)."""
+        return [
+            _bit_of(s) for s in self.statuses if s in COMMITTED
+        ]
+
+    def __repr__(self) -> str:
+        inner = " ".join(s.value for s in self.statuses)
+        return f"ElectionState[{inner} | t={self.time}]"
+
+
+def election_initial_state(n: int) -> ElectionState:
+    """All ``n`` candidates active and ready to flip, time 0."""
+    return ElectionState(tuple([EStatus.F] * n), Fraction(0))
+
+
+def election_signature(n: int) -> ActionSignature:
+    """Action signature: ``lead`` is external, the rest internal."""
+    external = frozenset((LEAD, i) for i in range(n))
+    internal = frozenset(
+        (kind, i) for kind in (FLIP, RESOLVE) for i in range(n)
+    ) | {TIME_PASSAGE}
+    return ActionSignature(external=external, internal=internal)
+
+
+def _resolution_target(state: ElectionState, i: int) -> ElectionState:
+    """The state after candidate ``i`` resolves.
+
+    Withdraws on a losing 0 (both values present this round); otherwise
+    parks in ``RS`` carrying its coin.  The last resolver releases the
+    barrier: every ``RS`` candidate returns to ``F``.
+    """
+    bits = state.committed_bits()
+    my_bit = _bit_of(state.statuses[i])
+    if 0 in bits and 1 in bits and my_bit == 0:
+        after = state.with_status(i, EStatus.O)
+    else:
+        after = state.with_status(
+            i, EStatus.RS1 if my_bit else EStatus.RS0
+        )
+    if not any(s in WAITING for s in after.statuses):
+        released = tuple(
+            EStatus.F if s in (EStatus.RS0, EStatus.RS1) else s
+            for s in after.statuses
+        )
+        after = ElectionState(released, after.time)
+    return after
+
+
+def election_transitions(state: ElectionState) -> List[Transition[ElectionState]]:
+    """The enabled steps of the election automaton."""
+    steps: List[Transition[ElectionState]] = []
+    active = state.active_candidates()
+    flip_open = state.flip_phase_open()
+    for i, status in enumerate(state.statuses):
+        if status is EStatus.F:
+            if len(active) == 1:
+                # The last candidate standing declares victory instead
+                # of flipping alone forever.
+                steps.append(
+                    Transition.deterministic(
+                        state, (LEAD, i), state.with_status(i, EStatus.L)
+                    )
+                )
+            else:
+                steps.append(
+                    Transition(
+                        state,
+                        (FLIP, i),
+                        FiniteDistribution.bernoulli(
+                            state.with_status(i, EStatus.W0),
+                            state.with_status(i, EStatus.W1),
+                        ),
+                    )
+                )
+        elif status in WAITING and not flip_open:
+            steps.append(
+                Transition.deterministic(
+                    state, (RESOLVE, i), _resolution_target(state, i)
+                )
+            )
+    steps.append(
+        Transition.deterministic(
+            state, TIME_PASSAGE, state.advanced(Fraction(1))
+        )
+    )
+    return steps
+
+
+def election_automaton(
+    n: int, start: Optional[ElectionState] = None
+) -> FunctionalAutomaton[ElectionState]:
+    """The leader-election automaton for ``n`` candidates."""
+    if n < 2:
+        raise AutomatonError("an election needs at least two candidates")
+    if start is None:
+        start = election_initial_state(n)
+    if start.n != n:
+        raise AutomatonError(f"start state has {start.n} candidates, expected {n}")
+    return FunctionalAutomaton(
+        start_states=(start,),
+        signature=election_signature(n),
+        transition_fn=election_transitions,
+    )
+
+
+def election_time_of(state: ElectionState) -> Fraction:
+    """The clock of an election state."""
+    return state.time
+
+
+class ElectionProcessView(ProcessView[ElectionState]):
+    """Process decomposition for Unit-Time scheduling of the election.
+
+    There is no user: every enabled non-time action is obligated, so a
+    candidate is ready exactly when it has an enabled step (``F``
+    always; ``W*`` once the round's flip phase has closed; ``RS*``
+    never — it waits for the barrier).
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise AutomatonError("an election needs at least two candidates")
+        self._processes = tuple(range(n))
+
+    @property
+    def processes(self) -> Tuple[int, ...]:
+        return self._processes
+
+    def ready(self, state: ElectionState) -> FrozenSet[int]:
+        flip_open = state.flip_phase_open()
+        ready = set()
+        for i, status in enumerate(state.statuses):
+            if status is EStatus.F:
+                ready.add(i)
+            elif status in WAITING and not flip_open:
+                ready.add(i)
+        return frozenset(ready)
+
+    def process_of(self, action: Action) -> Optional[int]:
+        if action == TIME_PASSAGE:
+            return None
+        _, index = action
+        return index
+
+    def time_of(self, state: ElectionState) -> Fraction:
+        return state.time

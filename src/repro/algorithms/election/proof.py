@@ -1,0 +1,194 @@
+"""Arrow-statement analysis of the leader election (method generality).
+
+Section 7 claims the proof technique applies to many randomized
+protocols; this module demonstrates it end to end on the election:
+
+* level statements ``D_k --3-->_{1/2} D_{k-1} | L`` for ``k >= 2``
+  (within three time units a full coin round completes and, with
+  probability at least 1/2, eliminates somebody — the worst start
+  state is a just-committed all-equal round, which must first be
+  resolved and replayed);
+* the base statement ``D_1 --2-->_1 L`` (a lone candidate resolves and
+  declares itself);
+* their composition through Proposition 3.2 and Theorem 3.4 into
+  ``D_n --(3(n-1)+2)-->_{2^{-(n-1)}} L``;
+* a per-level retry recursion giving an expected-election-time bound.
+
+``A_j`` is the set of states with exactly ``j`` active candidates and no
+leader; ``D_k = A_1 | ... | A_k`` ("at most k active").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.algorithms.election.automaton import (
+    ACTIVE,
+    ElectionState,
+    EStatus,
+)
+from repro.errors import ProofError
+from repro.proofs.expected_time import RetryBranch, RetryRecursion
+from repro.proofs.ledger import ProofLedger, StatementId
+from repro.proofs.statements import ArrowStatement, StateClass
+
+#: The schema name for election statements (same Unit-Time notion).
+ELECTION_SCHEMA = "Unit-Time"
+
+
+def active_count(state: ElectionState) -> int:
+    """The number of candidates still in the race."""
+    return sum(1 for s in state.statuses if s in ACTIVE)
+
+
+def leader_elected(state: ElectionState) -> bool:
+    """Has some candidate declared itself leader?"""
+    return any(s is EStatus.L for s in state.statuses)
+
+
+#: ``L``: a leader has been elected.
+LEADER_CLASS = StateClass("L", leader_elected)
+
+# StateClass predicates are compared by atom name; cache the exact-count
+# atoms so that every caller shares one predicate object per level.
+_EXACTLY_CACHE: Dict[int, StateClass] = {}
+
+
+def exactly_active_class(j: int) -> StateClass:
+    """``A_j``: exactly ``j`` active candidates, no leader yet."""
+    if j < 1:
+        raise ProofError("a nonempty race needs at least one active candidate")
+    cached = _EXACTLY_CACHE.get(j)
+    if cached is None:
+        def predicate(state: ElectionState, count: int = j) -> bool:
+            return not leader_elected(state) and active_count(state) == count
+
+        cached = StateClass(f"A{j}", predicate)
+        _EXACTLY_CACHE[j] = cached
+    return cached
+
+
+def at_most_active_class(k: int) -> StateClass:
+    """``D_k = A_1 | ... | A_k``: at most ``k`` active, no leader."""
+    result = exactly_active_class(1)
+    for j in range(2, k + 1):
+        result = result | exactly_active_class(j)
+    return result
+
+
+def level_statement(k: int) -> ArrowStatement:
+    """``D_k --3-->_{1/2} D_{k-1} | L`` for ``k >= 2``.
+
+    Three time units cover the worst phase alignment (finish a stale
+    all-equal round, then flip and resolve a fresh one); the fresh
+    round eliminates somebody with probability ``1 - 2^{1-j} >= 1/2``
+    for every ``j >= 2`` active candidates, and states already below
+    level ``k`` are in the target at time zero.
+    """
+    if k < 2:
+        raise ProofError("level statements need k >= 2")
+    return ArrowStatement(
+        source=at_most_active_class(k),
+        target=at_most_active_class(k - 1) | LEADER_CLASS,
+        time_bound=3,
+        probability=Fraction(1, 2),
+        schema_name=ELECTION_SCHEMA,
+    )
+
+
+def base_statement() -> ArrowStatement:
+    """``D_1 --2-->_1 L``: a lone candidate wins within two time units."""
+    return ArrowStatement(
+        source=at_most_active_class(1),
+        target=LEADER_CLASS,
+        time_bound=2,
+        probability=1,
+        schema_name=ELECTION_SCHEMA,
+    )
+
+
+@dataclass(frozen=True)
+class ElectionProofChain:
+    """The composed election proof for a fixed number of candidates."""
+
+    n: int
+    ledger: ProofLedger
+    level_ids: Dict[int, StatementId]
+    final_id: StatementId
+
+    @property
+    def final_statement(self) -> ArrowStatement:
+        """``D_n --(3(n-1)+2)-->_{2^{-(n-1)}} L``."""
+        return self.ledger.statement(self.final_id)
+
+
+def election_proof(n: int) -> ElectionProofChain:
+    """Compose the level statements into the end-to-end bound for ``n``.
+
+    Mirrors the Lehmann-Rabin derivation: each level statement is lifted
+    by Proposition 3.2 (adding ``L`` to both sides) so the chain's
+    intermediate sets match, then Theorem 3.4 folds the chain.
+    """
+    if n < 2:
+        raise ProofError("an election needs at least two candidates")
+    ledger = ProofLedger(ELECTION_SCHEMA, execution_closed=True)
+    level_ids: Dict[int, StatementId] = {}
+    chain_ids: List[StatementId] = []
+    for k in range(n, 1, -1):
+        leaf = ledger.assume(
+            level_statement(k),
+            evidence=f"one fresh coin round from <= {k} candidates "
+            f"(elimination probability 1 - 2^(1-j) >= 1/2)",
+        )
+        level_ids[k] = leaf
+        if k == n:
+            # The first chain link keeps its bare source D_n.
+            chain_ids.append(leaf)
+        else:
+            # Lift source D_k to D_k | L so it matches the previous
+            # link's target.
+            chain_ids.append(ledger.union(leaf, LEADER_CLASS))
+    base = ledger.assume(
+        base_statement(),
+        evidence="a lone candidate resolves any stale round and leads",
+    )
+    level_ids[1] = base
+    chain_ids.append(ledger.union(base, LEADER_CLASS))
+    final = ledger.chain(chain_ids)
+
+    expected = ArrowStatement(
+        source=at_most_active_class(n),
+        target=LEADER_CLASS,
+        time_bound=3 * (n - 1) + 2,
+        probability=Fraction(1, 2 ** (n - 1)),
+        schema_name=ELECTION_SCHEMA,
+    )
+    chain = ElectionProofChain(
+        n=n, ledger=ledger, level_ids=level_ids, final_id=final
+    )
+    if chain.final_statement != expected:
+        raise ProofError(
+            f"derivation produced {chain.final_statement!r}, "
+            f"expected {expected!r}"
+        )
+    return chain
+
+
+def election_expected_time_bound(n: int) -> Fraction:
+    """An expected-time bound for electing a leader from ``n`` candidates.
+
+    Per level ``k`` the retry recursion with success probability 1/2 and
+    window 3 gives at most 6 expected time units, plus 2 for the lone
+    winner's final steps: ``6(n-1) + 2``.
+    """
+    if n < 2:
+        raise ProofError("an election needs at least two candidates")
+    per_level = RetryRecursion(
+        [
+            RetryBranch.of(Fraction(1, 2), 3, retries=False),
+            RetryBranch.of(Fraction(1, 2), 3, retries=True),
+        ]
+    ).solve()
+    return per_level * (n - 1) + 2

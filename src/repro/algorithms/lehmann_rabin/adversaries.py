@@ -1,0 +1,177 @@
+"""Hostile Unit-Time adversaries for the Lehmann-Rabin ring.
+
+The arrow statements quantify over every Unit-Time adversary with full
+knowledge of the past; these policies approximate the worst case from
+several directions:
+
+* the generic order policies (FIFO/reversed/rotating) from
+  :mod:`repro.adversary.unit_time`;
+* :class:`ObstructionistPolicy` — a hand-crafted heuristic that plays
+  the classic spoiling strategy: let a neighbour steal the second
+  resource a committed process is about to check, and hurry processes
+  into failed checks;
+* derandomised pseudo-random policies
+  (:class:`~repro.adversary.search.HashedRandomRoundPolicy`) to sweep
+  the order space broadly.
+
+Since all coin outcomes are recorded in the state (the ``u_i``
+variables), state-dependent policies already have the "complete
+knowledge of the past" the paper grants the adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import (
+    ADVANCE_TIME,
+    FifoRoundPolicy,
+    Move,
+    ProcessView,
+    ReversedRoundPolicy,
+    RotatingRoundPolicy,
+    RoundBasedAdversary,
+    RoundPolicy,
+    steps_of_process,
+)
+from repro.algorithms.lehmann_rabin.automaton import LRProcessView
+from repro.algorithms.lehmann_rabin.state import FREE, LRState, PC, Side
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import AdversaryError
+
+
+class ObstructionistPolicy(RoundPolicy[LRState]):
+    """A heuristic spoiler for the Lehmann-Rabin ring.
+
+    Scheduling priorities within a round (lower score goes first):
+
+    0. A waiting process whose wanted resource is free *and* is the
+       second resource of some committed neighbour — stealing it forces
+       the neighbour's check to fail.
+    1. A process at ``S`` whose second resource is currently taken —
+       firing the check now wastes it.
+    2. Neutral moves (flips, drops, exits, ...).
+    3. A process at ``S`` whose second resource is free — delayed to the
+       end of the round in the hope that a steal materialises first.
+
+    This is exactly the dependence-inducing behaviour Example 4.1 warns
+    about: the adversary reads coin outcomes (the ``u_i`` in the state)
+    and reorders steps to hurt the algorithm.
+    """
+
+    def _score(self, state: LRState, i: int) -> int:
+        local = state.process(i)
+        if local.pc is PC.S:
+            second = state.resource_index(i, local.u.opp)
+            return 1 if state.resource(second) else 3
+        if local.pc is PC.W:
+            wanted = state.resource_index(i, local.u)
+            if state.resource(wanted) == FREE and self._is_contested(
+                state, wanted, exclude=i
+            ):
+                return 0
+        return 2
+
+    @staticmethod
+    def _is_contested(state: LRState, resource: int, exclude: int) -> bool:
+        """Is ``resource`` the second resource of some committed process?"""
+        n = state.n
+        for j in (resource, (resource + 1) % n):
+            if j == exclude:
+                continue
+            local = state.process(j)
+            if local.pc in (PC.W, PC.S):
+                second = state.resource_index(j, local.u.opp)
+                if second == resource:
+                    return True
+        return False
+
+    def next_move(
+        self,
+        automaton: ProbabilisticAutomaton[LRState],
+        fragment: ExecutionFragment[LRState],
+        pending: Tuple[Hashable, ...],
+        view: ProcessView[LRState],
+    ) -> Move:
+        if not pending:
+            return ADVANCE_TIME
+        state = fragment.lstate
+        process = min(pending, key=lambda i: (self._score(state, i), i))
+        steps = steps_of_process(automaton, state, view, process)
+        if not steps:
+            raise AdversaryError(
+                f"process {process!r} is pending but has no enabled steps"
+            )
+        return steps[0]
+
+    def __repr__(self) -> str:
+        return "ObstructionistPolicy()"
+
+
+class SlowStarterPolicy(RoundPolicy[LRState]):
+    """Delays one distinguished process to the end of every round.
+
+    Starving a single process as long as Unit-Time permits probes the
+    statements' uniformity over processes.
+    """
+
+    def __init__(self, victim: int):
+        self._victim = victim
+
+    def next_move(
+        self,
+        automaton: ProbabilisticAutomaton[LRState],
+        fragment: ExecutionFragment[LRState],
+        pending: Tuple[Hashable, ...],
+        view: ProcessView[LRState],
+    ) -> Move:
+        if not pending:
+            return ADVANCE_TIME
+        others = [p for p in pending if p != self._victim]
+        process = others[0] if others else pending[0]
+        steps = steps_of_process(automaton, fragment.lstate, view, process)
+        if not steps:
+            raise AdversaryError(
+                f"process {process!r} is pending but has no enabled steps"
+            )
+        return steps[0]
+
+    def __repr__(self) -> str:
+        return f"SlowStarterPolicy(victim={self._victim})"
+
+
+def lr_adversary_family(
+    view: LRProcessView,
+    max_rounds: Optional[int] = None,
+    random_seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> List[Tuple[str, Adversary[LRState]]]:
+    """The named family of Unit-Time adversaries used by the experiments.
+
+    All members are round-based (hence genuinely in Unit-Time); the
+    family mixes structured orders, the obstructionist heuristic, a
+    starver per position 0, and derandomised random orders.
+    """
+    def round_based(policy: RoundPolicy[LRState]) -> RoundBasedAdversary:
+        return RoundBasedAdversary(view, policy, max_rounds=max_rounds)
+
+    from repro.adversary.greedy import (
+        GreedyMinimizerPolicy,
+        lr_progress_potential,
+    )
+
+    family: List[Tuple[str, Adversary[LRState]]] = [
+        ("fifo", round_based(FifoRoundPolicy())),
+        ("reversed", round_based(ReversedRoundPolicy())),
+        ("rotating", round_based(RotatingRoundPolicy())),
+        ("obstructionist", round_based(ObstructionistPolicy())),
+        ("slow-starter-0", round_based(SlowStarterPolicy(0))),
+        ("greedy-min", round_based(GreedyMinimizerPolicy(lr_progress_potential))),
+    ]
+    for seed in random_seeds:
+        family.append(
+            (f"hashed-{seed}", round_based(HashedRandomRoundPolicy(seed)))
+        )
+    return family

@@ -1,0 +1,162 @@
+"""The state sets of the proof (Section 6.2) and Lemma 6.1.
+
+All predicates operate on :class:`~repro.algorithms.lehmann_rabin.state.LRState`
+values of any ring size, so the same :class:`~repro.proofs.statements.StateClass`
+objects serve every experiment.
+
+Definitions, verbatim from the paper:
+
+* ``T``  — some process is in its trying region
+  (``X_i in {F, W, S, D, P}``).
+* ``C``  — some process is in its critical region.
+* ``RT`` — a state of ``T`` where every process is in
+  ``{ER, R} ∪ T``: nobody is critical or holds resources while exiting.
+* ``F``  — a state of ``RT`` where some process is ready to flip.
+* ``P``  — some process is in its pre-critical region.
+* ``G``  — a state of ``RT`` containing a *good* process: a committed
+  process (``W`` or ``S``) whose second resource is not potentially
+  controlled by its neighbour on that side.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algorithms.lehmann_rabin.state import (
+    LRState,
+    PC,
+    ProcessState,
+    SHARP_PCS,
+    Side,
+    TRYING_PCS,
+    holds_left,
+    holds_right,
+)
+from repro.proofs.statements import StateClass
+
+
+def in_trying(state: LRState) -> bool:
+    """``T``: some process has a trying-region program counter."""
+    return any(p.pc in TRYING_PCS for p in state.processes)
+
+
+def in_critical(state: LRState) -> bool:
+    """``C``: some process is in its critical region."""
+    return any(p.pc is PC.C for p in state.processes)
+
+
+def in_reduced_trying(state: LRState) -> bool:
+    """``RT``: trying, and every process is in ``{ER, R} ∪ T``.
+
+    Excludes states where any process is critical or still holds
+    resources inside its exit region (``EF``/``ES``).
+    """
+    if not in_trying(state):
+        return False
+    allowed = TRYING_PCS | {PC.ER, PC.R}
+    return all(p.pc in allowed for p in state.processes)
+
+
+def in_flip_ready(state: LRState) -> bool:
+    """``F``: a state of ``RT`` where some process is at ``F``."""
+    return in_reduced_trying(state) and any(
+        p.pc is PC.F for p in state.processes
+    )
+
+
+def in_pre_critical(state: LRState) -> bool:
+    """``P``: some process is in its pre-critical region."""
+    return any(p.pc is PC.P for p in state.processes)
+
+
+def _neighbour_clear_of(neighbour: ProcessState, side: Side) -> bool:
+    """Is the neighbour unable to potentially control the shared resource?
+
+    Per Section 6.2, process ``i`` with ``X_i in {W_<-, S_<-}`` is good
+    when ``X_{i+1} in {ER, R, F, #_->}``; symmetrically for the right
+    orientation.  ``side`` is the direction the *neighbour* must point
+    to be harmless (away from the contested resource).
+    """
+    if neighbour.pc in (PC.ER, PC.R, PC.F):
+        return True
+    return neighbour.pc in SHARP_PCS and neighbour.u is side
+
+
+def is_good_process(state: LRState, i: int) -> bool:
+    """Is process ``i`` good in ``state`` (Section 6.2's ``G`` witness)?
+
+    A committed process (``W`` or ``S``) whose second resource is not
+    potentially controlled by the neighbour that shares it.
+    """
+    local = state.process(i)
+    if local.pc not in (PC.W, PC.S):
+        return False
+    if local.u is Side.LEFT:
+        # Second resource is on the right, shared with process i+1,
+        # which must not point left at it.
+        return _neighbour_clear_of(state.process(i + 1), Side.RIGHT)
+    # Mirror image: second resource on the left, shared with i-1.
+    return _neighbour_clear_of(state.process(i - 1), Side.LEFT)
+
+
+def good_processes(state: LRState) -> List[int]:
+    """All good processes of ``state``, in index order."""
+    return [i for i in range(state.n) if is_good_process(state, i)]
+
+
+def in_good(state: LRState) -> bool:
+    """``G``: a state of ``RT`` containing a good process."""
+    return in_reduced_trying(state) and bool(good_processes(state))
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.1
+# ----------------------------------------------------------------------
+
+
+def lemma_6_1_holds(state: LRState) -> bool:
+    """Both clauses of Lemma 6.1 at ``state``.
+
+    (1) ``Res_i`` is taken iff process ``i`` holds it from the left side
+    or process ``i+1`` holds it from the right side; (2) never both —
+    only one process at a time can hold one resource.
+    """
+    for i in range(state.n):
+        right_holder = holds_right(state.process(i))
+        left_holder = holds_left(state.process(i + 1))
+        if right_holder and left_holder:
+            return False
+        if state.resource(i) != (right_holder or left_holder):
+            return False
+    return True
+
+
+def mutual_exclusion_holds(state: LRState) -> bool:
+    """No two adjacent processes are critical simultaneously.
+
+    The safety property of the Dining Philosophers problem: a critical
+    process holds both adjacent resources, so Lemma 6.1 implies this;
+    checking it separately gives an independent safety test.
+    """
+    for i in range(state.n):
+        if state.process(i).pc is PC.C and state.process(i + 1).pc is PC.C:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# StateClass bindings for the proof ledger
+# ----------------------------------------------------------------------
+
+#: ``T`` — some process is in its trying region.
+T_CLASS = StateClass("T", in_trying)
+#: ``C`` — some process is in its critical region.
+C_CLASS = StateClass("C", in_critical)
+#: ``RT`` — reduced trying (no critical or resource-holding exiters).
+RT_CLASS = StateClass("RT", in_reduced_trying)
+#: ``F`` — reduced trying with a process ready to flip.
+F_CLASS = StateClass("F", in_flip_ready)
+#: ``G`` — reduced trying with a good process.
+G_CLASS = StateClass("G", in_good)
+#: ``P`` — some process is pre-critical.
+P_CLASS = StateClass("P", in_pre_critical)

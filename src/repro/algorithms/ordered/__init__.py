@@ -1,0 +1,34 @@
+"""Deterministic baseline: resource-ordered (asymmetric) philosophers."""
+
+from repro.algorithms.ordered.automaton import (
+    OrderedProcessView,
+    OrderedState,
+    ordered_automaton,
+    ordered_initial_state,
+    ordered_time_of,
+)
+from repro.algorithms.ordered.automaton import OPC, adjacent_resources
+from repro.algorithms.ordered.regions import (
+    ORDERED_C_CLASS,
+    ORDERED_T_CLASS,
+    ordered_in_critical,
+    ordered_in_trying,
+    ordered_mutual_exclusion,
+    ordered_resource_invariant,
+)
+
+__all__ = [
+    "OPC",
+    "ORDERED_C_CLASS",
+    "ORDERED_T_CLASS",
+    "OrderedProcessView",
+    "OrderedState",
+    "adjacent_resources",
+    "ordered_automaton",
+    "ordered_in_critical",
+    "ordered_in_trying",
+    "ordered_initial_state",
+    "ordered_mutual_exclusion",
+    "ordered_resource_invariant",
+    "ordered_time_of",
+]

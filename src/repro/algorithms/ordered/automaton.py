@@ -1,0 +1,249 @@
+"""The resource-hierarchy Dining Philosophers baseline (deterministic).
+
+The classical deterministic solution breaks the ring's symmetry by
+ordering the resources: every process first waits for its lower-indexed
+adjacent resource, then for the higher-indexed one.  Exactly one
+process (the one between resource ``n-1`` and resource ``0``) therefore
+picks its resources in the opposite rotational order, which is what
+prevents the circular-wait deadlock.
+
+The paper's introduction motivates randomization by the impossibility
+of *symmetric* deterministic solutions; this baseline is the standard
+asymmetric comparator.  It is a degenerate probabilistic automaton (all
+Dirac targets), so the whole verification stack applies unchanged:
+Unit-Time round adversaries, arrow statements, and time measurements —
+which is how the benchmarks compare its worst-case progress time
+against Lehmann-Rabin's.
+
+Program counters::
+
+    R   remainder           (user ``try`` moves to W1)
+    W1  waiting for the lower-indexed resource (busy-wait)
+    W2  waiting for the higher-indexed resource (busy-wait, holds first)
+    P   pre-critical        (``crit`` announces entry)
+    C   critical            (user ``exit`` moves to E1)
+    E1  exit: drop first resource
+    E2  exit: drop second resource, then ``rem`` back to R
+
+Unlike Lehmann-Rabin, a process in ``W2`` *keeps holding* its first
+resource while waiting — hold-and-wait is safe here because the global
+resource order rules out cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.adversary.unit_time import ProcessView
+from repro.automaton.automaton import FunctionalAutomaton
+from repro.automaton.signature import TIME_PASSAGE, Action, ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+
+
+class OPC(enum.Enum):
+    """Program counters of the ordered baseline."""
+
+    R = "R"
+    W1 = "W1"
+    W2 = "W2"
+    P = "P"
+    C = "C"
+    E1 = "E1"
+    E2 = "E2"
+    ER = "ER"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+#: Trying-region program counters of the baseline.
+ORDERED_TRYING: FrozenSet[OPC] = frozenset({OPC.W1, OPC.W2, OPC.P})
+
+
+@dataclass(frozen=True)
+class OrderedState:
+    """Global state: per-process counters, resource flags, and time."""
+
+    pcs: Tuple[OPC, ...]
+    resources: Tuple[bool, ...]
+    time: Fraction
+
+    def __post_init__(self) -> None:
+        if len(self.pcs) != len(self.resources):
+            raise AutomatonError("one resource per process is required")
+        if len(self.pcs) < 2:
+            raise AutomatonError("the ring needs at least two processes")
+
+    @property
+    def n(self) -> int:
+        """Ring size."""
+        return len(self.pcs)
+
+    def with_pc(self, i: int, pc: OPC) -> "OrderedState":
+        """Copy with process ``i``'s counter replaced."""
+        i %= self.n
+        return OrderedState(
+            self.pcs[:i] + (pc,) + self.pcs[i + 1 :], self.resources, self.time
+        )
+
+    def with_resource(self, j: int, taken: bool) -> "OrderedState":
+        """Copy with resource ``j`` replaced."""
+        j %= self.n
+        return OrderedState(
+            self.pcs,
+            self.resources[:j] + (taken,) + self.resources[j + 1 :],
+            self.time,
+        )
+
+    def advanced(self, amount: Fraction) -> "OrderedState":
+        """Copy with the clock advanced."""
+        return OrderedState(self.pcs, self.resources, self.time + amount)
+
+    def untimed(self) -> Tuple[Tuple[OPC, ...], Tuple[bool, ...]]:
+        """The state without its clock."""
+        return (self.pcs, self.resources)
+
+    def __repr__(self) -> str:
+        pcs = " ".join(pc.value for pc in self.pcs)
+        res = "".join("T" if r else "." for r in self.resources)
+        return f"OrderedState[{pcs} | Res={res} | t={self.time}]"
+
+
+def adjacent_resources(i: int, n: int) -> Tuple[int, int]:
+    """Process ``i``'s resources ``(first, second)`` in pickup order.
+
+    Adjacent resources are ``i-1`` (left) and ``i`` (right); the pickup
+    order is ascending resource index, so every process but the one
+    adjacent to both ``n-1`` and ``0`` grabs its left resource first.
+    """
+    left, right = (i - 1) % n, i % n
+    return (min(left, right), max(left, right))
+
+
+def ordered_initial_state(n: int) -> OrderedState:
+    """All processes in ``R``, all resources free, time 0."""
+    return OrderedState(
+        pcs=tuple([OPC.R] * n),
+        resources=tuple([False] * n),
+        time=Fraction(0),
+    )
+
+
+TRY, WAIT1, WAIT2, CRIT, EXIT, DROP1, DROP2, REM = (
+    "try", "wait1", "wait2", "crit", "exit", "drop1", "drop2", "rem",
+)
+
+
+def ordered_signature(n: int) -> ActionSignature:
+    """Action signature of the baseline ring."""
+    external = frozenset(
+        (kind, i) for kind in (TRY, CRIT, EXIT, REM) for i in range(n)
+    )
+    internal = frozenset(
+        (kind, i) for kind in (WAIT1, WAIT2, DROP1, DROP2) for i in range(n)
+    ) | {TIME_PASSAGE}
+    return ActionSignature(external=external, internal=internal)
+
+
+def ordered_transitions(state: OrderedState) -> List[Transition[OrderedState]]:
+    """All enabled steps: one per process, plus unit time passage."""
+    steps: List[Transition[OrderedState]] = []
+    n = state.n
+    for i in range(n):
+        pc = state.pcs[i]
+        first, second = adjacent_resources(i, n)
+        if pc is OPC.R:
+            steps.append(
+                Transition.deterministic(state, (TRY, i), state.with_pc(i, OPC.W1))
+            )
+        elif pc is OPC.W1:
+            if state.resources[first]:
+                after = state  # busy-wait
+            else:
+                after = state.with_resource(first, True).with_pc(i, OPC.W2)
+            steps.append(Transition.deterministic(state, (WAIT1, i), after))
+        elif pc is OPC.W2:
+            if state.resources[second]:
+                after = state  # busy-wait, holding the first resource
+            else:
+                after = state.with_resource(second, True).with_pc(i, OPC.P)
+            steps.append(Transition.deterministic(state, (WAIT2, i), after))
+        elif pc is OPC.P:
+            steps.append(
+                Transition.deterministic(state, (CRIT, i), state.with_pc(i, OPC.C))
+            )
+        elif pc is OPC.C:
+            steps.append(
+                Transition.deterministic(state, (EXIT, i), state.with_pc(i, OPC.E1))
+            )
+        elif pc is OPC.E1:
+            after = state.with_resource(first, False).with_pc(i, OPC.E2)
+            steps.append(Transition.deterministic(state, (DROP1, i), after))
+        elif pc is OPC.E2:
+            after = state.with_resource(second, False).with_pc(i, OPC.ER)
+            steps.append(Transition.deterministic(state, (DROP2, i), after))
+        elif pc is OPC.ER:
+            steps.append(
+                Transition.deterministic(state, (REM, i), state.with_pc(i, OPC.R))
+            )
+        else:  # pragma: no cover - OPC is exhaustive
+            raise AutomatonError(f"unknown program counter {pc!r}")
+    steps.append(
+        Transition.deterministic(state, TIME_PASSAGE, state.advanced(Fraction(1)))
+    )
+    return steps
+
+
+def ordered_automaton(
+    n: int, start: Optional[OrderedState] = None
+) -> FunctionalAutomaton[OrderedState]:
+    """The ordered-philosophers automaton for a ring of ``n`` processes."""
+    if n < 2:
+        raise AutomatonError("the ring needs at least two processes")
+    if start is None:
+        start = ordered_initial_state(n)
+    if start.n != n:
+        raise AutomatonError(f"start state has {start.n} processes, expected {n}")
+    return FunctionalAutomaton(
+        start_states=(start,),
+        signature=ordered_signature(n),
+        transition_fn=ordered_transitions,
+    )
+
+
+def ordered_time_of(state: OrderedState) -> Fraction:
+    """The clock of a baseline state."""
+    return state.time
+
+
+class OrderedProcessView(ProcessView[OrderedState]):
+    """Process decomposition for Unit-Time scheduling of the baseline."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise AutomatonError("the ring needs at least two processes")
+        self._processes = tuple(range(n))
+
+    @property
+    def processes(self) -> Tuple[int, ...]:
+        return self._processes
+
+    def ready(self, state: OrderedState) -> FrozenSet[int]:
+        return frozenset(
+            i
+            for i in self._processes
+            if state.pcs[i] not in (OPC.R, OPC.C)
+        )
+
+    def process_of(self, action: Action) -> Optional[int]:
+        if action == TIME_PASSAGE:
+            return None
+        _, index = action
+        return index
+
+    def time_of(self, state: OrderedState) -> Fraction:
+        return state.time

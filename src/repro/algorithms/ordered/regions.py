@@ -1,0 +1,59 @@
+"""Region predicates and safety checks for the ordered baseline."""
+
+from __future__ import annotations
+
+from repro.algorithms.ordered.automaton import (
+    ORDERED_TRYING,
+    OPC,
+    OrderedState,
+    adjacent_resources,
+)
+from repro.proofs.statements import StateClass
+
+
+def ordered_in_trying(state: OrderedState) -> bool:
+    """Some process is in its trying region."""
+    return any(pc in ORDERED_TRYING for pc in state.pcs)
+
+
+def ordered_in_critical(state: OrderedState) -> bool:
+    """Some process is in its critical region."""
+    return any(pc is OPC.C for pc in state.pcs)
+
+
+def ordered_mutual_exclusion(state: OrderedState) -> bool:
+    """No two adjacent processes are critical simultaneously."""
+    n = state.n
+    for i in range(n):
+        if state.pcs[i] is OPC.C and state.pcs[(i + 1) % n] is OPC.C:
+            return False
+    return True
+
+
+def ordered_resource_invariant(state: OrderedState) -> bool:
+    """Resources are taken exactly by their unique current holders.
+
+    A process holds its first resource from ``W2`` up to ``E1``
+    inclusive, and its second from ``P`` up to ``E2`` inclusive.
+    """
+    n = state.n
+    holders_first = {OPC.W2, OPC.P, OPC.C, OPC.E1}
+    holders_second = {OPC.P, OPC.C, OPC.E1, OPC.E2}
+    expected = [False] * n
+    for i in range(n):
+        first, second = adjacent_resources(i, n)
+        if state.pcs[i] in holders_first:
+            if expected[first]:
+                return False
+            expected[first] = True
+        if state.pcs[i] in holders_second:
+            if expected[second]:
+                return False
+            expected[second] = True
+    return tuple(expected) == state.resources
+
+
+#: ``T`` for the baseline: some process is trying.
+ORDERED_T_CLASS = StateClass("T_ord", ordered_in_trying)
+#: ``C`` for the baseline: some process is critical.
+ORDERED_C_CLASS = StateClass("C_ord", ordered_in_critical)

@@ -1,0 +1,51 @@
+"""Experiment harness: Monte-Carlo runners, sweeps, and reporting."""
+
+from repro.analysis.experiments import (
+    AdversaryPowerRow,
+    HorizonRow,
+    ScalingRow,
+    adversary_power_comparison,
+    horizon_sweep,
+    ring_size_sweep,
+)
+from repro.analysis.phases import (
+    FAIL_FOURTH,
+    FAIL_THIRD,
+    SUCCESS,
+    PhaseOutcome,
+    PhaseStatistics,
+    classify_attempt,
+    sample_phase_statistics,
+)
+from repro.analysis.montecarlo import (
+    LRExperimentSetup,
+    check_all_leaves,
+    check_lr_statement,
+    measure_lr_expected_time,
+    start_states_for,
+)
+from repro.analysis.reporting import banner, format_fraction, format_table
+
+__all__ = [
+    "AdversaryPowerRow",
+    "FAIL_FOURTH",
+    "FAIL_THIRD",
+    "HorizonRow",
+    "LRExperimentSetup",
+    "PhaseOutcome",
+    "PhaseStatistics",
+    "SUCCESS",
+    "ScalingRow",
+    "classify_attempt",
+    "sample_phase_statistics",
+    "adversary_power_comparison",
+    "banner",
+    "check_all_leaves",
+    "check_lr_statement",
+    "format_fraction",
+    "format_table",
+    "horizon_sweep",
+    "measure_lr_expected_time",
+    "ring_size_sweep",
+    "start_states_for",
+]

@@ -1,0 +1,162 @@
+"""Parameter sweeps: ring size, adversary class, and horizon ablations.
+
+These produce the rows for the scaling and adversary-power benchmarks
+(experiments E11 in DESIGN.md).  The paper proves constant bounds that
+are independent of the ring size ``n``; the sweeps check that measured
+worst-case probabilities and times indeed do not degrade with ``n``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms import lehmann_rabin as lr
+from repro.analysis.montecarlo import (
+    LRExperimentSetup,
+    check_lr_statement,
+    measure_lr_expected_time,
+)
+from repro.proofs.verifier import ArrowCheckReport
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One row of the ring-size sweep."""
+
+    n: int
+    min_success_estimate: float
+    claimed: float
+    mean_time_to_c: float
+    max_time_to_c: float
+
+
+def ring_size_sweep(
+    sizes: Sequence[int] = (3, 4, 5),
+    seed: int = 0,
+    samples_per_pair: int = 60,
+    time_samples: int = 60,
+) -> List[ScalingRow]:
+    """The composed statement and time-to-C across ring sizes.
+
+    The paper's bounds are independent of ``n``; each row's
+    ``min_success_estimate`` should stay at or above ``claimed`` (1/8)
+    and the measured expected times should stay below 63.
+    """
+    chain = lr.lehmann_rabin_proof()
+    final = chain.final_statement
+    rows: List[ScalingRow] = []
+    for n in sizes:
+        setup = LRExperimentSetup.build(n)
+        report = check_lr_statement(
+            final,
+            setup,
+            seed=seed,
+            samples_per_pair=samples_per_pair,
+            random_starts=4,
+        )
+        times = measure_lr_expected_time(
+            setup, seed=seed, samples=time_samples
+        )
+        means = [r.mean for r in times.values() if r.times]
+        maxima = [float(r.maximum) for r in times.values() if r.times]
+        rows.append(
+            ScalingRow(
+                n=n,
+                min_success_estimate=report.min_estimate,
+                claimed=float(final.probability),
+                mean_time_to_c=max(means),
+                max_time_to_c=max(maxima),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class AdversaryPowerRow:
+    """One row of the adversary-class comparison."""
+
+    adversary: str
+    success_estimate: float
+    mean_time_to_c: float
+    unreached: int
+
+
+def adversary_power_comparison(
+    n: int = 3,
+    seed: int = 0,
+    samples_per_pair: int = 100,
+    time_samples: int = 100,
+) -> List[AdversaryPowerRow]:
+    """Per-adversary success probability and time statistics.
+
+    Ablation E11: how much do richer adversaries (history-dependent,
+    obstructionist) hurt compared to oblivious orders?  The paper's
+    bound must survive all of them.
+    """
+    chain = lr.lehmann_rabin_proof()
+    final = chain.final_statement
+    setup = LRExperimentSetup.build(n)
+    report = check_lr_statement(
+        final, setup, seed=seed, samples_per_pair=samples_per_pair,
+        random_starts=4,
+    )
+    per_adversary: Dict[str, List[float]] = {}
+    for check in report.checks:
+        per_adversary.setdefault(check.adversary_name, []).append(
+            check.estimate
+        )
+    times = measure_lr_expected_time(setup, seed=seed, samples=time_samples)
+    rows: List[AdversaryPowerRow] = []
+    for name, estimates in sorted(per_adversary.items()):
+        time_report = times[name]
+        rows.append(
+            AdversaryPowerRow(
+                adversary=name,
+                success_estimate=min(estimates),
+                mean_time_to_c=(
+                    time_report.mean if time_report.times else float("nan")
+                ),
+                unreached=time_report.unreached,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class HorizonRow:
+    """One row of the deadline ablation for the composed statement."""
+
+    time_bound: int
+    min_success_estimate: float
+
+
+def horizon_sweep(
+    bounds: Sequence[int] = (5, 8, 11, 13, 20),
+    n: int = 3,
+    seed: int = 0,
+    samples_per_pair: int = 80,
+) -> List[HorizonRow]:
+    """Success probability of ``T --t--> C`` as the deadline ``t`` varies.
+
+    Shows where the paper's (loose) constant 13 sits on the measured
+    curve: success probability should be monotone in ``t`` and already
+    exceed 1/8 well before 13.
+    """
+    from repro.proofs.statements import ArrowStatement
+
+    setup = LRExperimentSetup.build(n)
+    rows: List[HorizonRow] = []
+    for bound in bounds:
+        statement = ArrowStatement(
+            lr.T_CLASS, lr.C_CLASS, bound, 0, lr.SCHEMA_NAME
+        )
+        report = check_lr_statement(
+            statement, setup, seed=seed, samples_per_pair=samples_per_pair,
+            random_starts=4,
+        )
+        rows.append(
+            HorizonRow(time_bound=bound, min_success_estimate=report.min_estimate)
+        )
+    return rows

@@ -1,0 +1,153 @@
+"""High-level Monte-Carlo experiment runner for arrow statements.
+
+Wraps :mod:`repro.proofs.verifier` with the Lehmann-Rabin specifics:
+building the automaton and adversary family for a ring size, sampling
+region start states, and aggregating per-claim results into the rows
+the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms import lehmann_rabin as lr
+from repro.errors import VerificationError
+from repro.proofs.statements import ArrowStatement
+from repro.proofs.verifier import (
+    ArrowCheckReport,
+    TimeToTargetReport,
+    check_arrow_by_sampling,
+    measure_time_to_target,
+)
+
+
+@dataclass(frozen=True)
+class LRExperimentSetup:
+    """Everything needed to run Lehmann-Rabin experiments on one ring."""
+
+    n: int
+    automaton: object
+    view: lr.LRProcessView
+    adversaries: Tuple[Tuple[str, object], ...]
+
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        max_rounds: Optional[int] = None,
+        random_seeds: Sequence[int] = (1, 2, 3),
+    ) -> "LRExperimentSetup":
+        """Construct the automaton, view, and adversary family for ``n``."""
+        view = lr.LRProcessView(n)
+        return cls(
+            n=n,
+            automaton=lr.lehmann_rabin_automaton(n),
+            view=view,
+            adversaries=tuple(
+                lr.lr_adversary_family(
+                    view, max_rounds=max_rounds, random_seeds=random_seeds
+                )
+            ),
+        )
+
+
+def start_states_for(
+    statement: ArrowStatement,
+    setup: LRExperimentSetup,
+    rng: random.Random,
+    random_count: int = 6,
+) -> List[lr.LRState]:
+    """Start states in the statement's source region: canonical + random.
+
+    Canonical states that happen to fall in the source region are always
+    included so the paper's pivotal configurations are covered; random
+    invariant-consistent states fill out the quantifier.
+    """
+    states = [
+        state
+        for state in lr.canonical_states(setup.n).values()
+        if statement.source.contains(state)
+    ]
+    seen = {state.untimed() for state in states}
+    if random_count > 0:
+        for state in lr.sample_states_in(
+            statement.source, setup.n, random_count, rng
+        ):
+            if state.untimed() not in seen:
+                seen.add(state.untimed())
+                states.append(state)
+    if not states:
+        raise VerificationError(
+            f"no start states found in {statement.source.name!r}"
+        )
+    return states
+
+
+def check_lr_statement(
+    statement: ArrowStatement,
+    setup: LRExperimentSetup,
+    seed: int = 0,
+    samples_per_pair: int = 120,
+    random_starts: int = 6,
+    max_steps: int = 400,
+) -> ArrowCheckReport:
+    """Monte-Carlo check of one arrow statement on a Lehmann-Rabin ring."""
+    rng = random.Random(seed)
+    starts = start_states_for(statement, setup, rng, random_starts)
+    return check_arrow_by_sampling(
+        setup.automaton,
+        statement,
+        list(setup.adversaries),
+        starts,
+        lr.lr_time_of,
+        rng,
+        samples_per_pair=samples_per_pair,
+        max_steps=max_steps,
+    )
+
+
+def check_all_leaves(
+    setup: LRExperimentSetup,
+    seed: int = 0,
+    samples_per_pair: int = 120,
+) -> Dict[str, ArrowCheckReport]:
+    """Check every Section 6.2 leaf statement; keyed by proposition name."""
+    return {
+        name: check_lr_statement(
+            statement, setup, seed=seed, samples_per_pair=samples_per_pair
+        )
+        for name, statement in lr.leaf_statements().items()
+    }
+
+
+def measure_lr_expected_time(
+    setup: LRExperimentSetup,
+    seed: int = 0,
+    samples: int = 150,
+    max_steps: int = 30_000,
+) -> Dict[str, TimeToTargetReport]:
+    """Measure time-to-critical from ``T`` states under every adversary.
+
+    The paper's bound: expected time at most 63 for every Unit-Time
+    adversary.  Reports per-adversary sample means and maxima.
+    """
+    rng = random.Random(seed)
+    final = lr.leaf_statements()["A.3"]  # source class T
+    starts = start_states_for(final, setup, rng, random_count=6)
+    reports: Dict[str, TimeToTargetReport] = {}
+    for name, adversary in setup.adversaries:
+        reports[name] = measure_time_to_target(
+            setup.automaton,
+            name,
+            adversary,
+            starts,
+            lr.in_critical,
+            lr.lr_time_of,
+            rng,
+            samples=samples,
+            max_steps=max_steps,
+        )
+    return reports

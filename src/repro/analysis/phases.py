@@ -1,0 +1,199 @@
+"""Phase decomposition of Lehmann-Rabin runs (the V-recursion's anatomy).
+
+Section 6.2 derives the expected-time bound from a branch analysis of
+one attempt departing from ``RT``:
+
+* *success*    — ``P`` reached within time 10, probability >= 1/8;
+* *failure at the third arrow*  — ``F`` was reached but the window
+  ``F --2--> G|P`` missed, time spent <= 5, probability <= 1/2;
+* *failure at the fourth arrow* — ``G|P`` was reached but the window
+  ``G --5--> P`` missed, time spent <= 10, probability <= 3/8.
+
+This module replays that accounting on sampled executions: it walks a
+run from an ``RT`` state, finds the first entry into ``F | G | P``
+(within 3, by Prop A.15), then classifies the attempt by which window
+missed.  The measured branch frequencies and times are compared with
+the recursion's coefficients by the benchmarks — reproducing not just
+the paper's final constant but the *structure* of its derivation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary
+from repro.algorithms import lehmann_rabin as lr
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import VerificationError
+
+#: Branch labels of the Section 6.2 recursion.
+SUCCESS = "success"
+FAIL_THIRD = "fail-third-arrow"
+FAIL_FOURTH = "fail-fourth-arrow"
+
+
+@dataclass(frozen=True)
+class PhaseOutcome:
+    """One attempt's classification and the time it consumed."""
+
+    branch: str
+    time_spent: Fraction
+
+
+@dataclass(frozen=True)
+class PhaseStatistics:
+    """Aggregated branch frequencies and worst observed times."""
+
+    outcomes: Tuple[PhaseOutcome, ...]
+
+    def frequency(self, branch: str) -> float:
+        """The fraction of attempts resolved by ``branch``."""
+        if not self.outcomes:
+            raise VerificationError("no outcomes recorded")
+        return sum(
+            1 for o in self.outcomes if o.branch == branch
+        ) / len(self.outcomes)
+
+    def max_time(self, branch: str) -> Fraction:
+        """The slowest attempt on ``branch`` (0 if none occurred)."""
+        times = [o.time_spent for o in self.outcomes if o.branch == branch]
+        return max(times) if times else Fraction(0)
+
+    def respects_recursion_coefficients(self, slack: float = 0.05) -> bool:
+        """Do the measured frequencies fit the paper's coefficients?
+
+        The paper uses *bounds*: success >= 1/8, fail-third <= 1/2,
+        fail-fourth <= 3/8.  ``slack`` absorbs sampling noise on the
+        upper-bounded branches.
+        """
+        return (
+            self.frequency(SUCCESS) >= 1 / 8
+            and self.frequency(FAIL_THIRD) <= 1 / 2 + slack
+            and self.frequency(FAIL_FOURTH) <= 3 / 8 + slack
+        )
+
+
+def _first_hit(
+    states: Sequence[lr.LRState],
+    start_index: int,
+    predicate,
+    deadline: Fraction,
+    origin: Fraction,
+) -> Optional[int]:
+    """Index of the first state at/after ``start_index`` satisfying
+    ``predicate`` with clock at most ``origin + deadline``."""
+    for index in range(start_index, len(states)):
+        state = states[index]
+        if lr.lr_time_of(state) - origin > deadline:
+            return None
+        if predicate(state):
+            return index
+    return None
+
+
+def classify_attempt(
+    states: Sequence[lr.LRState], start_index: int = 0
+) -> Optional[PhaseOutcome]:
+    """Classify one attempt beginning at ``states[start_index]`` (in RT).
+
+    Follows the paper's accounting: first entry into ``F | G | P``
+    within 3 (guaranteed by Prop A.15); if the entry is into ``F``, the
+    ``F --2--> G|P`` window; then the ``G|P --5--> P`` window.  Returns
+    ``None`` when the trajectory is too short to resolve the attempt.
+    """
+    origin = lr.lr_time_of(states[start_index])
+
+    def in_fgp(state):
+        return (
+            lr.in_flip_ready(state) or lr.in_good(state)
+            or lr.in_pre_critical(state)
+        )
+
+    def in_gp(state):
+        return lr.in_good(state) or lr.in_pre_critical(state)
+
+    entry = _first_hit(states, start_index, in_fgp, Fraction(3), origin)
+    if entry is None:
+        # Prop A.15 guarantees entry within 3; a None here means the
+        # trajectory ended early.
+        return None
+    entry_state = states[entry]
+    entry_time = lr.lr_time_of(entry_state)
+
+    if not in_gp(entry_state):
+        # Entered through F: the F --2--> G|P window.
+        gp = _first_hit(states, entry, in_gp, Fraction(2), entry_time)
+        if gp is None:
+            missed_by = _first_hit(
+                states, entry, lambda s: lr.lr_time_of(s) - entry_time > 2,
+                Fraction(10**6), entry_time,
+            )
+            if missed_by is None:
+                return None
+            return PhaseOutcome(
+                branch=FAIL_THIRD,
+                time_spent=lr.lr_time_of(states[missed_by]) - origin,
+            )
+    else:
+        gp = entry
+    gp_time = lr.lr_time_of(states[gp])
+
+    hit_p = _first_hit(
+        states, gp, lr.in_pre_critical, Fraction(5), gp_time
+    )
+    if hit_p is not None:
+        return PhaseOutcome(
+            branch=SUCCESS,
+            time_spent=lr.lr_time_of(states[hit_p]) - origin,
+        )
+    missed_by = _first_hit(
+        states, gp, lambda s: lr.lr_time_of(s) - gp_time > 5,
+        Fraction(10**6), gp_time,
+    )
+    if missed_by is None:
+        return None
+    return PhaseOutcome(
+        branch=FAIL_FOURTH,
+        time_spent=lr.lr_time_of(states[missed_by]) - origin,
+    )
+
+
+def sample_phase_statistics(
+    automaton: ProbabilisticAutomaton[lr.LRState],
+    adversary: Adversary[lr.LRState],
+    starts: Sequence[lr.LRState],
+    rng: random.Random,
+    attempts: int = 200,
+    max_steps: int = 400,
+) -> PhaseStatistics:
+    """Sample ``attempts`` single attempts from the given RT states."""
+    if not starts:
+        raise VerificationError("no start states supplied")
+    outcomes: List[PhaseOutcome] = []
+    index = 0
+    budget = attempts * 4
+    while len(outcomes) < attempts and budget > 0:
+        budget -= 1
+        start = starts[index % len(starts)]
+        index += 1
+        fragment = ExecutionFragment.initial(start)
+        for _ in range(max_steps):
+            step = adversary.checked_choose(automaton, fragment)
+            if step is None:
+                break
+            fragment = fragment.extend(step.action, step.target.sample(rng))
+            if lr.lr_time_of(fragment.lstate) - lr.lr_time_of(start) > 12:
+                break
+        outcome = classify_attempt(fragment.states)
+        if outcome is not None:
+            outcomes.append(outcome)
+    if len(outcomes) < attempts:
+        raise VerificationError(
+            f"only {len(outcomes)}/{attempts} attempts resolved; "
+            "increase max_steps"
+        )
+    return PhaseStatistics(outcomes=tuple(outcomes))

@@ -1,0 +1,64 @@
+"""The probabilistic automaton model (Section 2 of the paper).
+
+Exports the abstract automaton interface and its two concrete
+representations, execution fragments, action signatures, transitions,
+reachability/invariant analysis, parallel composition, and the patient
+(timed) construction.
+"""
+
+from repro.automaton.automaton import (
+    ExplicitAutomaton,
+    FunctionalAutomaton,
+    ProbabilisticAutomaton,
+)
+from repro.automaton.composition import (
+    parallel_compose,
+    relabel_states,
+    rename_actions,
+)
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.patient import TimedState, patient
+from repro.automaton.reachability import (
+    InvariantViolation,
+    check_inductive_invariant,
+    check_invariant,
+    reachable_states,
+)
+from repro.automaton.signature import TIME_PASSAGE, Action, ActionSignature
+from repro.automaton.traces import (
+    TimedEvent,
+    count_kind,
+    first_occurrence_time,
+    mutex_interface_well_formed,
+    project_process,
+    timed_trace_of,
+    trace_of,
+)
+from repro.automaton.transition import Transition
+
+__all__ = [
+    "Action",
+    "ActionSignature",
+    "ExecutionFragment",
+    "ExplicitAutomaton",
+    "FunctionalAutomaton",
+    "InvariantViolation",
+    "ProbabilisticAutomaton",
+    "TIME_PASSAGE",
+    "TimedEvent",
+    "TimedState",
+    "Transition",
+    "check_inductive_invariant",
+    "check_invariant",
+    "count_kind",
+    "first_occurrence_time",
+    "mutex_interface_well_formed",
+    "parallel_compose",
+    "patient",
+    "project_process",
+    "reachable_states",
+    "relabel_states",
+    "rename_actions",
+    "timed_trace_of",
+    "trace_of",
+]

@@ -1,0 +1,251 @@
+"""Probabilistic automata (Definition 2.1).
+
+Two concrete representations are provided:
+
+* :class:`ExplicitAutomaton` — states and steps stored in dictionaries.
+  Suitable for small hand-built models, the patient construction, and
+  exhaustive reachability analysis.
+* :class:`FunctionalAutomaton` — the transition relation given as a
+  Python function from state to enabled transitions, computed on demand.
+  The Lehmann-Rabin model uses this representation because its timed
+  state space is unbounded.
+
+Both share the abstract interface :class:`ProbabilisticAutomaton`, which
+is all the rest of the library depends on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from repro.automaton.signature import Action, ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+from repro.probability.space import FiniteDistribution
+
+State = TypeVar("State", bound=Hashable)
+
+
+class ProbabilisticAutomaton(Generic[State], abc.ABC):
+    """The abstract interface of Definition 2.1.
+
+    A probabilistic automaton consists of a state set (possibly
+    enumerable only lazily), a nonempty set of start states, an action
+    signature, and a transition relation mapping each state to the steps
+    enabled there.
+    """
+
+    @property
+    @abc.abstractmethod
+    def start_states(self) -> Tuple[State, ...]:
+        """``start(M)``: the nonempty tuple of start states."""
+
+    @property
+    @abc.abstractmethod
+    def signature(self) -> ActionSignature:
+        """``sig(M)``: the action signature."""
+
+    @abc.abstractmethod
+    def transitions(self, state: State) -> Tuple[Transition[State], ...]:
+        """The steps of ``steps(M)`` whose source is ``state``.
+
+        The returned tuple order is deterministic so that adversaries
+        that select "the k-th enabled step" are well defined.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived queries
+    # ------------------------------------------------------------------
+
+    def is_enabled(self, state: State, action: Action) -> bool:
+        """True when some step labelled ``action`` is enabled in ``state``."""
+        return any(t.action == action for t in self.transitions(state))
+
+    def enabled_actions(self, state: State) -> Tuple[Action, ...]:
+        """The distinct actions enabled in ``state``, in transition order."""
+        seen: List[Action] = []
+        for transition in self.transitions(state):
+            if transition.action not in seen:
+                seen.append(transition.action)
+        return tuple(seen)
+
+    def transitions_for(
+        self, state: State, action: Action
+    ) -> Tuple[Transition[State], ...]:
+        """The steps enabled in ``state`` with the given label."""
+        return tuple(t for t in self.transitions(state) if t.action == action)
+
+    def is_fully_probabilistic(self, horizon: int = 10_000) -> bool:
+        """Check Definition 2.1's *fully probabilistic* condition.
+
+        An automaton is fully probabilistic when it has a unique start
+        state and at most one step enabled from each state.  The check
+        explores states reachable within ``horizon`` expansions; on an
+        explicit automaton that covers everything, while on a functional
+        automaton it is a bounded best effort (an unbounded state space
+        cannot be checked exhaustively).
+        """
+        if len(self.start_states) != 1:
+            return False
+        frontier: List[State] = [self.start_states[0]]
+        visited: Set[State] = set(frontier)
+        expansions = 0
+        while frontier and expansions < horizon:
+            state = frontier.pop()
+            expansions += 1
+            steps = self.transitions(state)
+            if len(steps) > 1:
+                return False
+            for step in steps:
+                for target in step.target.support:
+                    if target not in visited:
+                        visited.add(target)
+                        frontier.append(target)
+        return True
+
+    def validate_state(self, state: State) -> None:
+        """Hook for representation-specific sanity checks (no-op here)."""
+
+
+class ExplicitAutomaton(ProbabilisticAutomaton[State]):
+    """A probabilistic automaton with explicitly enumerated components."""
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        start_states: Iterable[State],
+        signature: ActionSignature,
+        steps: Iterable[Transition[State]],
+    ):
+        self._states: Tuple[State, ...] = tuple(dict.fromkeys(states))
+        state_set = set(self._states)
+        if not state_set:
+            raise AutomatonError("an automaton needs at least one state")
+
+        starts = tuple(dict.fromkeys(start_states))
+        if not starts:
+            raise AutomatonError("start(M) must be nonempty (Definition 2.1)")
+        stray_starts = [s for s in starts if s not in state_set]
+        if stray_starts:
+            raise AutomatonError(f"start states outside states(M): {stray_starts!r}")
+        self._start_states = starts
+        self._signature = signature
+
+        by_source: Dict[State, List[Transition[State]]] = {}
+        for step in steps:
+            if step.source not in state_set:
+                raise AutomatonError(
+                    f"step source {step.source!r} is not a state of the automaton"
+                )
+            if step.action not in signature:
+                raise AutomatonError(
+                    f"step action {step.action!r} is not in the action signature"
+                )
+            stray_targets = [t for t in step.target.support if t not in state_set]
+            if stray_targets:
+                raise AutomatonError(
+                    f"step target support leaves states(M): {stray_targets!r}"
+                )
+            by_source.setdefault(step.source, []).append(step)
+        self._steps_by_source: Dict[State, Tuple[Transition[State], ...]] = {
+            source: tuple(enabled) for source, enabled in by_source.items()
+        }
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        """``states(M)`` in insertion order."""
+        return self._states
+
+    @property
+    def start_states(self) -> Tuple[State, ...]:
+        return self._start_states
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    @property
+    def steps(self) -> Tuple[Transition[State], ...]:
+        """All steps of the automaton, grouped by source state."""
+        return tuple(
+            step
+            for source in self._states
+            for step in self._steps_by_source.get(source, ())
+        )
+
+    def transitions(self, state: State) -> Tuple[Transition[State], ...]:
+        if state not in self._steps_by_source and state not in set(self._states):
+            raise AutomatonError(f"{state!r} is not a state of this automaton")
+        return self._steps_by_source.get(state, ())
+
+    def validate_state(self, state: State) -> None:
+        if state not in set(self._states):
+            raise AutomatonError(f"{state!r} is not a state of this automaton")
+
+
+class FunctionalAutomaton(ProbabilisticAutomaton[State]):
+    """A probabilistic automaton whose steps are computed on demand.
+
+    ``transition_fn`` maps a state to the sequence of transitions enabled
+    there; results are memoised because adversaries and verifiers query
+    the same states repeatedly.
+    """
+
+    def __init__(
+        self,
+        start_states: Iterable[State],
+        signature: ActionSignature,
+        transition_fn: Callable[[State], Sequence[Transition[State]]],
+        state_validator: Optional[Callable[[State], None]] = None,
+    ):
+        starts = tuple(dict.fromkeys(start_states))
+        if not starts:
+            raise AutomatonError("start(M) must be nonempty (Definition 2.1)")
+        self._start_states = starts
+        self._signature = signature
+        self._transition_fn = transition_fn
+        self._state_validator = state_validator
+        self._cache: Dict[State, Tuple[Transition[State], ...]] = {}
+
+    @property
+    def start_states(self) -> Tuple[State, ...]:
+        return self._start_states
+
+    @property
+    def signature(self) -> ActionSignature:
+        return self._signature
+
+    def transitions(self, state: State) -> Tuple[Transition[State], ...]:
+        cached = self._cache.get(state)
+        if cached is not None:
+            return cached
+        computed = tuple(self._transition_fn(state))
+        for step in computed:
+            if step.source != state:
+                raise AutomatonError(
+                    f"transition function returned a step from {step.source!r} "
+                    f"when queried at {state!r}"
+                )
+            if step.action not in self._signature:
+                raise AutomatonError(
+                    f"step action {step.action!r} is not in the action signature"
+                )
+        self._cache[state] = computed
+        return computed
+
+    def validate_state(self, state: State) -> None:
+        if self._state_validator is not None:
+            self._state_validator(state)

@@ -1,0 +1,141 @@
+"""Parallel composition and renaming of probabilistic automata.
+
+The paper's framework is based on models with a CSP-style parallel
+composition (the Segala-Lynch simple probabilistic automata); the
+composition below follows that definition.  Components synchronise on
+shared external actions (the joint target is the product measure, so
+the two probabilistic choices are independent) and interleave on all
+other actions.
+
+Composition is provided for :class:`ExplicitAutomaton`; the large
+case-study models build their global automaton directly for efficiency,
+but composition is exercised by tests and available to library users
+building systems from small components (e.g. process || user).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple, TypeVar
+
+from repro.automaton.automaton import ExplicitAutomaton
+from repro.automaton.signature import Action, ActionSignature
+from repro.automaton.transition import Transition
+from repro.probability.space import FiniteDistribution
+
+S = TypeVar("S", bound=Hashable)
+T = TypeVar("T", bound=Hashable)
+
+
+def parallel_compose(
+    left: ExplicitAutomaton[S], right: ExplicitAutomaton[T]
+) -> ExplicitAutomaton[Tuple[S, T]]:
+    """The parallel composition ``left || right``.
+
+    States are pairs.  A shared external action requires both
+    components to step (their targets combine as an independent
+    product); a private action steps one component and leaves the other
+    in place.  The signatures must be compatible: internal actions may
+    not be shared (checked by :meth:`ActionSignature.merge`).
+    """
+    signature = left.signature.merge(right.signature)
+    shared = left.signature.actions & right.signature.actions
+
+    states: List[Tuple[S, T]] = [
+        (ls, rs) for ls in left.states for rs in right.states
+    ]
+    starts: List[Tuple[S, T]] = [
+        (ls, rs) for ls in left.start_states for rs in right.start_states
+    ]
+
+    steps: List[Transition[Tuple[S, T]]] = []
+    for ls, rs in states:
+        left_steps = left.transitions(ls)
+        right_steps = right.transitions(rs)
+        for lt in left_steps:
+            if lt.action in shared:
+                for rt in right_steps:
+                    if rt.action == lt.action:
+                        joint = lt.target.product(rt.target)
+                        steps.append(
+                            Transition((ls, rs), lt.action, joint)
+                        )
+            else:
+                fixed_rs = rs
+                steps.append(
+                    Transition(
+                        (ls, rs),
+                        lt.action,
+                        lt.target.map(lambda s, r=fixed_rs: (s, r)),
+                    )
+                )
+        for rt in right_steps:
+            if rt.action in shared:
+                continue  # handled (or blocked) above via the left component
+            fixed_ls = ls
+            steps.append(
+                Transition(
+                    (ls, rs),
+                    rt.action,
+                    rt.target.map(lambda s, l=fixed_ls: (l, s)),
+                )
+            )
+
+    return ExplicitAutomaton(
+        states=states, start_states=starts, signature=signature, steps=steps
+    )
+
+
+def rename_actions(
+    automaton: ExplicitAutomaton[S], mapping: Dict[Action, Action]
+) -> ExplicitAutomaton[S]:
+    """Rename actions via ``mapping`` (identity where unmapped).
+
+    Useful for instantiating a generic process automaton at index ``i``
+    (``flip -> flip_i`` and so on) before composing a ring.
+    """
+    def rename(action: Action) -> Action:
+        return mapping.get(action, action)
+
+    signature = ActionSignature(
+        external=frozenset(rename(a) for a in automaton.signature.external),
+        internal=frozenset(rename(a) for a in automaton.signature.internal),
+    )
+    steps = [
+        Transition(step.source, rename(step.action), step.target)
+        for step in automaton.steps
+    ]
+    return ExplicitAutomaton(
+        states=automaton.states,
+        start_states=automaton.start_states,
+        signature=signature,
+        steps=steps,
+    )
+
+
+def relabel_states(
+    automaton: ExplicitAutomaton[S], label: "callable"
+) -> ExplicitAutomaton:
+    """Apply an injective relabelling to every state.
+
+    The relabelling must be injective on ``states(M)``; collisions would
+    silently merge states, so they are rejected.
+    """
+    relabelled = [label(s) for s in automaton.states]
+    if len(set(relabelled)) != len(relabelled):
+        from repro.errors import AutomatonError
+
+        raise AutomatonError("state relabelling is not injective")
+    steps = [
+        Transition(
+            label(step.source),
+            step.action,
+            step.target.map(label),
+        )
+        for step in automaton.steps
+    ]
+    return ExplicitAutomaton(
+        states=relabelled,
+        start_states=[label(s) for s in automaton.start_states],
+        signature=automaton.signature,
+        steps=steps,
+    )

@@ -1,0 +1,116 @@
+"""The patient construction (Section 2).
+
+"The idea is to add a time component to the states of a probabilistic
+automaton, to assume that the time at a start state is 0, to add a
+special non-visible action nu modeling the passage of time, and to add
+arbitrary time passage steps to each state.  A time passage step should
+be non-probabilistic and should change only the time component of a
+state."
+
+The paper allows time-passage steps of *every* positive amount; an
+executable model must restrict to an enumerable menu of increments.
+:func:`patient` therefore takes the increments as a parameter — the
+choice among them remains with the adversary, which is where the paper
+puts it too.  Adversary schemas like Unit-Time further constrain how
+much time an adversary may let pass; that logic lives in
+:mod:`repro.adversary.unit_time`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Generic, Hashable, Iterable, List, Tuple, TypeVar
+
+from repro.automaton.automaton import (
+    ExplicitAutomaton,
+    FunctionalAutomaton,
+    ProbabilisticAutomaton,
+)
+from repro.automaton.signature import TIME_PASSAGE, ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+from repro.probability.space import FiniteDistribution, as_fraction
+
+State = TypeVar("State", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class TimedState(Generic[State]):
+    """A state of the patient automaton: a base state plus current time."""
+
+    base: State
+    now: Fraction
+
+    def advanced(self, amount: Fraction) -> "TimedState[State]":
+        """The state after ``amount`` time units pass (base unchanged)."""
+        return TimedState(self.base, self.now + amount)
+
+
+def patient(
+    automaton: ProbabilisticAutomaton[State],
+    increments: Iterable = (Fraction(1, 2), Fraction(1)),
+) -> FunctionalAutomaton[TimedState[State]]:
+    """The patient (timed) version of ``automaton``.
+
+    Every discrete step of ``automaton`` is lifted to leave time
+    unchanged; in addition, from every state a time-passage step labelled
+    :data:`TIME_PASSAGE` is enabled for each allowed increment.  Start
+    states carry time 0.  The result is a probabilistic *timed* automaton
+    in the paper's sense.
+    """
+    increment_menu: Tuple[Fraction, ...] = tuple(
+        as_fraction(i) for i in increments
+    )
+    if not increment_menu:
+        raise AutomatonError("the patient construction needs at least one increment")
+    if any(i <= 0 for i in increment_menu):
+        raise AutomatonError("time-passage increments must be positive")
+
+    base_signature = automaton.signature
+    if TIME_PASSAGE in base_signature:
+        raise AutomatonError(
+            f"the base automaton already uses the reserved action {TIME_PASSAGE!r}"
+        )
+    signature = ActionSignature(
+        external=base_signature.external,
+        internal=base_signature.internal | {TIME_PASSAGE},
+    )
+
+    def lift(timed: TimedState[State]) -> List[Transition[TimedState[State]]]:
+        now = timed.now
+        steps: List[Transition[TimedState[State]]] = []
+        for transition in automaton.transitions(timed.base):
+            steps.append(
+                Transition(
+                    timed,
+                    transition.action,
+                    transition.target.map(lambda s, t=now: TimedState(s, t)),
+                )
+            )
+        for amount in increment_menu:
+            steps.append(
+                Transition(
+                    timed,
+                    TIME_PASSAGE,
+                    FiniteDistribution.dirac(timed.advanced(amount)),
+                )
+            )
+        return steps
+
+    starts = tuple(TimedState(s, Fraction(0)) for s in automaton.start_states)
+    return FunctionalAutomaton(
+        start_states=starts, signature=signature, transition_fn=lift
+    )
+
+
+def elapsed_time(actions: Iterable, state_times: Iterable[Fraction]) -> Fraction:
+    """Total time elapsed along a timed execution's state sequence.
+
+    For patient automata the time component is monotone, so the elapsed
+    time is the difference between the final and initial clocks.
+    """
+    times = list(state_times)
+    if not times:
+        raise AutomatonError("no states supplied")
+    return times[-1] - times[0]

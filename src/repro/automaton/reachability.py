@@ -1,0 +1,149 @@
+"""Reachability analysis and invariant checking.
+
+The paper defines ``rstates(M)`` as the states reachable by some finite
+execution, and proves Lemma 6.1 as "a standard proof of invariants".
+This module supplies both pieces: breadth-first enumeration of reachable
+states (for explicit or boundedly explorable automata) and an inductive
+invariant checker that verifies a predicate holds at start states and is
+preserved by every step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import VerificationError
+
+State = TypeVar("State", bound=Hashable)
+
+
+def reachable_states(
+    automaton: ProbabilisticAutomaton[State],
+    max_states: Optional[int] = None,
+) -> Set[State]:
+    """``rstates(M)`` by breadth-first search from the start states.
+
+    ``max_states`` bounds exploration for automata with large or
+    unbounded state spaces; exceeding the bound raises
+    :class:`VerificationError` rather than silently truncating, because
+    a truncated reachable set would make downstream invariant checks
+    unsound.
+    """
+    visited: Set[State] = set(automaton.start_states)
+    frontier: Deque[State] = deque(automaton.start_states)
+    while frontier:
+        state = frontier.popleft()
+        for transition in automaton.transitions(state):
+            for target in transition.target.support:
+                if target not in visited:
+                    visited.add(target)
+                    if max_states is not None and len(visited) > max_states:
+                        raise VerificationError(
+                            f"reachable-state exploration exceeded {max_states} states"
+                        )
+                    frontier.append(target)
+    return visited
+
+
+@dataclass(frozen=True)
+class InvariantViolation(Generic[State]):
+    """A witness that an invariant fails: where, and how we got there."""
+
+    state: State
+    witness: ExecutionFragment[State]
+
+    def __str__(self) -> str:
+        return f"invariant violated at {self.state!r} via {self.witness!r}"
+
+
+def check_invariant(
+    automaton: ProbabilisticAutomaton[State],
+    invariant: Callable[[State], bool],
+    max_states: Optional[int] = None,
+) -> Optional[InvariantViolation[State]]:
+    """Exhaustively check ``invariant`` over all reachable states.
+
+    Returns ``None`` when the invariant holds everywhere reachable, or
+    an :class:`InvariantViolation` carrying a shortest witness execution
+    otherwise.  This is the "standard proof of invariants" the paper
+    appeals to for Lemma 6.1, mechanised.
+    """
+    parents: Dict[State, Optional[Tuple[State, object]]] = {
+        s: None for s in automaton.start_states
+    }
+    frontier: Deque[State] = deque(automaton.start_states)
+    for start in automaton.start_states:
+        if not invariant(start):
+            return InvariantViolation(start, ExecutionFragment.initial(start))
+    while frontier:
+        state = frontier.popleft()
+        for transition in automaton.transitions(state):
+            for target in transition.target.support:
+                if target in parents:
+                    continue
+                parents[target] = (state, transition.action)
+                if max_states is not None and len(parents) > max_states:
+                    raise VerificationError(
+                        f"invariant exploration exceeded {max_states} states"
+                    )
+                if not invariant(target):
+                    return InvariantViolation(target, _trace_back(parents, target))
+                frontier.append(target)
+    return None
+
+
+def check_inductive_invariant(
+    automaton: ProbabilisticAutomaton[State],
+    invariant: Callable[[State], bool],
+    states: Set[State],
+) -> List[Tuple[State, object, State]]:
+    """Check that ``invariant`` is *inductive* over the given state set.
+
+    Returns the list of violating steps ``(source, action, target)``:
+    steps from an invariant-satisfying source to an invariant-violating
+    target.  An empty list plus the invariant holding at start states
+    constitutes an inductive proof in the classical sense — stronger
+    evidence than reachable-state checking because it does not depend on
+    reachability being computed correctly.
+    """
+    violations: List[Tuple[State, object, State]] = []
+    for state in states:
+        if not invariant(state):
+            continue
+        for transition in automaton.transitions(state):
+            for target in transition.target.support:
+                if not invariant(target):
+                    violations.append((state, transition.action, target))
+    return violations
+
+
+def _trace_back(
+    parents: Dict[State, Optional[Tuple[State, object]]], state: State
+) -> ExecutionFragment[State]:
+    """Rebuild the BFS witness execution ending in ``state``."""
+    states: List[State] = [state]
+    actions: List[object] = []
+    current = state
+    while parents[current] is not None:
+        parent, action = parents[current]  # type: ignore[misc]
+        states.append(parent)
+        actions.append(action)
+        current = parent
+    states.reverse()
+    actions.reverse()
+    return ExecutionFragment(states, actions)

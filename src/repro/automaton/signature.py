@@ -1,0 +1,90 @@
+"""Action signatures (Definition 2.1, third component).
+
+An action signature partitions the actions of an automaton into
+*external* actions, visible to the environment (``try_i``, ``crit_i``,
+``exit_i``, ``rem_i`` in the Lehmann-Rabin automaton), and *internal*
+actions (everything else, e.g. ``flip_i``).  The special time-passage
+action :data:`TIME_PASSAGE` introduced by the patient construction is
+internal ("a special non-visible action nu modeling the passage of
+time", Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable
+
+from repro.errors import AutomatonError
+
+Action = Hashable
+
+#: The paper's special non-visible time-passage action (written ``nu``).
+TIME_PASSAGE: str = "nu"
+
+
+@dataclass(frozen=True)
+class ActionSignature:
+    """The pair ``sig(M) = (ext(M), int(M))`` of disjoint action sets."""
+
+    external: FrozenSet[Action] = field(default_factory=frozenset)
+    internal: FrozenSet[Action] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "external", frozenset(self.external))
+        object.__setattr__(self, "internal", frozenset(self.internal))
+        overlap = self.external & self.internal
+        if overlap:
+            raise AutomatonError(
+                f"external and internal action sets overlap: {sorted(map(repr, overlap))}"
+            )
+
+    @property
+    def actions(self) -> FrozenSet[Action]:
+        """``acts(M)``: all actions of the signature."""
+        return self.external | self.internal
+
+    def is_external(self, action: Action) -> bool:
+        """True when ``action`` is visible to the environment."""
+        return action in self.external
+
+    def is_internal(self, action: Action) -> bool:
+        """True when ``action`` is hidden from the environment."""
+        return action in self.internal
+
+    def __contains__(self, action: Action) -> bool:
+        return action in self.external or action in self.internal
+
+    def hide(self, actions: Iterable[Action]) -> "ActionSignature":
+        """Reclassify the given external actions as internal.
+
+        The standard hiding operator of I/O-automata theory; useful when
+        composing an automaton with a user/environment automaton whose
+        interface actions should no longer be observable.
+        """
+        to_hide = frozenset(actions)
+        missing = to_hide - self.external
+        if missing:
+            raise AutomatonError(
+                f"cannot hide non-external actions: {sorted(map(repr, missing))}"
+            )
+        return ActionSignature(
+            external=self.external - to_hide,
+            internal=self.internal | to_hide,
+        )
+
+    def merge(self, other: "ActionSignature") -> "ActionSignature":
+        """The signature of a parallel composition.
+
+        Internal actions must be private to one component (the standard
+        compatibility requirement); shared external actions synchronise.
+        """
+        clash = (self.internal & other.actions) | (other.internal & self.actions)
+        if clash:
+            raise AutomatonError(
+                "incompatible signatures: internal actions shared with the "
+                f"other component: {sorted(map(repr, clash))}"
+            )
+        return ActionSignature(
+            external=self.external | other.external,
+            internal=self.internal | other.internal,
+        )

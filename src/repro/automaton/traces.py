@@ -1,0 +1,120 @@
+"""External behaviour: traces of execution fragments.
+
+The model distinguishes external from internal actions (Definition 2.1)
+precisely so that systems can be compared by their visible behaviour.
+For Lehmann-Rabin the externals are the user-interface actions
+``try_i``/``crit_i``/``exit_i``/``rem_i``; a trace records, e.g., the
+order in which processes announce their critical sections — which is
+what a user of the mutual-exclusion service can observe.
+
+This module extracts traces (optionally timestamped) and provides the
+small utilities the tests and analysis code need: projection onto a
+process, counting occurrences, and well-formedness checks of the
+mutual-exclusion interface (``try`` before ``crit`` before ``exit``
+before ``rem``, cyclically, per process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import Action, ActionSignature
+
+State = TypeVar("State", bound=Hashable)
+
+
+def trace_of(
+    fragment: ExecutionFragment[State], signature: ActionSignature
+) -> Tuple[Action, ...]:
+    """The trace: the fragment's external actions, in order."""
+    return tuple(
+        action for action in fragment.actions if signature.is_external(action)
+    )
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """One external action with the time at which it occurred."""
+
+    action: Action
+    time: Fraction
+
+
+def timed_trace_of(
+    fragment: ExecutionFragment[State],
+    signature: ActionSignature,
+    time_of: Callable[[State], Fraction],
+) -> Tuple[TimedEvent, ...]:
+    """The trace with per-event timestamps (time of the source state)."""
+    events: List[TimedEvent] = []
+    for source, action, _ in fragment.steps():
+        if signature.is_external(action):
+            events.append(TimedEvent(action=action, time=time_of(source)))
+    return tuple(events)
+
+
+def project_process(
+    trace: Sequence[Action], process: Hashable
+) -> Tuple[Action, ...]:
+    """The subsequence of a trace belonging to one process.
+
+    Assumes the ``(kind, index)`` action convention used by all the
+    case studies in this library.
+    """
+    return tuple(
+        action
+        for action in trace
+        if isinstance(action, tuple) and len(action) == 2
+        and action[1] == process
+    )
+
+
+def count_kind(trace: Sequence[Action], kind: str) -> int:
+    """How many trace actions have the given kind."""
+    return sum(
+        1
+        for action in trace
+        if isinstance(action, tuple) and len(action) == 2
+        and action[0] == kind
+    )
+
+
+#: The cyclic user-interface protocol of the mutual-exclusion service.
+_MUTEX_CYCLE = ("try", "crit", "exit", "rem")
+
+
+def mutex_interface_well_formed(trace: Sequence[Action]) -> bool:
+    """Does the trace respect the try/crit/exit/rem cycle per process?
+
+    Every process's projection must be a prefix of
+    ``try crit exit rem try crit ...``.  This is the *external*
+    correctness condition of the Dining Philosophers interface — an
+    observation-level complement to the state-level invariants of
+    Lemma 6.1.
+    """
+    positions: dict = {}
+    for action in trace:
+        if not (isinstance(action, tuple) and len(action) == 2):
+            return False
+        kind, process = action
+        if kind not in _MUTEX_CYCLE:
+            continue
+        expected = _MUTEX_CYCLE[positions.get(process, 0) % 4]
+        if kind != expected:
+            return False
+        positions[process] = positions.get(process, 0) + 1
+    return True
+
+
+def first_occurrence_time(
+    timed_trace: Sequence[TimedEvent], kind: str
+) -> Optional[Fraction]:
+    """The time of the first event of the given kind, if any."""
+    for event in timed_trace:
+        action = event.action
+        if isinstance(action, tuple) and len(action) == 2 and action[0] == kind:
+            return event.time
+    return None

@@ -1,0 +1,84 @@
+"""Transitions (the elements of ``steps(M)``).
+
+Definition 2.1 makes ``steps(M)`` a subset of
+``states(M) x acts(M) x Probs(states(M))``.  A :class:`Transition`
+packages one such triple: a source state, an action label, and a finite
+probability space over target states.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Optional, TypeVar
+
+from repro.automaton.signature import Action
+from repro.probability.space import FiniteDistribution
+
+State = TypeVar("State", bound=Hashable)
+
+
+class Transition(Generic[State]):
+    """One element ``(source, action, (Omega, 2^Omega, P))`` of ``steps(M)``.
+
+    Immutable and hashable, so transitions can serve as adversary
+    outputs, dictionary keys in the execution automaton, and members of
+    explicit step sets.
+    """
+
+    __slots__ = ("_source", "_action", "_target", "_hash")
+
+    def __init__(
+        self,
+        source: State,
+        action: Action,
+        target: FiniteDistribution,
+    ):
+        self._source = source
+        self._action = action
+        self._target = target
+        self._hash: Optional[int] = None
+
+    @property
+    def source(self) -> State:
+        """The state from which this step is enabled."""
+        return self._source
+
+    @property
+    def action(self) -> Action:
+        """The label of this step."""
+        return self._action
+
+    @property
+    def target(self) -> FiniteDistribution:
+        """The probability space over next states."""
+        return self._target
+
+    def is_deterministic(self) -> bool:
+        """True when the step has a unique outcome (Dirac target)."""
+        return self._target.is_dirac()
+
+    @classmethod
+    def deterministic(
+        cls, source: State, action: Action, target_state: State
+    ) -> "Transition[State]":
+        """A non-probabilistic step ``source --action--> target_state``."""
+        return cls(source, action, FiniteDistribution.dirac(target_state))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transition):
+            return NotImplemented
+        return (
+            self._source == other._source
+            and self._action == other._action
+            and self._target == other._target
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._source, self._action, self._target))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Transition(source={self._source!r}, action={self._action!r}, "
+            f"target={self._target!r})"
+        )

@@ -1,0 +1,459 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Each subcommand regenerates one slice of the reproduction and prints a
+plain-text report:
+
+* ``prove``          — the Section 6.2 ledger derivation and bounds;
+* ``verify``         — Monte-Carlo checks of the leaf and composed
+  statements under the hostile adversary family;
+* ``exact``          — exact worst-case minima over the
+  round-synchronous Unit-Time subclass;
+* ``appendix``       — the appendix lemmas, exactly;
+* ``expected-time``  — measured time-to-critical vs the bound 63;
+* ``sweep``          — ring-size and deadline ablations;
+* ``election``       — the leader-election case study;
+* ``benor``          — the Ben-Or consensus case study;
+* ``independence``   — Example 4.1 / Proposition 4.2, exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.reporting import banner
+
+    chain = lr.lehmann_rabin_proof()
+    print(banner("Section 6.2: the composed time bound"))
+    print(chain.ledger.explain(chain.final_id))
+    print(f"\nexpected-time recursion E[V] = "
+          f"{lr.section_6_2_recursion().solve()}")
+    print(f"overall expected-time bound   = {lr.expected_time_bound()}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.montecarlo import (
+        LRExperimentSetup,
+        check_all_leaves,
+        check_lr_statement,
+    )
+    from repro.analysis.reporting import banner, format_table
+
+    setup = LRExperimentSetup.build(args.n)
+    print(banner(f"Monte-Carlo verification, ring size {args.n}"))
+    reports = check_all_leaves(
+        setup, seed=args.seed, samples_per_pair=args.samples
+    )
+    rows = []
+    failures = 0
+    for name, report in sorted(reports.items()):
+        verdict = "REFUTED" if report.refuted else "ok"
+        failures += report.refuted
+        rows.append(
+            (
+                f"Prop {name}",
+                repr(report.statement),
+                f"{report.min_estimate:.3f}",
+                verdict,
+            )
+        )
+    chain = lr.lehmann_rabin_proof()
+    final = check_lr_statement(
+        chain.final_statement, setup, seed=args.seed,
+        samples_per_pair=args.samples,
+    )
+    failures += final.refuted
+    rows.append(
+        (
+            "composed",
+            repr(final.statement),
+            f"{final.min_estimate:.3f}",
+            "REFUTED" if final.refuted else "ok",
+        )
+    )
+    print(format_table(("claim", "statement", "worst estimate", "verdict"),
+                       rows))
+    return 1 if failures else 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    from fractions import Fraction
+
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.reporting import banner, format_table
+    from repro.mdp.bounded import min_reach_probability_rounds
+
+    def strip(state):
+        return state.untimed()
+
+    automaton = lr.lehmann_rabin_automaton(args.n)
+    view = lr.LRProcessView(args.n)
+    rng = random.Random(args.seed)
+    cases = [
+        ("A.1", lr.P_CLASS, lr.in_critical, 1, Fraction(1)),
+        (
+            "A.3", lr.T_CLASS,
+            lambda s: lr.in_reduced_trying(s) or lr.in_critical(s),
+            2, Fraction(1),
+        ),
+        (
+            "A.15", lr.RT_CLASS,
+            lambda s: lr.in_flip_ready(s) or lr.in_good(s)
+            or lr.in_pre_critical(s),
+            3, Fraction(1),
+        ),
+        (
+            "A.14", lr.F_CLASS,
+            lambda s: lr.in_good(s) or lr.in_pre_critical(s),
+            2, Fraction(1, 2),
+        ),
+        ("A.11", lr.G_CLASS, lr.in_pre_critical, 5, Fraction(1, 4)),
+    ]
+    print(banner(f"Exact round-synchronous minima, ring size {args.n}"))
+    rows = []
+    failures = 0
+    for name, region, target, rounds, bound in cases:
+        starts = lr.sample_states_in(region, args.n, args.states, rng)
+        worst = min(
+            min_reach_probability_rounds(
+                automaton, view, target, start, rounds, strip
+            )
+            for start in starts
+        )
+        holds = worst >= bound
+        failures += not holds
+        rows.append((name, rounds, str(bound), str(worst),
+                     "ok" if holds else "FAILS"))
+    print(format_table(
+        ("proposition", "rounds", "paper bound", "exact worst min",
+         "verdict"),
+        rows,
+    ))
+    return 1 if failures else 0
+
+
+def _cmd_appendix(args: argparse.Namespace) -> int:
+    from repro.algorithms.lehmann_rabin import appendix as ap
+    from repro.analysis.reporting import banner, format_table
+
+    print(banner(f"Appendix lemmas, exactly, ring size {args.n}"))
+    rows = []
+    failures = 0
+    for lemma in ap.conditional_lemmas(args.n):
+        result = ap.check_conditional_lemma(lemma, args.n)
+        failures += not result.holds
+        rows.append(
+            (
+                result.name,
+                result.states_checked,
+                f"t={lemma.time_bound}",
+                str(result.worst_value),
+                "ok" if result.holds else "FAILS",
+            )
+        )
+    for lemma in ap.probabilistic_lemmas(args.n):
+        result = ap.check_probabilistic_lemma(lemma, args.n)
+        failures += not result.holds
+        rows.append(
+            (
+                result.name,
+                result.states_checked,
+                f"t={lemma.time_bound}, p>={lemma.probability}",
+                str(result.worst_value),
+                "ok" if result.holds else "FAILS",
+            )
+        )
+    print(format_table(
+        ("lemma", "states", "claim", "exact worst value", "verdict"), rows
+    ))
+    return 1 if failures else 0
+
+
+def _cmd_expected_time(args: argparse.Namespace) -> int:
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.montecarlo import (
+        LRExperimentSetup,
+        measure_lr_expected_time,
+    )
+    from repro.analysis.reporting import banner, format_table
+
+    setup = LRExperimentSetup.build(args.n)
+    print(banner(f"Time to the critical region, ring size {args.n} "
+                 f"(bound: {lr.expected_time_bound()})"))
+    reports = measure_lr_expected_time(
+        setup, seed=args.seed, samples=args.samples
+    )
+    rows = []
+    failures = 0
+    for name, report in sorted(reports.items()):
+        ok = report.unreached == 0 and report.mean <= 63.0
+        failures += not ok
+        rows.append(
+            (
+                name,
+                f"{report.mean:.2f}" if report.times else "n/a",
+                str(report.maximum) if report.times else "n/a",
+                report.unreached,
+                "ok" if ok else "FAILS",
+            )
+        )
+    print(format_table(
+        ("adversary", "mean", "max", "unreached", "verdict"), rows
+    ))
+    return 1 if failures else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import horizon_sweep, ring_size_sweep
+    from repro.analysis.reporting import banner, format_table
+
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    print(banner("Ring-size sweep"))
+    rows = ring_size_sweep(
+        sizes=sizes, seed=args.seed, samples_per_pair=args.samples,
+        time_samples=args.samples,
+    )
+    print(format_table(
+        ("n", "min P[T -13-> C]", "claimed", "worst mean time"),
+        [
+            (r.n, f"{r.min_success_estimate:.3f}", f"{r.claimed:.3f}",
+             f"{r.mean_time_to_c:.2f}")
+            for r in rows
+        ],
+    ))
+    print()
+    print(banner("Deadline sweep (n = 3)"))
+    hrows = horizon_sweep(seed=args.seed, samples_per_pair=args.samples)
+    print(format_table(
+        ("deadline", "min P[T -t-> C]"),
+        [(r.time_bound, f"{r.min_success_estimate:.3f}") for r in hrows],
+    ))
+    return 0
+
+
+def _cmd_election(args: argparse.Namespace) -> int:
+    from repro.algorithms import election as el
+    from repro.analysis.reporting import banner
+
+    chain = el.election_proof(args.n)
+    print(banner(f"Leader election, {args.n} candidates"))
+    print(chain.ledger.explain(chain.final_id))
+    print(f"\nexpected-time bound: {el.election_expected_time_bound(args.n)}")
+    return 0
+
+
+def _cmd_benor(args: argparse.Namespace) -> int:
+    from repro.algorithms import benor as bo
+    from repro.analysis.reporting import banner
+
+    statement = bo.benor_progress_statement(args.n)
+    print(banner(f"Ben-Or consensus, {args.n} processes"))
+    print(f"progress statement: {statement!r}")
+    print(f"expected-time bound: {bo.benor_expected_time_bound(args.n)}")
+    return 0
+
+
+def _cmd_independence(args: argparse.Namespace) -> int:
+    from repro.algorithms.coins import (
+        FLIP_P,
+        FLIP_Q,
+        HEADS,
+        TAILS,
+        both_flip_adversary,
+        never_flip_q_adversary,
+        p_heads,
+        peek_adversary,
+        q_tails,
+        two_coin_automaton,
+    )
+    from repro.analysis.reporting import banner, format_table
+    from repro.automaton.execution import ExecutionFragment
+    from repro.events.independence import proposition_4_2_claims
+    from repro.execution.automaton import ExecutionAutomaton
+    from repro.execution.measure import exact_event_probability
+
+    automaton = two_coin_automaton()
+    first_claim, next_claim = proposition_4_2_claims(
+        automaton,
+        [(FLIP_P, p_heads), (FLIP_Q, q_tails)],
+        automaton.states,
+    )
+    start = ExecutionFragment.initial((None, None))
+    print(banner("Example 4.1 / Proposition 4.2 (exact)"))
+    rows = []
+    failures = 0
+    for name, adversary in [
+        ("both-flip", both_flip_adversary()),
+        ("peek-q-on-H", peek_adversary(HEADS)),
+        ("peek-q-on-T", peek_adversary(TAILS)),
+        ("never-flip-q", never_flip_q_adversary()),
+    ]:
+        tree = ExecutionAutomaton(automaton, adversary, start)
+        conj = exact_event_probability(tree, first_claim.event, 4)
+        nxt = exact_event_probability(tree, next_claim.event, 4)
+        ok = conj >= first_claim.lower_bound and nxt >= next_claim.lower_bound
+        failures += not ok
+        rows.append((name, str(conj), str(nxt), "ok" if ok else "FAILS"))
+    print(format_table(
+        ("adversary", f"conjunction (>= {first_claim.lower_bound})",
+         f"next (>= {next_claim.lower_bound})", "verdict"),
+        rows,
+    ))
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Lynch/Saias/Segala, 'Proving Time Bounds "
+            "for Randomized Distributed Algorithms' (PODC 1994)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, samples_default=80):
+        p.add_argument("--n", type=int, default=3, help="ring size")
+        p.add_argument("--seed", type=int, default=0, help="RNG seed")
+        p.add_argument(
+            "--samples", type=int, default=samples_default,
+            help="Monte-Carlo samples per (adversary, start) pair",
+        )
+
+    sub.add_parser("prove", help="print the Section 6.2 derivation")\
+        .set_defaults(func=_cmd_prove)
+
+    p = sub.add_parser("verify", help="Monte-Carlo check of all statements")
+    common(p)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("exact", help="exact round-synchronous minima")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--states", type=int, default=6,
+                   help="sampled start states per region")
+    p.set_defaults(func=_cmd_exact)
+
+    p = sub.add_parser("appendix", help="check the appendix lemmas exactly")
+    p.add_argument("--n", type=int, default=3)
+    p.set_defaults(func=_cmd_appendix)
+
+    p = sub.add_parser("expected-time", help="measured time-to-critical")
+    common(p)
+    p.set_defaults(func=_cmd_expected_time)
+
+    p = sub.add_parser("sweep", help="ring-size and deadline ablations")
+    p.add_argument("--sizes", default="3,4,5")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--samples", type=int, default=40)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("election", help="the leader-election case study")
+    p.add_argument("--n", type=int, default=4)
+    p.set_defaults(func=_cmd_election)
+
+    p = sub.add_parser("benor", help="the Ben-Or consensus case study")
+    p.add_argument("--n", type=int, default=3)
+    p.set_defaults(func=_cmd_benor)
+
+    sub.add_parser(
+        "independence", help="Example 4.1 / Proposition 4.2, exactly"
+    ).set_defaults(func=_cmd_independence)
+
+    p = sub.add_parser(
+        "exhaustive",
+        help="leaf propositions over their entire regions (n = 3), "
+        "optionally the composed statement over all T states",
+    )
+    p.add_argument("--composed", action="store_true",
+                   help="also sweep T --13--> C over all 3896 T states "
+                        "(about 40 seconds)")
+    p.set_defaults(func=_cmd_exhaustive)
+
+    p = sub.add_parser(
+        "all", help="the fast exact suite: prove, exact, appendix, "
+        "independence",
+    )
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--states", type=int, default=5)
+    p.set_defaults(func=_cmd_all)
+
+    return parser
+
+
+def _cmd_exhaustive(args: argparse.Namespace) -> int:
+    from repro.algorithms.lehmann_rabin.exhaustive import (
+        LEAF_SPECS,
+        exhaustive_composed_check,
+        exhaustive_leaf_check,
+    )
+    from repro.analysis.reporting import banner, format_table
+
+    print(banner("Exhaustive verification over entire regions (n = 3)"))
+    rows = []
+    failures = 0
+    for name in sorted(LEAF_SPECS):
+        result = exhaustive_leaf_check(name, 3)
+        failures += not result.holds
+        rows.append(
+            (
+                result.name,
+                result.region,
+                result.states_checked,
+                str(result.bound),
+                str(result.exact_minimum),
+                "ok" if result.holds else "FAILS",
+            )
+        )
+    if args.composed:
+        result = exhaustive_composed_check(3, rounds=13)
+        failures += not result.holds
+        rows.append(
+            (
+                "composed",
+                result.region,
+                result.states_checked,
+                str(result.bound),
+                str(result.exact_minimum),
+                "ok" if result.holds else "FAILS",
+            )
+        )
+    print(format_table(
+        ("proposition", "region", "states", "paper bound",
+         "exhaustive min", "verdict"),
+        rows,
+    ))
+    return 1 if failures else 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    """Run the exact (non-sampling) commands back to back."""
+    failures = 0
+    failures += _cmd_prove(args)
+    print()
+    failures += _cmd_exact(args)
+    print()
+    failures += _cmd_appendix(args)
+    print()
+    failures += _cmd_independence(args)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

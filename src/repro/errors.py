@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProbabilityError(ReproError):
+    """Raised when a probability space or distribution is ill-formed.
+
+    Examples: weights that do not sum to one, negative weights, an empty
+    sample space, or conditioning on a null event.
+    """
+
+
+class AutomatonError(ReproError):
+    """Raised when a probabilistic automaton definition is inconsistent.
+
+    Examples: a start state that is not a state, a transition from an
+    unknown state, overlapping internal/external action sets, or a target
+    distribution whose support leaves the state set.
+    """
+
+
+class ExecutionError(ReproError):
+    """Raised when an execution fragment is ill-formed.
+
+    Examples: concatenating fragments whose endpoint states disagree, or
+    building a fragment whose steps do not exist in the automaton.
+    """
+
+
+class AdversaryError(ReproError):
+    """Raised when an adversary violates its contract.
+
+    Examples: returning a step that is not enabled in the fragment's last
+    state, or a Unit-Time adversary missing a scheduling deadline.
+    """
+
+
+class EventError(ReproError):
+    """Raised when an event schema is ill-formed.
+
+    Examples: a ``next`` schema built from non-distinct actions
+    (Section 4 requires ``a_i != a_j``), or evaluating an event against
+    an incompatible execution automaton.
+    """
+
+
+class ProofError(ReproError):
+    """Raised when a proof rule is applied to incompatible statements.
+
+    Examples: composing ``U --t1-->_p U'`` with ``V --t2-->_q U''`` when
+    ``U' != V`` (Theorem 3.4 requires the intermediate sets to match), or
+    composing statements proved against different adversary schemas.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when a verification run cannot produce a sound answer.
+
+    Examples: a sampling plan with zero samples, or an exact checker
+    asked to explore an unboundedly large state space.
+    """

@@ -1,0 +1,38 @@
+"""Event schemas (Definition 2.5) and the Section 4 independence rules."""
+
+from repro.events.combinators import Complement, Intersection, Union
+from repro.events.first import FirstOccurrence
+from repro.events.independence import (
+    IndependenceClaim,
+    action_outcome_lower_bound,
+    first_conjunction_claim,
+    next_claim,
+    proposition_4_2_claims,
+)
+from repro.events.next_first import NextFirstOccurrence
+from repro.events.reach import (
+    EventuallyReach,
+    ReachWithinSteps,
+    ReachWithinTime,
+    step_counting_time,
+)
+from repro.events.schema import EventSchema, EventStatus
+
+__all__ = [
+    "Complement",
+    "EventSchema",
+    "EventStatus",
+    "EventuallyReach",
+    "FirstOccurrence",
+    "IndependenceClaim",
+    "Intersection",
+    "NextFirstOccurrence",
+    "ReachWithinSteps",
+    "ReachWithinTime",
+    "Union",
+    "action_outcome_lower_bound",
+    "first_conjunction_claim",
+    "next_claim",
+    "proposition_4_2_claims",
+    "step_counting_time",
+]

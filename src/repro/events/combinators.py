@@ -1,0 +1,100 @@
+"""Boolean combinators over event schemas.
+
+Intersection is what Proposition 4.2(1) is about: the probability of
+``first(a1,U1) AND ... AND first(an,Un)`` is bounded below by the product
+``p1 ... pn`` under *every* adversary, despite the dependences an
+adversary can induce.  Union and complement round out the algebra; the
+three-valued classifier semantics compose pointwise with the usual
+Kleene rules.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, TypeVar
+
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import EventError
+from repro.events.schema import EventSchema, EventStatus
+
+State = TypeVar("State", bound=Hashable)
+
+
+class Intersection(EventSchema[State]):
+    """The conjunction of several event schemas."""
+
+    def __init__(self, parts: Sequence[EventSchema[State]]):
+        if not parts:
+            raise EventError("an intersection needs at least one event schema")
+        self._parts = tuple(parts)
+
+    @property
+    def parts(self) -> tuple:
+        """The conjuncts."""
+        return self._parts
+
+    def classify(self, fragment: ExecutionFragment[State]) -> EventStatus:
+        verdicts = [part.classify(fragment) for part in self._parts]
+        if any(v is EventStatus.REJECT for v in verdicts):
+            return EventStatus.REJECT
+        if all(v is EventStatus.ACCEPT for v in verdicts):
+            return EventStatus.ACCEPT
+        return EventStatus.UNDECIDED
+
+    def decide_maximal(self, fragment: ExecutionFragment[State]) -> bool:
+        return all(
+            part.holds_on(fragment, maximal=True) for part in self._parts
+        )
+
+    def __repr__(self) -> str:
+        return f"Intersection({list(self._parts)!r})"
+
+
+class Union(EventSchema[State]):
+    """The disjunction of several event schemas."""
+
+    def __init__(self, parts: Sequence[EventSchema[State]]):
+        if not parts:
+            raise EventError("a union needs at least one event schema")
+        self._parts = tuple(parts)
+
+    @property
+    def parts(self) -> tuple:
+        """The disjuncts."""
+        return self._parts
+
+    def classify(self, fragment: ExecutionFragment[State]) -> EventStatus:
+        verdicts = [part.classify(fragment) for part in self._parts]
+        if any(v is EventStatus.ACCEPT for v in verdicts):
+            return EventStatus.ACCEPT
+        if all(v is EventStatus.REJECT for v in verdicts):
+            return EventStatus.REJECT
+        return EventStatus.UNDECIDED
+
+    def decide_maximal(self, fragment: ExecutionFragment[State]) -> bool:
+        return any(
+            part.holds_on(fragment, maximal=True) for part in self._parts
+        )
+
+    def __repr__(self) -> str:
+        return f"Union({list(self._parts)!r})"
+
+
+class Complement(EventSchema[State]):
+    """The complement of an event schema."""
+
+    def __init__(self, inner: EventSchema[State]):
+        self._inner = inner
+
+    @property
+    def inner(self) -> EventSchema[State]:
+        """The complemented event."""
+        return self._inner
+
+    def classify(self, fragment: ExecutionFragment[State]) -> EventStatus:
+        return self._inner.classify(fragment).negate()
+
+    def decide_maximal(self, fragment: ExecutionFragment[State]) -> bool:
+        return not self._inner.holds_on(fragment, maximal=True)
+
+    def __repr__(self) -> str:
+        return f"Complement({self._inner!r})"

@@ -1,0 +1,54 @@
+"""The ``first(a, U)`` event schema (Section 4).
+
+``first(a, U)`` applied to an execution automaton ``H`` is the set of
+maximal executions in which either the action ``a`` never occurs, or it
+occurs and the state reached immediately after its *first* occurrence is
+in ``U``.  It expresses properties like "the i-th coin yields left"
+robustly against adversaries that may decide never to schedule the coin
+flip — the subtlety Example 4.1 turns on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, TypeVar, Union
+
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import Action
+from repro.events.schema import EventSchema, EventStatus
+
+State = TypeVar("State", bound=Hashable)
+
+StateSet = Union[FrozenSet[State], Callable[[State], bool]]
+
+
+class FirstOccurrence(EventSchema[State]):
+    """``first(a, U)``: the first ``a`` (if any) lands in ``U``."""
+
+    def __init__(self, action: Action, target: StateSet):
+        self._action = action
+        if callable(target):
+            self._target = target
+        else:
+            frozen = frozenset(target)
+            self._target = lambda state: state in frozen
+
+    @property
+    def action(self) -> Action:
+        """The action whose first occurrence is constrained."""
+        return self._action
+
+    def classify(self, fragment: ExecutionFragment[State]) -> EventStatus:
+        for _, action, after in fragment.steps():
+            if action == self._action:
+                if self._target(after):
+                    return EventStatus.ACCEPT
+                return EventStatus.REJECT
+        return EventStatus.UNDECIDED
+
+    def decide_maximal(self, fragment: ExecutionFragment[State]) -> bool:
+        # The action never occurred: by definition the execution is in
+        # the event.
+        return True
+
+    def __repr__(self) -> str:
+        return f"FirstOccurrence(action={self._action!r})"

@@ -1,0 +1,166 @@
+"""Proposition 4.2: partial independence bounds for ``first``/``next``.
+
+Given pairs ``(a_i, U_i)`` with pairwise-distinct actions and numbers
+``p_i`` such that *every* step of ``M`` labelled ``a_i`` gives ``U_i``
+probability at least ``p_i``, the proposition states, for every
+execution automaton ``H`` of ``M``:
+
+1. ``P_H[ first(a_1,U_1) AND ... AND first(a_n,U_n) ] >= p_1 ... p_n``
+2. ``P_H[ next((a_1,U_1),...,(a_n,U_n)) ] >= min(p_1,...,p_n)``
+
+This module computes the per-action bounds ``p_i`` from the automaton
+(:func:`action_outcome_lower_bound`) and packages the proposition's two
+conclusions as checkable claims (:class:`IndependenceClaim`), which the
+verification harness evaluates exactly on execution trees or
+statistically by sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import (
+    Callable,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.signature import Action
+from repro.errors import EventError
+from repro.events.combinators import Intersection
+from repro.events.first import FirstOccurrence
+from repro.events.next_first import NextFirstOccurrence
+from repro.events.schema import EventSchema
+
+State = TypeVar("State", bound=Hashable)
+
+StateSet = Union[FrozenSet[State], Callable[[State], bool]]
+
+
+def _as_predicate(states: StateSet) -> Callable[[State], bool]:
+    if callable(states):
+        return states
+    frozen = frozenset(states)
+    return lambda state: state in frozen
+
+
+def action_outcome_lower_bound(
+    automaton: ProbabilisticAutomaton[State],
+    action: Action,
+    target: StateSet,
+    states: Iterable[State],
+) -> Fraction:
+    """The largest ``p`` valid in Proposition 4.2 for ``(action, target)``.
+
+    Scans every step labelled ``action`` enabled at the given states and
+    returns the minimum probability the step's target assigns to the
+    target set.  For an explicit automaton pass all its states; for a
+    functional automaton pass the states of interest (e.g. the reachable
+    set of a bounded exploration).
+
+    Returns 1 when no step is labelled ``action`` (the proposition's
+    hypothesis is then vacuous), matching the convention that an
+    unscheduled coin imposes no constraint.
+    """
+    predicate = _as_predicate(target)
+    minimum = Fraction(1)
+    seen_any = False
+    for state in states:
+        for step in automaton.transitions(state):
+            if step.action != action:
+                continue
+            seen_any = True
+            mass = sum(
+                (weight for point, weight in step.target.items() if predicate(point)),
+                Fraction(0),
+            )
+            if mass < minimum:
+                minimum = mass
+    return minimum if seen_any else Fraction(1)
+
+
+@dataclass(frozen=True)
+class IndependenceClaim:
+    """One conclusion of Proposition 4.2, as a checkable object.
+
+    ``event`` is the compound event schema, ``lower_bound`` the
+    probability the proposition guarantees under every adversary.
+    ``kind`` records which clause produced it.
+    """
+
+    event: EventSchema
+    lower_bound: Fraction
+    kind: str
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lower_bound <= 1:
+            raise EventError(
+                f"lower bound {self.lower_bound} is not a probability"
+            )
+
+
+def first_conjunction_claim(
+    pairs: Sequence[Tuple[Action, StateSet]],
+    bounds: Sequence[Fraction],
+) -> IndependenceClaim:
+    """Clause 1: the conjunction of ``first`` events, bound ``prod p_i``."""
+    _validate(pairs, bounds)
+    event = Intersection(
+        [FirstOccurrence(action, target) for action, target in pairs]
+    )
+    product = Fraction(1)
+    for bound in bounds:
+        product *= bound
+    return IndependenceClaim(event=event, lower_bound=product, kind="first-conjunction")
+
+
+def next_claim(
+    pairs: Sequence[Tuple[Action, StateSet]],
+    bounds: Sequence[Fraction],
+) -> IndependenceClaim:
+    """Clause 2: the ``next`` event, bound ``min p_i``."""
+    _validate(pairs, bounds)
+    event = NextFirstOccurrence(list(pairs))
+    return IndependenceClaim(
+        event=event, lower_bound=min(bounds), kind="next-minimum"
+    )
+
+
+def proposition_4_2_claims(
+    automaton: ProbabilisticAutomaton[State],
+    pairs: Sequence[Tuple[Action, StateSet]],
+    states: Iterable[State],
+) -> Tuple[IndependenceClaim, IndependenceClaim]:
+    """Both conclusions, with ``p_i`` computed from the automaton itself."""
+    states = list(states)
+    bounds = [
+        action_outcome_lower_bound(automaton, action, target, states)
+        for action, target in pairs
+    ]
+    return (
+        first_conjunction_claim(pairs, bounds),
+        next_claim(pairs, bounds),
+    )
+
+
+def _validate(
+    pairs: Sequence[Tuple[Action, StateSet]], bounds: Sequence[Fraction]
+) -> None:
+    if not pairs:
+        raise EventError("Proposition 4.2 needs at least one (action, set) pair")
+    if len(pairs) != len(bounds):
+        raise EventError(
+            f"{len(pairs)} pairs but {len(bounds)} probability bounds"
+        )
+    actions = [action for action, _ in pairs]
+    if len(set(actions)) != len(actions):
+        raise EventError("Proposition 4.2 requires pairwise-distinct actions")
+    for bound in bounds:
+        if not 0 <= bound <= 1:
+            raise EventError(f"bound {bound} is not a probability")

@@ -1,0 +1,75 @@
+"""The ``next((a1,U1),...,(an,Un))`` event schema (Section 4).
+
+Applied to an execution automaton ``H``, the event contains the maximal
+executions in which either no action from ``{a1,...,an}`` occurs, or at
+least one occurs and — with ``a_i`` the *first* among them to occur —
+the state reached immediately after that first occurrence is in ``U_i``.
+It expresses properties like "the first coin that is flipped yields
+left".  Section 4 requires the actions to be pairwise distinct.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import Action
+from repro.errors import EventError
+from repro.events.schema import EventSchema, EventStatus
+
+State = TypeVar("State", bound=Hashable)
+
+StateSet = Union[FrozenSet[State], Callable[[State], bool]]
+
+
+def _as_predicate(states: StateSet) -> Callable[[State], bool]:
+    if callable(states):
+        return states
+    frozen = frozenset(states)
+    return lambda state: state in frozen
+
+
+class NextFirstOccurrence(EventSchema[State]):
+    """``next((a1,U1),...,(an,Un))`` over pairwise-distinct actions."""
+
+    def __init__(self, pairs: Sequence[Tuple[Action, StateSet]]):
+        if not pairs:
+            raise EventError("next(...) needs at least one (action, set) pair")
+        actions = [action for action, _ in pairs]
+        if len(set(actions)) != len(actions):
+            raise EventError(
+                "next(...) requires pairwise-distinct actions (Section 4); "
+                f"got {actions!r}"
+            )
+        self._constraints: Dict[Action, Callable[[State], bool]] = {
+            action: _as_predicate(target) for action, target in pairs
+        }
+
+    @property
+    def actions(self) -> Tuple[Action, ...]:
+        """The watched actions, in the order given."""
+        return tuple(self._constraints)
+
+    def classify(self, fragment: ExecutionFragment[State]) -> EventStatus:
+        for _, action, after in fragment.steps():
+            if action in self._constraints:
+                if self._constraints[action](after):
+                    return EventStatus.ACCEPT
+                return EventStatus.REJECT
+        return EventStatus.UNDECIDED
+
+    def decide_maximal(self, fragment: ExecutionFragment[State]) -> bool:
+        # No watched action ever occurred: the execution is in the event.
+        return True
+
+    def __repr__(self) -> str:
+        return f"NextFirstOccurrence(actions={list(self._constraints)!r})"

@@ -1,0 +1,135 @@
+"""Execution automata ``H(M, A, alpha)`` (Definitions 2.3 and 2.4).
+
+Running a probabilistic automaton ``M`` under an adversary ``A`` from a
+starting fragment ``alpha`` yields a *fully probabilistic* automaton
+``H``: its states are finite execution fragments of ``M`` extending
+``alpha``, its unique start state is ``alpha`` itself, and from each
+state at most one step is enabled — the one the adversary chose —
+whose target lifts the corresponding step of ``M`` by appending the
+action and the new state to the fragment (condition 2 of
+Definition 2.3: ``Omega = { alpha a s }`` with ``P'[alpha a s] = P[s]``).
+
+The tree is materialised lazily and memoised: the state spaces of
+interesting execution automata are exponential in depth, and both the
+exact measure computation and the sampler only touch the parts they
+need.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Generic,
+    Hashable,
+    Iterator,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.adversary.base import Adversary
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import Action
+from repro.automaton.transition import Transition
+from repro.probability.space import FiniteDistribution
+
+State = TypeVar("State", bound=Hashable)
+
+
+class ExecutionAutomaton(Generic[State]):
+    """The execution automaton ``H(M, A, alpha)``.
+
+    ``states(H)`` are fragments of ``M``; :meth:`step` returns the unique
+    enabled step of a state (or ``None`` when the adversary halts there,
+    making the state's executions maximal at that point).
+    """
+
+    def __init__(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        adversary: Adversary[State],
+        start: ExecutionFragment[State],
+    ):
+        self._automaton = automaton
+        self._adversary = adversary
+        self._start = start
+        self._cache: Dict[
+            ExecutionFragment[State],
+            Optional[Tuple[Action, FiniteDistribution]],
+        ] = {}
+
+    @property
+    def automaton(self) -> ProbabilisticAutomaton[State]:
+        """The underlying probabilistic automaton ``M``."""
+        return self._automaton
+
+    @property
+    def adversary(self) -> Adversary[State]:
+        """The adversary ``A`` resolving the nondeterminism."""
+        return self._adversary
+
+    @property
+    def start(self) -> ExecutionFragment[State]:
+        """The unique start state (the starting fragment ``alpha``)."""
+        return self._start
+
+    def corresponding_step(
+        self, fragment: ExecutionFragment[State]
+    ) -> Optional[Transition[State]]:
+        """The step of ``M`` the adversary schedules after ``fragment``."""
+        return self._adversary.checked_choose(self._automaton, fragment)
+
+    def step(
+        self, fragment: ExecutionFragment[State]
+    ) -> Optional[Tuple[Action, FiniteDistribution]]:
+        """The unique step of ``H`` from ``fragment`` (lifted), if any.
+
+        The target distribution ranges over extended fragments
+        ``fragment . a . s`` with the probabilities of the corresponding
+        step of ``M`` (Definition 2.3, condition 2).
+        """
+        if fragment in self._cache:
+            return self._cache[fragment]
+        chosen = self.corresponding_step(fragment)
+        if chosen is None:
+            lifted: Optional[Tuple[Action, FiniteDistribution]] = None
+        else:
+            action = chosen.action
+            lifted = (
+                action,
+                chosen.target.map(lambda s: fragment.extend(action, s)),
+            )
+        self._cache[fragment] = lifted
+        return lifted
+
+    def is_terminal(self, fragment: ExecutionFragment[State]) -> bool:
+        """True when ``fragment`` enables no step of ``H``.
+
+        Terminal states are exactly the finite *maximal* executions of
+        ``H`` (used by the sample space ``Omega_H``).
+        """
+        return self.step(fragment) is None
+
+    def nodes_to_depth(
+        self, depth: int
+    ) -> Iterator[Tuple[ExecutionFragment[State], int]]:
+        """Enumerate tree nodes with their depth, up to ``depth`` steps.
+
+        Depth counts steps of ``H`` from the start fragment, not the
+        length of the underlying fragment.  Intended for tests and
+        diagnostics; the measure computation walks the tree itself so
+        it can prune decided subtrees.
+        """
+        frontier = [(self._start, 0)]
+        while frontier:
+            fragment, d = frontier.pop()
+            yield fragment, d
+            if d >= depth:
+                continue
+            lifted = self.step(fragment)
+            if lifted is None:
+                continue
+            _, distribution = lifted
+            for child in distribution.support:
+                frontier.append((child, d + 1))

@@ -1,0 +1,124 @@
+"""Monte-Carlo sampling of executions.
+
+Exact tree exploration is exponential in depth; for the long horizons of
+the Lehmann-Rabin experiments we instead sample maximal executions of
+``H(M, A, s)`` and estimate event probabilities and time statistics.
+Each sample threads an explicit :class:`random.Random`, so experiments
+are reproducible from their seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Hashable, Optional, TypeVar
+
+from repro.adversary.base import Adversary
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import VerificationError
+from repro.events.schema import EventSchema, EventStatus
+
+State = TypeVar("State", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """The outcome of sampling one execution against an event schema.
+
+    ``verdict`` is ``True``/``False`` when the event was decided and
+    ``None`` when the step budget ran out first (the caller chooses how
+    to count truncations; the sound choice for lower-bound checking is
+    to count them as failures).
+    """
+
+    verdict: Optional[bool]
+    steps: int
+    final: ExecutionFragment
+
+    @property
+    def truncated(self) -> bool:
+        """True when the sampler hit its step budget before a verdict."""
+        return self.verdict is None
+
+
+def sample_event(
+    automaton: ProbabilisticAutomaton[State],
+    adversary: Adversary[State],
+    start: ExecutionFragment[State],
+    schema: EventSchema[State],
+    rng: random.Random,
+    max_steps: int = 10_000,
+) -> SampleResult:
+    """Sample one execution of ``H(M, A, start)`` until the event decides.
+
+    Stops as soon as the schema classifies the growing fragment as
+    ACCEPT or REJECT, when the adversary halts (then
+    ``decide_maximal`` settles the verdict), or after ``max_steps``
+    steps (verdict ``None``).
+    """
+    if max_steps < 0:
+        raise VerificationError("max_steps must be nonnegative")
+    fragment = start
+    for steps_taken in range(max_steps + 1):
+        status = schema.classify(fragment)
+        if status is EventStatus.ACCEPT:
+            return SampleResult(True, steps_taken, fragment)
+        if status is EventStatus.REJECT:
+            return SampleResult(False, steps_taken, fragment)
+        if steps_taken == max_steps:
+            break
+        chosen = adversary.checked_choose(automaton, fragment)
+        if chosen is None:
+            return SampleResult(
+                schema.decide_maximal(fragment), steps_taken, fragment
+            )
+        next_state = chosen.target.sample(rng)
+        fragment = fragment.extend(chosen.action, next_state)
+    return SampleResult(None, max_steps, fragment)
+
+
+def sample_time_until(
+    automaton: ProbabilisticAutomaton[State],
+    adversary: Adversary[State],
+    start: ExecutionFragment[State],
+    target: Callable[[State], bool],
+    time_of: Callable[[State], Fraction],
+    rng: random.Random,
+    max_steps: int = 10_000,
+) -> Optional[Fraction]:
+    """The elapsed time until ``target`` first holds along one sample.
+
+    Returns ``None`` when the target was not reached within the step
+    budget (or before the adversary halted).  Elapsed time is measured
+    from the start fragment's last state — the moment the adversary
+    takes over, matching Definition 3.1's clock.
+    """
+    if max_steps < 0:
+        raise VerificationError("max_steps must be nonnegative")
+    origin = time_of(start.lstate)
+    if any(target(state) for state in start.states):
+        return Fraction(0)
+    fragment = start
+    for _ in range(max_steps):
+        chosen = adversary.checked_choose(automaton, fragment)
+        if chosen is None:
+            return None
+        next_state = chosen.target.sample(rng)
+        fragment = fragment.extend(chosen.action, next_state)
+        if target(next_state):
+            return time_of(next_state) - origin
+    return None
+
+
+def trim_fragment(fragment: ExecutionFragment[State]) -> ExecutionFragment[State]:
+    """Restart a fragment at its last state.
+
+    Utility for long-running samplers that only need bounded history:
+    callers that know their adversary and schema look at bounded history
+    can trim to keep memory flat.  (The adversaries in this library that
+    need full history — coin-peeking policies — must not be used with
+    trimming; the samplers above never trim implicitly.)
+    """
+    return ExecutionFragment.initial(fragment.lstate)

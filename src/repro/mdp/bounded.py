@@ -1,0 +1,147 @@
+"""Exact worst-case probabilities over round-synchronous adversaries.
+
+The Unit-Time schema is infinite; exact minimisation over all of it is
+out of reach.  The *round-synchronous* subclass is finitely branching
+and Markov, so the minimum success probability over it is computable by
+backward induction:
+
+* a round lasts one time unit;
+* within a round, the adversary repeatedly picks any process that has
+  not stepped yet this round (obligated or user-controlled) and fires
+  one of its enabled steps — full knowledge of all outcomes so far;
+* the round may close (time advances) only when every *obligated*
+  process has stepped.
+
+Every strategy in the subclass satisfies the Unit-Time obligation, so
+the computed minimum is an upper bound on the schema-wide minimum — if
+it already meets the paper's ``p``, the subclass cannot refute the
+statement, and if it falls below ``p`` we have a genuine Unit-Time
+counterexample.
+
+The recursion memoises on ``(untimed state, stepped set, rounds left)``:
+optimal play depends on history only through that tuple, because the
+dynamics are time-invariant and coin outcomes are recorded in the state.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, FrozenSet, Hashable, Optional, Tuple, TypeVar
+
+from repro.adversary.unit_time import ProcessView
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.signature import TIME_PASSAGE
+from repro.errors import VerificationError
+
+State = TypeVar("State", bound=Hashable)
+
+
+def min_reach_probability_rounds(
+    automaton: ProbabilisticAutomaton[State],
+    view: ProcessView[State],
+    target: Callable[[State], bool],
+    start: State,
+    rounds: int,
+    strip_time: Callable[[State], Hashable],
+    minimise: bool = True,
+    max_memo: int = 5_000_000,
+) -> Fraction:
+    """Extremal probability of reaching ``target`` within ``rounds``.
+
+    ``strip_time`` must map a state to a hashable key invariant under
+    time passage (for Lehmann-Rabin:
+    :meth:`~repro.algorithms.lehmann_rabin.state.LRState.untimed`); the
+    recursion relies on the dynamics depending only on that key.
+
+    ``minimise=True`` computes the adversary's best spoiling play (the
+    quantity arrow statements lower-bound); ``False`` the most helpful
+    scheduler, an upper envelope used in ablations.
+    """
+    if rounds < 0:
+        raise VerificationError("rounds must be nonnegative")
+    select = min if minimise else max
+    memo: Dict[Tuple[Hashable, FrozenSet, int], Fraction] = {}
+
+    def value(state: State, stepped: FrozenSet, remaining: int) -> Fraction:
+        if target(state):
+            return Fraction(1)
+        if remaining == 0:
+            return Fraction(0)
+        key = (strip_time(state), stepped, remaining)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if len(memo) >= max_memo:
+            raise VerificationError(
+                f"round-synchronous recursion exceeded {max_memo} memo entries"
+            )
+
+        pending = view.ready(state) - stepped
+        candidates = []
+        for step in automaton.transitions(state):
+            if step.action == TIME_PASSAGE:
+                continue
+            process = view.process_of(step.action)
+            if process is None or process in stepped:
+                continue
+            candidates.append((process, step))
+
+        outcomes = []
+        for process, step in candidates:
+            new_stepped = stepped | {process}
+            outcomes.append(
+                sum(
+                    (
+                        weight * value(successor, new_stepped, remaining)
+                        for successor, weight in step.target.items()
+                    ),
+                    Fraction(0),
+                )
+            )
+        if not pending:
+            # The round may close: time advances one unit, obligations
+            # reset.  The state's own time component is irrelevant to
+            # the dynamics, so we reuse the state unchanged.
+            outcomes.append(value(state, frozenset(), remaining - 1))
+        if not outcomes:
+            # No schedulable process and obligations pending: cannot
+            # happen for well-formed views (pending processes have
+            # enabled steps); treat defensively as failure.
+            result = Fraction(0)
+        else:
+            result = select(outcomes)
+        memo[key] = result
+        return result
+
+    return value(start, frozenset(), rounds)
+
+
+def min_reach_over_starts(
+    automaton: ProbabilisticAutomaton[State],
+    view: ProcessView[State],
+    target: Callable[[State], bool],
+    starts,
+    rounds: int,
+    strip_time: Callable[[State], Hashable],
+    minimise: bool = True,
+) -> Tuple[Fraction, Optional[State]]:
+    """The worst start state of a family, with its exact probability.
+
+    Returns ``(probability, witness_state)``; the witness attains the
+    minimum (or maximum, for ``minimise=False``).
+    """
+    starts = list(starts)
+    if not starts:
+        raise VerificationError("no start states supplied")
+    best: Optional[Tuple[Fraction, State]] = None
+    for start in starts:
+        probability = min_reach_probability_rounds(
+            automaton, view, target, start, rounds, strip_time, minimise
+        )
+        if best is None:
+            best = (probability, start)
+        elif minimise and probability < best[0]:
+            best = (probability, start)
+        elif not minimise and probability > best[0]:
+            best = (probability, start)
+    return best  # type: ignore[return-value]

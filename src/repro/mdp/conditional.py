@@ -1,0 +1,121 @@
+"""Exact checking of conditional claims ``first(...) ∧ ... ⟹ reach``.
+
+The appendix lemmas (A.4–A.10) have the shape: *from a state satisfying
+H, if* ``first(a_1, U_1)`` *and ... and* ``first(a_k, U_k)`` *hold, then
+a conclusion state is reached within time t*.  Equivalently: the event
+
+    first(a_1,U_1) ∧ ... ∧ first(a_k,U_k) ∧ ¬ reach-within-t
+
+has probability zero under every adversary of the schema.
+
+:func:`max_counterexample_probability_rounds` computes, by backward
+induction over every strategy of the round-synchronous Unit-Time
+subclass, the *maximum* probability an adversary can give that
+counterexample event — with the adversary-favorable convention that a
+watched action still unfired at the horizon counts as "first(...) holds
+vacuously".  The returned value is therefore an upper bound on the true
+counterexample probability over the subclass; a lemma is verified
+(for the subclass) exactly when it returns 0.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, FrozenSet, Hashable, Mapping, Tuple, TypeVar
+
+from repro.adversary.unit_time import ProcessView
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.signature import TIME_PASSAGE, Action
+from repro.errors import VerificationError
+
+State = TypeVar("State", bound=Hashable)
+
+
+def max_counterexample_probability_rounds(
+    automaton: ProbabilisticAutomaton[State],
+    view: ProcessView[State],
+    watched: Mapping[Action, Callable[[State], bool]],
+    conclusion: Callable[[State], bool],
+    start: State,
+    rounds: int,
+    strip_time: Callable[[State], Hashable],
+    max_memo: int = 5_000_000,
+) -> Fraction:
+    """Worst-case probability of ``∧ first(a,U_a) ∧ ¬reach`` (see module).
+
+    ``watched`` maps each constrained action to the state set its first
+    occurrence must land in.  The adversary maximises; the watched
+    constraints resolve at first occurrence (a miss makes the execution
+    leave the conditioning event, contributing zero); the conclusion is
+    checked at every state; the horizon end counts as a counterexample
+    when the conclusion was never reached (the adversary may stall
+    unfired coins indefinitely only at the price of Unit-Time
+    obligations, which this bound conservatively ignores).
+    """
+    if rounds < 0:
+        raise VerificationError("rounds must be nonnegative")
+    memo: Dict[Tuple[Hashable, FrozenSet, FrozenSet, int], Fraction] = {}
+    all_watched = frozenset(watched)
+
+    def value(
+        state: State,
+        stepped: FrozenSet,
+        pending_watch: FrozenSet,
+        remaining: int,
+    ) -> Fraction:
+        if conclusion(state):
+            return Fraction(0)
+        if remaining == 0:
+            return Fraction(1)
+        key = (strip_time(state), stepped, pending_watch, remaining)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if len(memo) >= max_memo:
+            raise VerificationError(
+                f"conditional recursion exceeded {max_memo} memo entries"
+            )
+
+        pending = view.ready(state) - stepped
+        outcomes = []
+        for step in automaton.transitions(state):
+            if step.action == TIME_PASSAGE:
+                continue
+            process = view.process_of(step.action)
+            if process is None or process in stepped:
+                continue
+            new_stepped = stepped | {process}
+            if step.action in pending_watch:
+                constraint = watched[step.action]
+                new_watch = pending_watch - {step.action}
+                total = Fraction(0)
+                for successor, weight in step.target.items():
+                    if not constraint(successor):
+                        continue  # first(...) violated: leaves the event
+                    total += weight * value(
+                        successor, new_stepped, new_watch, remaining
+                    )
+                outcomes.append(total)
+            else:
+                outcomes.append(
+                    sum(
+                        (
+                            weight
+                            * value(
+                                successor, new_stepped, pending_watch,
+                                remaining,
+                            )
+                            for successor, weight in step.target.items()
+                        ),
+                        Fraction(0),
+                    )
+                )
+        if not pending:
+            outcomes.append(
+                value(state, frozenset(), pending_watch, remaining - 1)
+            )
+        result = max(outcomes) if outcomes else Fraction(1)
+        memo[key] = result
+        return result
+
+    return value(start, frozenset(), all_watched, rounds)

@@ -1,0 +1,50 @@
+"""Finite probability substrate: spaces, distributions, and statistics.
+
+The paper's model (Definition 2.1) uses finite probability spaces
+``(Omega, 2^Omega, P)`` as transition targets; :mod:`repro.probability`
+implements them with exact rational arithmetic, together with the
+one-sided confidence machinery used when arrow statements are tested by
+sampling.
+"""
+
+from repro.probability.sequential import (
+    SequentialProbabilityRatioTest,
+    SprtResult,
+    SprtVerdict,
+    sprt_for_claim,
+)
+from repro.probability.space import (
+    FiniteDistribution,
+    ProbabilitySpace,
+    as_fraction,
+)
+from repro.probability.stats import (
+    BernoulliSummary,
+    MeanSummary,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+    hoeffding_lower_bound,
+    hoeffding_upper_bound,
+    refutes_lower_bound,
+    supports_lower_bound,
+    wilson_interval,
+)
+
+__all__ = [
+    "FiniteDistribution",
+    "ProbabilitySpace",
+    "as_fraction",
+    "BernoulliSummary",
+    "MeanSummary",
+    "SequentialProbabilityRatioTest",
+    "SprtResult",
+    "SprtVerdict",
+    "sprt_for_claim",
+    "clopper_pearson_lower",
+    "clopper_pearson_upper",
+    "hoeffding_lower_bound",
+    "hoeffding_upper_bound",
+    "refutes_lower_bound",
+    "supports_lower_bound",
+    "wilson_interval",
+]

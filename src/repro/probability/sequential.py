@@ -1,0 +1,161 @@
+"""Sequential probability ratio tests (SPRT) for arrow statements.
+
+Fixed-sample Monte-Carlo checks waste samples when a statement is far
+from its bound (the common case here: the paper's bounds are loose).
+Wald's SPRT decides between
+
+    H0: success probability <= p0   (the claim is violated)
+    H1: success probability >= p1   (the claim holds with margin)
+
+with prescribed error rates, consuming samples only until the evidence
+is strong enough.  For checking ``U --t-->_p U'`` one takes
+``p0 = p`` (or slightly below) and ``p1 = p + margin``; acceptance of
+H1 supports the claim, acceptance of H0 is sound statistical evidence
+against it.
+
+This is the standard statistical-model-checking primitive (Younes &
+Simmons style) adapted to the library's conventions: exact log-domain
+arithmetic on floats, explicit indifference region, and an
+``UNDECIDED`` verdict when a sample budget runs out first.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.errors import VerificationError
+
+
+class SprtVerdict(enum.Enum):
+    """Outcome of a sequential test."""
+
+    ACCEPT_H1 = "accept-h1"      # probability >= p1 (claim supported)
+    ACCEPT_H0 = "accept-h0"      # probability <= p0 (claim refuted)
+    UNDECIDED = "undecided"      # budget exhausted first
+
+
+@dataclass(frozen=True)
+class SprtResult:
+    """Verdict plus the evidence trail."""
+
+    verdict: SprtVerdict
+    samples_used: int
+    successes: int
+    log_likelihood_ratio: float
+
+
+class SequentialProbabilityRatioTest:
+    """Wald's SPRT for a Bernoulli parameter.
+
+    ``alpha`` bounds the probability of wrongly accepting H1 when H0 is
+    true; ``beta`` the reverse.  ``p0 < p1`` delimit the indifference
+    region; behaviour for true parameters inside it is unspecified (the
+    test still terminates almost surely).
+    """
+
+    def __init__(
+        self,
+        p0: float,
+        p1: float,
+        alpha: float = 0.01,
+        beta: float = 0.01,
+    ):
+        if not 0.0 < p0 < p1 < 1.0:
+            raise VerificationError(
+                f"need 0 < p0 < p1 < 1, got p0={p0}, p1={p1}"
+            )
+        if not (0.0 < alpha < 1.0 and 0.0 < beta < 1.0):
+            raise VerificationError("error rates must be in (0, 1)")
+        self._p0, self._p1 = p0, p1
+        # Acceptance thresholds on the log likelihood ratio.
+        self._upper = math.log((1.0 - beta) / alpha)
+        self._lower = math.log(beta / (1.0 - alpha))
+        self._log_success = math.log(p1 / p0)
+        self._log_failure = math.log((1.0 - p1) / (1.0 - p0))
+
+    @property
+    def p0(self) -> float:
+        """The null (claim-violated) success probability."""
+        return self._p0
+
+    @property
+    def p1(self) -> float:
+        """The alternative (claim-holds) success probability."""
+        return self._p1
+
+    def run(
+        self,
+        sample: Callable[[], bool],
+        max_samples: int = 100_000,
+    ) -> SprtResult:
+        """Draw samples until a hypothesis is accepted (or budget ends)."""
+        if max_samples <= 0:
+            raise VerificationError("max_samples must be positive")
+        ratio = 0.0
+        successes = 0
+        for count in range(1, max_samples + 1):
+            if sample():
+                successes += 1
+                ratio += self._log_success
+            else:
+                ratio += self._log_failure
+            if ratio >= self._upper:
+                return SprtResult(
+                    SprtVerdict.ACCEPT_H1, count, successes, ratio
+                )
+            if ratio <= self._lower:
+                return SprtResult(
+                    SprtVerdict.ACCEPT_H0, count, successes, ratio
+                )
+        return SprtResult(
+            SprtVerdict.UNDECIDED, max_samples, successes, ratio
+        )
+
+    def run_on(self, outcomes: Iterable[bool]) -> SprtResult:
+        """Run the test over a pre-drawn outcome stream."""
+        iterator = iter(outcomes)
+
+        def sample() -> bool:
+            try:
+                return next(iterator)
+            except StopIteration:
+                raise VerificationError(
+                    "outcome stream exhausted before the test decided"
+                )
+
+        # A stream caller wants the stream's own length as the budget;
+        # use a large cap and translate exhaustion into UNDECIDED.
+        try:
+            return self.run(sample, max_samples=10**9)
+        except VerificationError:
+            return SprtResult(SprtVerdict.UNDECIDED, 0, 0, 0.0)
+
+
+def sprt_for_claim(
+    claimed: float,
+    margin: float = 0.05,
+    alpha: float = 0.001,
+    beta: float = 0.01,
+) -> SequentialProbabilityRatioTest:
+    """A test tuned for checking ``P[success] >= claimed``.
+
+    ``p0 = claimed`` and ``p1 = claimed + margin``: accepting H0 is
+    then evidence (at level ``alpha``) that the claim fails, while
+    accepting H1 certifies the claim with margin.  The asymmetric
+    default error rates make false refutations (the serious error when
+    hunting counterexamples to a published bound) rarer than false
+    supports.
+    """
+    if not 0.0 < claimed < 1.0:
+        raise VerificationError(
+            f"claimed probability must be in (0, 1), got {claimed}"
+        )
+    p1 = min(claimed + margin, 1.0 - 1e-9)
+    if p1 <= claimed:
+        raise VerificationError("margin too small")
+    return SequentialProbabilityRatioTest(
+        p0=claimed, p1=p1, alpha=alpha, beta=beta
+    )

@@ -1,0 +1,62 @@
+"""The paper's proof method: arrow statements, rules, ledger, verifiers."""
+
+from repro.proofs.expected_time import (
+    RetryBranch,
+    RetryRecursion,
+    expected_time_upper_bound,
+    geometric_bound,
+)
+from repro.proofs.inclusion import (
+    Inclusion,
+    InclusionRegistry,
+    lehmann_rabin_inclusions,
+)
+from repro.proofs.ledger import Derivation, ProofLedger, StatementId
+from repro.proofs.rules import (
+    chain,
+    compose,
+    strengthen_source,
+    union_rule,
+    weaken,
+    widen_target,
+)
+from repro.proofs.statements import ArrowStatement, StateClass
+from repro.proofs.verifier import (
+    ArrowCheckReport,
+    ExactArrowReport,
+    ExactPairCheck,
+    PairCheck,
+    TimeToTargetReport,
+    check_arrow_by_sampling,
+    check_arrow_exactly,
+    measure_time_to_target,
+)
+
+__all__ = [
+    "ArrowCheckReport",
+    "ArrowStatement",
+    "Derivation",
+    "ExactArrowReport",
+    "ExactPairCheck",
+    "Inclusion",
+    "InclusionRegistry",
+    "PairCheck",
+    "ProofLedger",
+    "lehmann_rabin_inclusions",
+    "RetryBranch",
+    "RetryRecursion",
+    "StateClass",
+    "StatementId",
+    "TimeToTargetReport",
+    "chain",
+    "check_arrow_by_sampling",
+    "check_arrow_exactly",
+    "compose",
+    "expected_time_upper_bound",
+    "geometric_bound",
+    "measure_time_to_target",
+    "strengthen_source",
+    "union_rule",
+    "weaken",
+    "widen_target",
+]

@@ -1,0 +1,127 @@
+"""Expected-time bounds derived from arrow statements (Section 6.2).
+
+The paper turns the composed progress statement into a constant bound on
+*expected* time with a retry argument: departing from ``RT``,
+
+* with probability at least 1/8, ``P`` is reached within time 10;
+* with probability at most 1/2, time 5 is spent before failing at the
+  third arrow (back to ``RT``);
+* with probability at most 3/8, time 10 is spent before failing at the
+  fourth arrow (back to ``RT``);
+
+giving the recursion ``V = 1/8 * 10 + 1/2 * (5 + V1) + 3/8 * (10 + V2)``
+whose expectation solves to ``E[V] = 60``, and an overall bound of 63
+from a state of ``T`` (2 to enter ``RT``, 60 to ``P``, 1 to ``C``).
+
+:class:`RetryRecursion` solves the general form
+``E = sum_k c_k (t_k + r_k E)`` exactly; :func:`geometric_bound` gives
+the cruder ``t/p`` bound obtained by treating the whole window as one
+Bernoulli trial.  Both return exact rationals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence, Tuple
+
+from repro.errors import ProofError
+from repro.probability.space import as_fraction
+from repro.proofs.statements import ArrowStatement
+
+
+@dataclass(frozen=True)
+class RetryBranch:
+    """One branch of a retry recursion.
+
+    ``probability`` — the branch's weight (the paper uses upper bounds
+    for failure branches and a lower bound for the success branch; using
+    the extremes yields an upper bound on the expectation as long as
+    failure branches are no cheaper than success, which
+    :class:`RetryRecursion` checks).
+    ``time`` — the time spent on this branch before it resolves.
+    ``retries`` — whether the branch recurses (failure back to the start
+    set) or terminates (success).
+    """
+
+    probability: Fraction
+    time: Fraction
+    retries: bool
+
+    @classmethod
+    def of(cls, probability, time, retries: bool) -> "RetryBranch":
+        """Build a branch, normalising numeric inputs to fractions."""
+        return cls(
+            probability=as_fraction(probability),
+            time=as_fraction(time),
+            retries=retries,
+        )
+
+
+class RetryRecursion:
+    """Solve ``E = sum_k c_k (t_k + r_k E)`` exactly.
+
+    Requires the branch probabilities to sum to one and the retrying
+    mass to be strictly below one (otherwise the expectation diverges).
+    """
+
+    def __init__(self, branches: Sequence[RetryBranch]):
+        if not branches:
+            raise ProofError("a retry recursion needs at least one branch")
+        total = sum((b.probability for b in branches), Fraction(0))
+        if total != 1:
+            raise ProofError(f"branch probabilities sum to {total}, expected 1")
+        retry_mass = sum(
+            (b.probability for b in branches if b.retries), Fraction(0)
+        )
+        if retry_mass >= 1:
+            raise ProofError(
+                f"retrying probability mass {retry_mass} >= 1; the "
+                "expectation diverges"
+            )
+        if any(b.probability < 0 or b.time < 0 for b in branches):
+            raise ProofError("branch probabilities and times must be nonnegative")
+        self._branches = tuple(branches)
+        self._retry_mass = retry_mass
+
+    @property
+    def branches(self) -> Tuple[RetryBranch, ...]:
+        """The branches of the recursion."""
+        return self._branches
+
+    def solve(self) -> Fraction:
+        """The exact solution ``E``.
+
+        ``E = (sum_k c_k t_k) / (1 - sum_{retrying k} c_k)``.
+        """
+        immediate = sum(
+            (b.probability * b.time for b in self._branches), Fraction(0)
+        )
+        return immediate / (1 - self._retry_mass)
+
+
+def geometric_bound(statement: ArrowStatement) -> Fraction:
+    """The simple bound ``E <= t/p`` from repeating a ``U --t-->_p U'``.
+
+    Each window of length ``t`` independently succeeds with probability
+    at least ``p`` (by execution closure the statement re-applies at
+    every failure, and failure returns the system to some state — for
+    the bound to apply the statement's source must absorb failures,
+    e.g. ``U = T`` for the Lehmann-Rabin top-level statement whose
+    source is invariant).  The expected number of windows is at most
+    ``1/p``.
+    """
+    if statement.probability == 0:
+        raise ProofError("cannot bound expected time from a probability-0 arrow")
+    return statement.time_bound / statement.probability
+
+
+def expected_time_upper_bound(
+    prefix_time, recursion: RetryRecursion, suffix_time
+) -> Fraction:
+    """A total expected-time bound: prefix + recursion solution + suffix.
+
+    The paper's 63 = 2 (``T`` to ``RT``) + 60 (``RT`` to ``P`` via the
+    recursion) + 1 (``P`` to ``C``).
+    """
+    return as_fraction(prefix_time) + recursion.solve() + as_fraction(suffix_time)

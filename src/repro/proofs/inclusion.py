@@ -1,0 +1,178 @@
+"""Registered semantic inclusions between state classes.
+
+The syntactic subset test of :class:`~repro.proofs.statements.StateClass`
+(atom containment) cannot see semantic facts like ``G ⊆ RT`` or
+``P ⊆ T`` — inclusions the paper uses freely because its sets are
+defined by formulas.  An :class:`InclusionRegistry` lets a proof author
+declare such inclusions, each with evidence text and an automatic
+spot-check (every declared inclusion is validated on caller-supplied
+sample states before it is accepted), and then use them to strengthen
+sources / widen targets of arrow statements soundly.
+
+Declared inclusions compose: the registry computes the reflexive
+transitive closure, so declaring ``G ⊆ RT`` and ``RT ⊆ T`` makes
+``G ⊆ T`` available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import ProofError
+from repro.proofs.statements import ArrowStatement, StateClass
+
+
+@dataclass(frozen=True)
+class Inclusion:
+    """A declared fact ``smaller ⊆ larger`` with its justification."""
+
+    smaller: StateClass
+    larger: StateClass
+    evidence: str
+
+
+class InclusionRegistry:
+    """A set of declared (and spot-checked) state-class inclusions."""
+
+    def __init__(self):
+        self._edges: Dict[StateClass, Set[StateClass]] = {}
+        self._records: List[Inclusion] = []
+
+    def declare(
+        self,
+        smaller: StateClass,
+        larger: StateClass,
+        evidence: str,
+        samples: Iterable = (),
+    ) -> Inclusion:
+        """Register ``smaller ⊆ larger``.
+
+        ``evidence`` documents why the inclusion holds (a definition,
+        a lemma).  Every supplied sample state is checked: a state in
+        ``smaller`` but not ``larger`` refutes the declaration and the
+        registration is rejected — declarations are trusted, but not
+        blindly.
+        """
+        if not evidence:
+            raise ProofError("an inclusion needs nonempty evidence")
+        for state in samples:
+            if smaller.contains(state) and not larger.contains(state):
+                raise ProofError(
+                    f"declared inclusion {smaller.name} ⊆ {larger.name} "
+                    f"is refuted by sample state {state!r}"
+                )
+        record = Inclusion(smaller=smaller, larger=larger, evidence=evidence)
+        self._records.append(record)
+        self._edges.setdefault(smaller, set()).add(larger)
+        return record
+
+    @property
+    def declarations(self) -> Tuple[Inclusion, ...]:
+        """All registered inclusions, in declaration order."""
+        return tuple(self._records)
+
+    def entails(self, smaller: StateClass, larger: StateClass) -> bool:
+        """Is ``smaller ⊆ larger`` derivable?
+
+        True when it holds syntactically (atom containment), or follows
+        from declared inclusions by reflexivity, transitivity, and the
+        union rules (``A ⊆ C`` and ``B ⊆ C`` give ``A ∪ B ⊆ C``;
+        ``A ⊆ B`` gives ``A ⊆ B ∪ D``).
+        """
+        if smaller.is_subset_by_atoms(larger):
+            return True
+        # Decompose the left side into atoms: each atom (as a singleton
+        # class, which we can only reach through registered classes)
+        # must be below the right side.  We work at the level of
+        # registered classes: BFS over declared edges, succeeding when
+        # we reach any class syntactically below `larger`.
+        frontier = [smaller]
+        visited: Set[StateClass] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            if current.is_subset_by_atoms(larger):
+                return True
+            for above in self._edges.get(current, ()):
+                if above.is_subset_by_atoms(larger):
+                    return True
+                frontier.append(above)
+        return False
+
+    # ------------------------------------------------------------------
+    # Rules using the registry
+    # ------------------------------------------------------------------
+
+    def strengthen_source(
+        self, statement: ArrowStatement, smaller_source: StateClass
+    ) -> ArrowStatement:
+        """``U0 ⊆ U`` (by the registry) gives ``U0 --t-->_p U'``."""
+        if not self.entails(smaller_source, statement.source):
+            raise ProofError(
+                f"{smaller_source.name} ⊆ {statement.source.name} is not "
+                "derivable from the registered inclusions"
+            )
+        return ArrowStatement(
+            source=smaller_source,
+            target=statement.target,
+            time_bound=statement.time_bound,
+            probability=statement.probability,
+            schema_name=statement.schema_name,
+        )
+
+    def widen_target(
+        self, statement: ArrowStatement, larger_target: StateClass
+    ) -> ArrowStatement:
+        """``U' ⊆ U''`` (by the registry) gives ``U --t-->_p U''``."""
+        if not self.entails(statement.target, larger_target):
+            raise ProofError(
+                f"{statement.target.name} ⊆ {larger_target.name} is not "
+                "derivable from the registered inclusions"
+            )
+        return ArrowStatement(
+            source=statement.source,
+            target=larger_target,
+            time_bound=statement.time_bound,
+            probability=statement.probability,
+            schema_name=statement.schema_name,
+        )
+
+
+def lehmann_rabin_inclusions(samples: Iterable = ()) -> InclusionRegistry:
+    """The inclusions among the Section 6.2 regions, registered.
+
+    ``G ⊆ RT``, ``F ⊆ RT``, ``RT ⊆ T``, and ``P ⊆ T`` all follow
+    directly from the definitions; supplying sample states (e.g. random
+    consistent states) spot-checks them.
+    """
+    from repro.algorithms.lehmann_rabin.regions import (
+        F_CLASS,
+        G_CLASS,
+        P_CLASS,
+        RT_CLASS,
+        T_CLASS,
+    )
+
+    samples = list(samples)
+    registry = InclusionRegistry()
+    registry.declare(
+        G_CLASS, RT_CLASS, "G is defined as a subset of RT (Section 6.2)",
+        samples,
+    )
+    registry.declare(
+        F_CLASS, RT_CLASS, "F is defined as a subset of RT (Section 6.2)",
+        samples,
+    )
+    registry.declare(
+        RT_CLASS, T_CLASS, "RT is defined as a subset of T (Section 6.2)",
+        samples,
+    )
+    registry.declare(
+        P_CLASS, T_CLASS,
+        "a pre-critical process is in its trying region (Section 6.1)",
+        samples,
+    )
+    return registry

@@ -1,0 +1,220 @@
+"""A derivation ledger for arrow statements.
+
+The paper's Section 6.2 proof is a small calculus: five leaf statements
+(proved in the appendix) combined by Proposition 3.2 and Theorem 3.4.
+:class:`ProofLedger` mechanises that calculus — leaves are *assumed*
+with a piece of evidence (a citation, or a pointer to a verification
+run), rules produce derived statements, and every statement carries its
+full provenance, renderable as a proof tree.
+
+The ledger is bound to one adversary schema.  Theorem 3.4's hypothesis
+(execution closure) is captured once at construction and enforced on
+every composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProofError
+from repro.proofs import rules
+from repro.proofs.statements import ArrowStatement, StateClass
+
+StatementId = int
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """How one ledger statement was obtained."""
+
+    statement: ArrowStatement
+    rule: str
+    premises: Tuple[StatementId, ...]
+    evidence: str = ""
+
+
+class ProofLedger:
+    """An append-only log of arrow statements with provenance.
+
+    All statements in a ledger quantify over the same adversary schema
+    (by name); ``execution_closed`` is the ledger-level record of the
+    Definition 3.3 hypothesis under which compositions are valid.
+    """
+
+    def __init__(self, schema_name: str, execution_closed: bool):
+        self._schema_name = schema_name
+        self._execution_closed = execution_closed
+        self._entries: List[Derivation] = []
+
+    @property
+    def schema_name(self) -> str:
+        """The adversary schema every statement quantifies over."""
+        return self._schema_name
+
+    @property
+    def execution_closed(self) -> bool:
+        """Whether compositions (Theorem 3.4) are permitted."""
+        return self._execution_closed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+
+    def assume(self, statement: ArrowStatement, evidence: str) -> StatementId:
+        """Record a leaf statement together with its supporting evidence.
+
+        Evidence is free text: a citation ("Proposition A.11"), or a
+        reference to a verification artifact.  The ledger does not judge
+        evidence; it guarantees only that everything *derived* follows
+        from the leaves by sound rules.
+        """
+        if statement.schema_name != self._schema_name:
+            raise ProofError(
+                f"statement is about schema {statement.schema_name!r}, "
+                f"ledger is bound to {self._schema_name!r}"
+            )
+        if not evidence:
+            raise ProofError("a leaf statement needs nonempty evidence")
+        return self._append(
+            Derivation(statement=statement, rule="assume", premises=(),
+                       evidence=evidence)
+        )
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def compose(self, first: StatementId, second: StatementId) -> StatementId:
+        """Theorem 3.4 on two ledger statements."""
+        derived = rules.compose(
+            self.statement(first),
+            self.statement(second),
+            schema_execution_closed=self._execution_closed,
+        )
+        return self._append(
+            Derivation(derived, rule="compose (Thm 3.4)",
+                       premises=(first, second))
+        )
+
+    def union(self, premise: StatementId, extra: StateClass) -> StatementId:
+        """Proposition 3.2 on a ledger statement."""
+        derived = rules.union_rule(self.statement(premise), extra)
+        return self._append(
+            Derivation(derived, rule=f"union with {extra.name} (Prop 3.2)",
+                       premises=(premise,))
+        )
+
+    def weaken(
+        self,
+        premise: StatementId,
+        probability=None,
+        time_bound=None,
+    ) -> StatementId:
+        """Lower the probability and/or raise the deadline."""
+        derived = rules.weaken(
+            self.statement(premise), probability=probability,
+            time_bound=time_bound,
+        )
+        return self._append(
+            Derivation(derived, rule="weaken", premises=(premise,))
+        )
+
+    def strengthen_source(
+        self, premise: StatementId, smaller_source: StateClass
+    ) -> StatementId:
+        """Restrict the start set to a syntactic subset."""
+        derived = rules.strengthen_source(self.statement(premise), smaller_source)
+        return self._append(
+            Derivation(derived, rule=f"restrict source to {smaller_source.name}",
+                       premises=(premise,))
+        )
+
+    def widen_target(
+        self, premise: StatementId, larger_target: StateClass
+    ) -> StatementId:
+        """Enlarge the goal set to a syntactic superset."""
+        derived = rules.widen_target(self.statement(premise), larger_target)
+        return self._append(
+            Derivation(derived, rule=f"widen target to {larger_target.name}",
+                       premises=(premise,))
+        )
+
+    def chain(self, premises: Sequence[StatementId]) -> StatementId:
+        """Left fold of :meth:`compose` over several statements."""
+        if not premises:
+            raise ProofError("cannot chain zero statements")
+        current = premises[0]
+        for nxt in premises[1:]:
+            current = self.compose(current, nxt)
+        return current
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def statement(self, statement_id: StatementId) -> ArrowStatement:
+        """The statement with the given id."""
+        return self._entry(statement_id).statement
+
+    def derivation(self, statement_id: StatementId) -> Derivation:
+        """The full derivation record for the given id."""
+        return self._entry(statement_id)
+
+    def leaves(self) -> List[Tuple[StatementId, Derivation]]:
+        """All assumed (leaf) statements with their ids."""
+        return [
+            (i, entry)
+            for i, entry in enumerate(self._entries)
+            if entry.rule == "assume"
+        ]
+
+    def supporting_leaves(self, statement_id: StatementId) -> List[StatementId]:
+        """The leaf statements a derived statement ultimately rests on."""
+        seen: List[StatementId] = []
+
+        def visit(current: StatementId) -> None:
+            entry = self._entry(current)
+            if entry.rule == "assume":
+                if current not in seen:
+                    seen.append(current)
+                return
+            for premise in entry.premises:
+                visit(premise)
+
+        visit(statement_id)
+        return seen
+
+    def explain(self, statement_id: StatementId) -> str:
+        """Render the derivation tree of a statement as indented text."""
+        lines: List[str] = []
+
+        def visit(current: StatementId, depth: int) -> None:
+            entry = self._entry(current)
+            indent = "  " * depth
+            suffix = f"  -- {entry.evidence}" if entry.evidence else ""
+            lines.append(
+                f"{indent}[{current}] {entry.statement!r} "
+                f"by {entry.rule}{suffix}"
+            )
+            for premise in entry.premises:
+                visit(premise, depth + 1)
+
+        visit(statement_id, 0)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _append(self, entry: Derivation) -> StatementId:
+        self._entries.append(entry)
+        return len(self._entries) - 1
+
+    def _entry(self, statement_id: StatementId) -> Derivation:
+        if not 0 <= statement_id < len(self._entries):
+            raise ProofError(f"no statement with id {statement_id}")
+        return self._entries[statement_id]

@@ -1,0 +1,163 @@
+"""The paper's proof rules over arrow statements.
+
+* :func:`compose` — Theorem 3.4: for an execution-closed schema,
+  ``U --t1-->_p1 U'`` and ``U' --t2-->_p2 U''`` yield
+  ``U --t1+t2-->_{p1 p2} U''``.
+* :func:`union_rule` — Proposition 3.2: ``U --t-->_p U'`` yields
+  ``U ∪ U'' --t-->_p U' ∪ U''``.
+* :func:`weaken` — relax the bound: smaller ``p`` and/or larger ``t``.
+* :func:`strengthen_source` — restrict ``U`` to a syntactic subset.
+* :func:`widen_target` — enlarge ``U'`` to a syntactic superset.
+
+Each rule validates its side conditions and raises
+:class:`~repro.errors.ProofError` rather than producing an unsound
+statement; the ledger records which rule produced which statement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProofError
+from repro.probability.space import as_fraction
+from repro.proofs.statements import ArrowStatement, StateClass
+
+
+def compose(
+    first: ArrowStatement,
+    second: ArrowStatement,
+    schema_execution_closed: bool = True,
+) -> ArrowStatement:
+    """Theorem 3.4: chain two arrow statements through a common set.
+
+    Side conditions checked: the statements quantify over the same
+    adversary schema, that schema is execution closed (the theorem's
+    hypothesis — pass the schema's flag), and the first statement's
+    target is exactly the second's source.
+    """
+    if first.schema_name != second.schema_name:
+        raise ProofError(
+            "cannot compose statements proved against different schemas: "
+            f"{first.schema_name!r} vs {second.schema_name!r}"
+        )
+    if not schema_execution_closed:
+        raise ProofError(
+            "Theorem 3.4 requires an execution-closed adversary schema "
+            "(Definition 3.3)"
+        )
+    if first.target != second.source:
+        raise ProofError(
+            f"cannot compose: intermediate sets differ "
+            f"({first.target.name!r} vs {second.source.name!r})"
+        )
+    return ArrowStatement(
+        source=first.source,
+        target=second.target,
+        time_bound=first.time_bound + second.time_bound,
+        probability=first.probability * second.probability,
+        schema_name=first.schema_name,
+    )
+
+
+def union_rule(statement: ArrowStatement, extra: StateClass) -> ArrowStatement:
+    """Proposition 3.2: add ``U''`` to both sides.
+
+    If the system starts in ``U''`` the target union holds immediately
+    (within time 0 <= t), so the derived statement is sound with the
+    same ``t`` and ``p``.
+    """
+    return ArrowStatement(
+        source=statement.source | extra,
+        target=statement.target | extra,
+        time_bound=statement.time_bound,
+        probability=statement.probability,
+        schema_name=statement.schema_name,
+    )
+
+
+def weaken(
+    statement: ArrowStatement,
+    probability=None,
+    time_bound=None,
+) -> ArrowStatement:
+    """Relax a statement: lower its probability, raise its deadline.
+
+    Both directions are sound for the reach-within-time event, whose
+    probability is monotone in ``t`` and whose guarantee is a lower
+    bound in ``p``.
+    """
+    new_probability = (
+        statement.probability if probability is None else as_fraction(probability)
+    )
+    new_time = (
+        statement.time_bound if time_bound is None else as_fraction(time_bound)
+    )
+    if new_probability > statement.probability:
+        raise ProofError(
+            f"cannot strengthen probability from {statement.probability} "
+            f"to {new_probability}"
+        )
+    if new_time < statement.time_bound:
+        raise ProofError(
+            f"cannot tighten time bound from {statement.time_bound} to {new_time}"
+        )
+    return ArrowStatement(
+        source=statement.source,
+        target=statement.target,
+        time_bound=new_time,
+        probability=new_probability,
+        schema_name=statement.schema_name,
+    )
+
+
+def strengthen_source(
+    statement: ArrowStatement, smaller_source: StateClass
+) -> ArrowStatement:
+    """Restrict the start set: ``U0 ⊆ U`` gives ``U0 --t-->_p U'``.
+
+    The subset relation is checked syntactically on atoms; use the
+    ledger's registered inclusions for semantic subsets.
+    """
+    if not smaller_source.is_subset_by_atoms(statement.source):
+        raise ProofError(
+            f"{smaller_source.name!r} is not a syntactic subset of "
+            f"{statement.source.name!r}"
+        )
+    return ArrowStatement(
+        source=smaller_source,
+        target=statement.target,
+        time_bound=statement.time_bound,
+        probability=statement.probability,
+        schema_name=statement.schema_name,
+    )
+
+
+def widen_target(
+    statement: ArrowStatement, larger_target: StateClass
+) -> ArrowStatement:
+    """Enlarge the goal set: ``U' ⊆ U''`` gives ``U --t-->_p U''``."""
+    if not statement.target.is_subset_by_atoms(larger_target):
+        raise ProofError(
+            f"{statement.target.name!r} is not a syntactic subset of "
+            f"{larger_target.name!r}"
+        )
+    return ArrowStatement(
+        source=statement.source,
+        target=larger_target,
+        time_bound=statement.time_bound,
+        probability=statement.probability,
+        schema_name=statement.schema_name,
+    )
+
+
+def chain(
+    statements: "list[ArrowStatement]",
+    schema_execution_closed: bool = True,
+) -> ArrowStatement:
+    """Fold :func:`compose` over a list of statements, left to right."""
+    if not statements:
+        raise ProofError("cannot chain an empty list of statements")
+    result = statements[0]
+    for statement in statements[1:]:
+        result = compose(result, statement, schema_execution_closed)
+    return result

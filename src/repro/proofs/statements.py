@@ -1,0 +1,185 @@
+"""Arrow statements ``U --t-->_p U'`` (Definition 3.1).
+
+An arrow statement asserts: starting from any state of ``U`` and under
+any adversary of the schema ``Advs``, the probability that a state of
+``U'`` is reached within time ``t`` is at least ``p``.  This module
+makes the statement a first-class value so that the proof rules of
+:mod:`repro.proofs.rules` can manipulate it mechanically.
+
+State sets are represented by :class:`StateClass`: a union of named
+atoms, each with a predicate.  Statement composition (Theorem 3.4)
+requires the intermediate sets of two statements to be *the same set*;
+comparing predicates is undecidable, so equality is by the atom names —
+``(G | P) | (G | P) == G | P`` holds definitionally, which is exactly
+the algebra the paper's Section 6.2 chain needs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, FrozenSet, Hashable, Optional, TypeVar
+
+from repro.errors import ProofError
+from repro.probability.space import as_fraction
+
+State = TypeVar("State", bound=Hashable)
+
+
+class StateClass:
+    """A named union of state-set atoms, each backed by a predicate.
+
+    ``StateClass("G", is_good) | StateClass("P", in_pre)`` denotes the
+    union ``G ∪ P``.  Two classes are equal when their atom-name sets
+    are equal; the predicates let verifiers test membership of concrete
+    states.  Reusing an atom name for a different predicate is rejected
+    on union, since it would silently conflate different sets.
+    """
+
+    __slots__ = ("_predicates",)
+
+    def __init__(self, name: str, predicate: Callable[[State], bool]):
+        if not name:
+            raise ProofError("a state class needs a nonempty name")
+        if "|" in name:
+            raise ProofError("atom names may not contain '|' (reserved for unions)")
+        self._predicates: Dict[str, Callable[[State], bool]] = {name: predicate}
+
+    @classmethod
+    def _from_predicates(
+        cls, predicates: Dict[str, Callable[[State], bool]]
+    ) -> "StateClass":
+        instance = cls.__new__(cls)
+        instance._predicates = dict(predicates)
+        return instance
+
+    @property
+    def atoms(self) -> FrozenSet[str]:
+        """The atom names making up this union."""
+        return frozenset(self._predicates)
+
+    @property
+    def name(self) -> str:
+        """Canonical display name, e.g. ``"F | G | P"``."""
+        return " | ".join(sorted(self._predicates))
+
+    def contains(self, state: State) -> bool:
+        """Membership test: does ``state`` belong to this set?"""
+        return any(predicate(state) for predicate in self._predicates.values())
+
+    def __call__(self, state: State) -> bool:
+        return self.contains(state)
+
+    def union(self, other: "StateClass") -> "StateClass":
+        """The union of two classes (Proposition 3.2's ``U ∪ U''``)."""
+        merged = dict(self._predicates)
+        for atom, predicate in other._predicates.items():
+            existing = merged.get(atom)
+            if existing is not None and existing is not predicate:
+                raise ProofError(
+                    f"atom {atom!r} bound to two different predicates; "
+                    "reuse the same StateClass object for the same set"
+                )
+            merged[atom] = predicate
+        return StateClass._from_predicates(merged)
+
+    def __or__(self, other: "StateClass") -> "StateClass":
+        return self.union(other)
+
+    def is_subset_by_atoms(self, other: "StateClass") -> bool:
+        """Syntactic subset: every atom of self is an atom of other.
+
+        Sound (atom sets denote unions) but incomplete — semantic
+        inclusions between differently-named sets must be registered
+        explicitly with the ledger's ``add_inclusion``.
+        """
+        return self.atoms <= other.atoms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateClass):
+            return NotImplemented
+        return self.atoms == other.atoms
+
+    def __hash__(self) -> int:
+        return hash(self.atoms)
+
+    def __repr__(self) -> str:
+        return f"StateClass({self.name})"
+
+
+class ArrowStatement:
+    """``U --t-->_p U'`` relative to a named adversary schema.
+
+    Immutable.  ``schema_name`` ties the statement to the adversary
+    schema it was proved against; the composition rule refuses to mix
+    statements proved against different schemas.
+    """
+
+    __slots__ = ("_source", "_target", "_time", "_probability", "_schema_name")
+
+    def __init__(
+        self,
+        source: StateClass,
+        target: StateClass,
+        time_bound,
+        probability,
+        schema_name: str,
+    ):
+        time_bound = as_fraction(time_bound)
+        probability = as_fraction(probability)
+        if time_bound < 0:
+            raise ProofError(f"time bound must be nonnegative, got {time_bound}")
+        if not 0 <= probability <= 1:
+            raise ProofError(f"probability must be in [0, 1], got {probability}")
+        self._source = source
+        self._target = target
+        self._time = time_bound
+        self._probability = probability
+        self._schema_name = schema_name
+
+    @property
+    def source(self) -> StateClass:
+        """The set ``U`` the system starts in."""
+        return self._source
+
+    @property
+    def target(self) -> StateClass:
+        """The set ``U'`` to be reached."""
+        return self._target
+
+    @property
+    def time_bound(self) -> Fraction:
+        """The deadline ``t``."""
+        return self._time
+
+    @property
+    def probability(self) -> Fraction:
+        """The guaranteed probability ``p``."""
+        return self._probability
+
+    @property
+    def schema_name(self) -> str:
+        """The adversary schema the statement quantifies over."""
+        return self._schema_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrowStatement):
+            return NotImplemented
+        return (
+            self._source == other._source
+            and self._target == other._target
+            and self._time == other._time
+            and self._probability == other._probability
+            and self._schema_name == other._schema_name
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._source, self._target, self._time, self._probability,
+             self._schema_name)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{self._source.name} --{self._time}-->_{self._probability} "
+            f"{self._target.name}  [{self._schema_name}]"
+        )

@@ -1,0 +1,320 @@
+"""Checking arrow statements against concrete automata.
+
+An arrow statement quantifies over *all* start states in ``U`` and *all*
+adversaries in a schema.  The verifier approximates that quantification
+from the hostile side:
+
+* :func:`check_arrow_by_sampling` — Monte-Carlo estimates of the success
+  probability for every (adversary, start state) pair in a supplied
+  family, with exact Clopper-Pearson bounds.  Truncated samples count as
+  failures, so estimated lower bounds remain sound.
+* :func:`check_arrow_exactly` — exact tree evaluation via
+  :func:`repro.execution.measure.event_probability_bounds` for each pair
+  (feasible for short horizons / small branching).
+
+Both return a report whose ``worst`` entry is the empirically most
+damaging pair; a statement is *refuted* when some pair's exact upper
+confidence bound falls below the claimed probability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.adversary.base import Adversary
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import VerificationError
+from repro.events.reach import ReachWithinTime
+from repro.execution.automaton import ExecutionAutomaton
+from repro.execution.measure import EventBounds, event_probability_bounds
+from repro.execution.sampler import sample_event
+from repro.probability.stats import (
+    BernoulliSummary,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+)
+from repro.proofs.statements import ArrowStatement
+
+State = TypeVar("State", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class PairCheck:
+    """Sampling outcome for one (adversary, start state) pair."""
+
+    adversary_name: str
+    start_state: object
+    summary: BernoulliSummary
+    truncated: int
+
+    @property
+    def estimate(self) -> float:
+        """Point estimate of the success probability for this pair."""
+        return self.summary.estimate
+
+
+@dataclass(frozen=True)
+class ArrowCheckReport:
+    """The aggregated verdict of a sampling check."""
+
+    statement: ArrowStatement
+    checks: Tuple[PairCheck, ...]
+    confidence: float
+
+    @property
+    def worst(self) -> PairCheck:
+        """The pair with the lowest estimated success probability."""
+        return min(self.checks, key=lambda c: c.estimate)
+
+    @property
+    def min_estimate(self) -> float:
+        """The lowest success-probability estimate across pairs."""
+        return self.worst.estimate
+
+    @property
+    def refuted(self) -> bool:
+        """True when some pair statistically refutes the claimed bound.
+
+        Uses the exact upper confidence bound: if even the optimistic
+        reading of a pair's data stays below ``p``, no adversary-side
+        slack can rescue the statement.
+        """
+        claimed = float(self.statement.probability)
+        return any(
+            clopper_pearson_upper(check.summary, self.confidence) < claimed
+            for check in self.checks
+        )
+
+    @property
+    def supported(self) -> bool:
+        """True when every pair's lower confidence bound meets ``p``."""
+        claimed = float(self.statement.probability)
+        return all(
+            clopper_pearson_lower(check.summary, self.confidence) >= claimed
+            for check in self.checks
+        )
+
+    def summary_line(self) -> str:
+        """A one-line human-readable digest for reports."""
+        worst = self.worst
+        verdict = (
+            "REFUTED" if self.refuted else
+            ("supported" if self.supported else "consistent")
+        )
+        return (
+            f"{self.statement!r}: min estimate {self.min_estimate:.4f} "
+            f"(claimed >= {float(self.statement.probability):.4f}) under "
+            f"{worst.adversary_name} -- {verdict}"
+        )
+
+
+def check_arrow_by_sampling(
+    automaton: ProbabilisticAutomaton[State],
+    statement: ArrowStatement,
+    adversaries: Sequence[Tuple[str, Adversary[State]]],
+    start_states: Sequence[State],
+    time_of: Callable[[State], Fraction],
+    rng: random.Random,
+    samples_per_pair: int = 200,
+    max_steps: int = 2_000,
+    confidence: float = 0.99,
+) -> ArrowCheckReport:
+    """Monte-Carlo check of ``statement`` over an adversary family.
+
+    Every start state must lie in the statement's source set (checked).
+    Truncated runs count as failures, keeping the estimates sound as
+    lower bounds on the true success probability.
+    """
+    if not adversaries:
+        raise VerificationError("no adversaries supplied")
+    if not start_states:
+        raise VerificationError("no start states supplied")
+    if samples_per_pair <= 0:
+        raise VerificationError("samples_per_pair must be positive")
+
+    checks: List[PairCheck] = []
+    for name, adversary in adversaries:
+        for start in start_states:
+            if not statement.source.contains(start):
+                raise VerificationError(
+                    f"start state {start!r} is not in the statement's "
+                    f"source set {statement.source.name!r}"
+                )
+            schema = ReachWithinTime(
+                target=statement.target.contains,
+                time_bound=statement.time_bound,
+                time_of=time_of,
+            )
+            fragment = ExecutionFragment.initial(start)
+            successes = 0
+            truncated = 0
+            for _ in range(samples_per_pair):
+                result = sample_event(
+                    automaton, adversary, fragment, schema, rng, max_steps
+                )
+                if result.truncated:
+                    truncated += 1
+                elif result.verdict:
+                    successes += 1
+            checks.append(
+                PairCheck(
+                    adversary_name=name,
+                    start_state=start,
+                    summary=BernoulliSummary(successes, samples_per_pair),
+                    truncated=truncated,
+                )
+            )
+    return ArrowCheckReport(
+        statement=statement, checks=tuple(checks), confidence=confidence
+    )
+
+
+@dataclass(frozen=True)
+class ExactPairCheck:
+    """Exact bounds for one (adversary, start state) pair."""
+
+    adversary_name: str
+    start_state: object
+    bounds: EventBounds
+
+
+@dataclass(frozen=True)
+class ExactArrowReport:
+    """The aggregated verdict of an exact tree-evaluation check."""
+
+    statement: ArrowStatement
+    checks: Tuple[ExactPairCheck, ...]
+
+    @property
+    def min_lower_bound(self) -> Fraction:
+        """The worst exact lower bound across all pairs."""
+        return min(check.bounds.lower for check in self.checks)
+
+    @property
+    def holds_for_family(self) -> bool:
+        """True when every pair's exact lower bound meets ``p``."""
+        return self.min_lower_bound >= self.statement.probability
+
+    @property
+    def refuted(self) -> bool:
+        """True when some pair's exact *upper* bound falls below ``p``.
+
+        A genuine counterexample: for that adversary and start state the
+        event's probability is provably below the claim.
+        """
+        return any(
+            check.bounds.upper < self.statement.probability
+            for check in self.checks
+        )
+
+
+def check_arrow_exactly(
+    automaton: ProbabilisticAutomaton[State],
+    statement: ArrowStatement,
+    adversaries: Sequence[Tuple[str, Adversary[State]]],
+    start_states: Sequence[State],
+    time_of: Callable[[State], Fraction],
+    max_steps: int = 60,
+) -> ExactArrowReport:
+    """Exact check of ``statement`` over an adversary family.
+
+    Exponential in ``max_steps`` in the worst case; intended for short
+    horizons (the per-phase arrows of the Lehmann-Rabin proof) and for
+    small explicit automata in tests.
+    """
+    if not adversaries:
+        raise VerificationError("no adversaries supplied")
+    if not start_states:
+        raise VerificationError("no start states supplied")
+    checks: List[ExactPairCheck] = []
+    for name, adversary in adversaries:
+        for start in start_states:
+            if not statement.source.contains(start):
+                raise VerificationError(
+                    f"start state {start!r} is not in the statement's "
+                    f"source set {statement.source.name!r}"
+                )
+            schema = ReachWithinTime(
+                target=statement.target.contains,
+                time_bound=statement.time_bound,
+                time_of=time_of,
+            )
+            execution_automaton = ExecutionAutomaton(
+                automaton, adversary, ExecutionFragment.initial(start)
+            )
+            bounds = event_probability_bounds(
+                execution_automaton, schema, max_steps
+            )
+            checks.append(ExactPairCheck(name, start, bounds))
+    return ExactArrowReport(statement=statement, checks=tuple(checks))
+
+
+@dataclass(frozen=True)
+class TimeToTargetReport:
+    """Sampled time-to-target statistics for one adversary."""
+
+    adversary_name: str
+    times: Tuple[Fraction, ...]
+    unreached: int
+
+    @property
+    def mean(self) -> float:
+        """Mean time over the samples that did reach the target."""
+        if not self.times:
+            raise VerificationError("no sample reached the target")
+        return float(sum(self.times) / len(self.times))
+
+    @property
+    def maximum(self) -> Fraction:
+        """The slowest observed time-to-target."""
+        if not self.times:
+            raise VerificationError("no sample reached the target")
+        return max(self.times)
+
+
+def measure_time_to_target(
+    automaton: ProbabilisticAutomaton[State],
+    adversary_name: str,
+    adversary: Adversary[State],
+    start_states: Sequence[State],
+    target: Callable[[State], bool],
+    time_of: Callable[[State], Fraction],
+    rng: random.Random,
+    samples: int = 200,
+    max_steps: int = 20_000,
+) -> TimeToTargetReport:
+    """Sample the time until ``target`` holds, for expected-time claims.
+
+    Runs that never reach the target within the step budget are counted
+    in ``unreached`` and excluded from the mean — report both; a nonzero
+    ``unreached`` under a Unit-Time adversary signals either a too-small
+    budget or a genuine liveness problem.
+    """
+    from repro.execution.sampler import sample_time_until
+
+    if samples <= 0:
+        raise VerificationError("samples must be positive")
+    times: List[Fraction] = []
+    unreached = 0
+    for index in range(samples):
+        start = start_states[index % len(start_states)]
+        elapsed = sample_time_until(
+            automaton,
+            adversary,
+            ExecutionFragment.initial(start),
+            target,
+            time_of,
+            rng,
+            max_steps,
+        )
+        if elapsed is None:
+            unreached += 1
+        else:
+            times.append(elapsed)
+    return TimeToTargetReport(
+        adversary_name=adversary_name, times=tuple(times), unreached=unreached
+    )

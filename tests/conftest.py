@@ -1,0 +1,64 @@
+"""Shared fixtures: small hand-built automata used across the suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.automaton.automaton import ExplicitAutomaton
+from repro.automaton.signature import ActionSignature
+from repro.automaton.transition import Transition
+from repro.probability.space import FiniteDistribution
+
+
+@pytest.fixture
+def coin_walk() -> ExplicitAutomaton[str]:
+    """start --hop1--> middle --hop2--> goal, each hop a retrying coin."""
+    signature = ActionSignature(internal=frozenset({"hop1", "hop2"}))
+    steps = [
+        Transition("start", "hop1", FiniteDistribution.bernoulli("middle", "start")),
+        Transition("middle", "hop2", FiniteDistribution.bernoulli("goal", "middle")),
+    ]
+    return ExplicitAutomaton(
+        states=["start", "middle", "goal"],
+        start_states=["start"],
+        signature=signature,
+        steps=steps,
+    )
+
+
+@pytest.fixture
+def branching_automaton() -> ExplicitAutomaton[str]:
+    """The Section 2 motivating example: two steps from s0 with different
+    probabilities of reaching s1 (1/2 vs 1/3)."""
+    signature = ActionSignature(internal=frozenset({"a", "b"}))
+    steps = [
+        Transition(
+            "s0", "a",
+            FiniteDistribution({"s1": Fraction(1, 2), "s2": Fraction(1, 2)}),
+        ),
+        Transition(
+            "s0", "b",
+            FiniteDistribution({"s1": Fraction(1, 3), "s2": Fraction(2, 3)}),
+        ),
+    ]
+    return ExplicitAutomaton(
+        states=["s0", "s1", "s2"],
+        start_states=["s0"],
+        signature=signature,
+        steps=steps,
+    )
+
+
+@pytest.fixture
+def deterministic_chain() -> ExplicitAutomaton[int]:
+    """0 -> 1 -> 2 -> 3, all Dirac steps, fully probabilistic."""
+    signature = ActionSignature(internal=frozenset({"step"}))
+    steps = [Transition.deterministic(i, "step", i + 1) for i in range(3)]
+    return ExplicitAutomaton(
+        states=[0, 1, 2, 3],
+        start_states=[0],
+        signature=signature,
+        steps=steps,
+    )

@@ -1,0 +1,192 @@
+"""Unit tests for probabilistic automata and transitions."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.automaton.automaton import ExplicitAutomaton, FunctionalAutomaton
+from repro.automaton.signature import ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+from repro.probability.space import FiniteDistribution
+
+
+class TestTransition:
+    def test_components(self):
+        target = FiniteDistribution.bernoulli("b", "c")
+        step = Transition("a", "act", target)
+        assert step.source == "a"
+        assert step.action == "act"
+        assert step.target is target
+
+    def test_deterministic_constructor(self):
+        step = Transition.deterministic("a", "act", "b")
+        assert step.is_deterministic()
+        assert step.target.the_point() == "b"
+
+    def test_probabilistic_is_not_deterministic(self):
+        step = Transition("a", "act", FiniteDistribution.bernoulli("b", "c"))
+        assert not step.is_deterministic()
+
+    def test_equality_and_hash(self):
+        a = Transition.deterministic("a", "act", "b")
+        b = Transition.deterministic("a", "act", "b")
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality_on_action(self):
+        a = Transition.deterministic("a", "x", "b")
+        b = Transition.deterministic("a", "y", "b")
+        assert a != b
+
+
+class TestExplicitAutomaton:
+    def test_requires_states(self):
+        with pytest.raises(AutomatonError):
+            ExplicitAutomaton([], [], ActionSignature(), [])
+
+    def test_requires_start_state(self):
+        with pytest.raises(AutomatonError):
+            ExplicitAutomaton(["a"], [], ActionSignature(), [])
+
+    def test_start_must_be_state(self):
+        with pytest.raises(AutomatonError):
+            ExplicitAutomaton(["a"], ["b"], ActionSignature(), [])
+
+    def test_step_source_must_be_state(self):
+        with pytest.raises(AutomatonError):
+            ExplicitAutomaton(
+                ["a"], ["a"],
+                ActionSignature(internal={"x"}),
+                [Transition.deterministic("zzz", "x", "a")],
+            )
+
+    def test_step_action_must_be_in_signature(self):
+        with pytest.raises(AutomatonError):
+            ExplicitAutomaton(
+                ["a"], ["a"],
+                ActionSignature(internal={"x"}),
+                [Transition.deterministic("a", "unknown", "a")],
+            )
+
+    def test_step_target_support_must_be_states(self):
+        with pytest.raises(AutomatonError):
+            ExplicitAutomaton(
+                ["a"], ["a"],
+                ActionSignature(internal={"x"}),
+                [Transition.deterministic("a", "x", "zzz")],
+            )
+
+    def test_transitions_by_source(self, branching_automaton):
+        steps = branching_automaton.transitions("s0")
+        assert len(steps) == 2
+        assert {step.action for step in steps} == {"a", "b"}
+
+    def test_transitions_of_terminal_state(self, branching_automaton):
+        assert branching_automaton.transitions("s1") == ()
+
+    def test_transitions_unknown_state_rejected(self, branching_automaton):
+        with pytest.raises(AutomatonError):
+            branching_automaton.transitions("zzz")
+
+    def test_enabled_actions_order_stable(self, branching_automaton):
+        assert branching_automaton.enabled_actions("s0") == ("a", "b")
+
+    def test_is_enabled(self, branching_automaton):
+        assert branching_automaton.is_enabled("s0", "a")
+        assert not branching_automaton.is_enabled("s1", "a")
+
+    def test_transitions_for(self, branching_automaton):
+        steps = branching_automaton.transitions_for("s0", "a")
+        assert len(steps) == 1 and steps[0].action == "a"
+
+    def test_steps_property_lists_everything(self, coin_walk):
+        assert len(coin_walk.steps) == 2
+
+    def test_validate_state(self, coin_walk):
+        coin_walk.validate_state("start")
+        with pytest.raises(AutomatonError):
+            coin_walk.validate_state("zzz")
+
+
+class TestFullyProbabilistic:
+    def test_chain_is_fully_probabilistic(self, deterministic_chain):
+        assert deterministic_chain.is_fully_probabilistic()
+
+    def test_branching_is_not(self, branching_automaton):
+        assert not branching_automaton.is_fully_probabilistic()
+
+    def test_two_start_states_is_not(self):
+        auto = ExplicitAutomaton(
+            ["a", "b"], ["a", "b"], ActionSignature(), []
+        )
+        assert not auto.is_fully_probabilistic()
+
+
+class TestFunctionalAutomaton:
+    def make(self):
+        signature = ActionSignature(internal={"inc"})
+
+        def transition_fn(state: int):
+            return [Transition.deterministic(state, "inc", state + 1)]
+
+        return FunctionalAutomaton(
+            start_states=[0], signature=signature, transition_fn=transition_fn
+        )
+
+    def test_requires_start_state(self):
+        with pytest.raises(AutomatonError):
+            FunctionalAutomaton([], ActionSignature(), lambda s: [])
+
+    def test_computes_transitions(self):
+        auto = self.make()
+        steps = auto.transitions(5)
+        assert steps[0].target.the_point() == 6
+
+    def test_memoises(self):
+        calls = []
+
+        def transition_fn(state):
+            calls.append(state)
+            return [Transition.deterministic(state, "inc", state + 1)]
+
+        auto = FunctionalAutomaton(
+            [0], ActionSignature(internal={"inc"}), transition_fn
+        )
+        auto.transitions(3)
+        auto.transitions(3)
+        assert calls == [3]
+
+    def test_rejects_wrong_source(self):
+        def transition_fn(state):
+            return [Transition.deterministic(state + 1, "inc", state)]
+
+        auto = FunctionalAutomaton(
+            [0], ActionSignature(internal={"inc"}), transition_fn
+        )
+        with pytest.raises(AutomatonError):
+            auto.transitions(0)
+
+    def test_rejects_unknown_action(self):
+        def transition_fn(state):
+            return [Transition.deterministic(state, "mystery", state)]
+
+        auto = FunctionalAutomaton(
+            [0], ActionSignature(internal={"inc"}), transition_fn
+        )
+        with pytest.raises(AutomatonError):
+            auto.transitions(0)
+
+    def test_state_validator_hook(self):
+        def validator(state):
+            if state < 0:
+                raise AutomatonError("negative")
+
+        auto = FunctionalAutomaton(
+            [0], ActionSignature(internal={"inc"}),
+            lambda s: [], state_validator=validator,
+        )
+        auto.validate_state(3)
+        with pytest.raises(AutomatonError):
+            auto.validate_state(-1)

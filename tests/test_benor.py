@@ -1,0 +1,338 @@
+"""Unit tests for the Ben-Or consensus case study."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import (
+    FifoRoundPolicy,
+    ReversedRoundPolicy,
+    RoundBasedAdversary,
+)
+from repro.algorithms import benor as bo
+from repro.algorithms.benor.automaton import (
+    BenOrProcess,
+    BenOrState,
+    Phase,
+    benor_process_transitions,
+)
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import AutomatonError, ProofError
+from repro.execution.sampler import sample_time_until
+
+
+def run_walk(inputs, policy, steps, seed, f=None):
+    automaton = bo.benor_automaton(inputs, f=f)
+    adversary = RoundBasedAdversary(
+        bo.BenOrProcessView(len(inputs)), policy
+    )
+    rng = random.Random(seed)
+    fragment = ExecutionFragment.initial(bo.benor_initial_state(inputs))
+    for _ in range(steps):
+        step = adversary.checked_choose(automaton, fragment)
+        if step is None:
+            break
+        fragment = fragment.extend(step.action, step.target.sample(rng))
+    return fragment
+
+
+class TestModel:
+    def test_binary_inputs_enforced(self):
+        with pytest.raises(AutomatonError):
+            bo.benor_initial_state((0, 2, 1))
+
+    def test_needs_n_greater_than_2f(self):
+        with pytest.raises(AutomatonError):
+            bo.benor_automaton((0, 1), f=1)
+
+    def test_default_crash_budget(self):
+        automaton = bo.benor_automaton((0, 1, 1))
+        state = bo.benor_initial_state((0, 1, 1))
+        crash_steps = [
+            s for s in automaton.transitions(state) if s.action[0] == bo.CRASH
+        ]
+        assert len(crash_steps) == 3  # f = 1: anyone may crash first
+
+    def test_crash_budget_exhausts(self):
+        automaton = bo.benor_automaton((0, 1, 1), f=1)
+        state = bo.benor_initial_state((0, 1, 1))
+        (crash0,) = [
+            s for s in automaton.transitions(state)
+            if s.action == (bo.CRASH, 0)
+        ]
+        after = crash0.target.the_point()
+        assert not any(
+            s.action[0] == bo.CRASH for s in automaton.transitions(after)
+        )
+
+    def test_send1_posts_report_and_advances(self):
+        state = bo.benor_initial_state((1, 0, 1))
+        (step,) = [
+            s for s in benor_process_transitions(state, 0, 1)
+            if s.action == (bo.SEND1, 0)
+        ]
+        after = step.target.the_point()
+        assert (1, 1, 0, 1) in after.messages
+        assert after.processes[0].phase is Phase.COLLECT1
+
+    def test_collect1_busy_waits_without_quorum(self):
+        state = bo.benor_initial_state((1, 0, 1))
+        state = state.with_process(
+            0, BenOrProcess(Phase.COLLECT1, 1, 1, None, None, False)
+        )
+        (step,) = [
+            s for s in benor_process_transitions(state, 0, 1)
+            if s.action == (bo.COLLECT1, 0)
+        ]
+        assert step.target.the_point() == state
+
+    def test_collect1_majority_proposes_value(self):
+        state = bo.benor_initial_state((1, 1, 0))
+        state = BenOrState(
+            processes=(
+                BenOrProcess(Phase.COLLECT1, 1, 1, None, None, False),
+            ) + state.processes[1:],
+            messages=frozenset({(1, 1, 0, 1), (1, 1, 1, 1), (1, 1, 2, 0)}),
+            time=state.time,
+        )
+        (step,) = [
+            s for s in benor_process_transitions(state, 0, 1)
+            if s.action == (bo.COLLECT1, 0)
+        ]
+        after = step.target.the_point()
+        assert after.processes[0].phase is Phase.SEND2
+        assert after.processes[0].proposal == 1
+
+    def test_collect1_split_proposes_question_mark(self):
+        state = bo.benor_initial_state((1, 0, 1))
+        state = BenOrState(
+            processes=(
+                BenOrProcess(Phase.COLLECT1, 1, 1, None, None, False),
+            ) + state.processes[1:],
+            messages=frozenset({(1, 1, 0, 1), (1, 1, 2, 0)}),
+            time=state.time,
+        )
+        (step,) = [
+            s for s in benor_process_transitions(state, 0, 1)
+            if s.action == (bo.COLLECT1, 0)
+        ]
+        assert step.target.the_point().processes[0].proposal is None
+
+    def test_collect2_decides_on_f_plus_1_proposals(self):
+        state = bo.benor_initial_state((1, 1, 0))
+        state = BenOrState(
+            processes=(
+                BenOrProcess(Phase.COLLECT2, 1, 1, 1, None, False),
+            ) + state.processes[1:],
+            messages=frozenset({(2, 1, 0, 1), (2, 1, 1, 1)}),
+            time=state.time,
+        )
+        (step,) = [
+            s for s in benor_process_transitions(state, 0, 1)
+            if s.action == (bo.COLLECT2, 0)
+        ]
+        after = step.target.the_point()
+        assert after.processes[0].decided == 1
+        assert after.processes[0].round == 2
+        assert after.processes[0].phase is Phase.SEND1
+
+    def test_collect2_adopts_single_proposal(self):
+        state = bo.benor_initial_state((1, 1, 0))
+        state = BenOrState(
+            processes=(
+                BenOrProcess(Phase.COLLECT2, 1, 0, None, None, False),
+            ) + state.processes[1:],
+            messages=frozenset({(2, 1, 0, None), (2, 1, 1, 1)}),
+            time=state.time,
+        )
+        (step,) = [
+            s for s in benor_process_transitions(state, 0, 1)
+            if s.action == (bo.COLLECT2, 0)
+        ]
+        after = step.target.the_point()
+        assert after.processes[0].decided is None
+        assert after.processes[0].value == 1
+
+    def test_collect2_flips_fair_coin_without_proposals(self):
+        state = bo.benor_initial_state((1, 1, 0))
+        state = BenOrState(
+            processes=(
+                BenOrProcess(Phase.COLLECT2, 1, 0, None, None, False),
+            ) + state.processes[1:],
+            messages=frozenset({(2, 1, 0, None), (2, 1, 1, None)}),
+            time=state.time,
+        )
+        (step,) = [
+            s for s in benor_process_transitions(state, 0, 1)
+            if s.action == (bo.FLIP, 0)
+        ]
+        values = {s.processes[0].value for s in step.target.support}
+        assert values == {0, 1}
+        for _, weight in step.target.items():
+            assert weight == Fraction(1, 2)
+
+    def test_crashed_process_has_no_steps(self):
+        state = bo.benor_initial_state((1, 0, 1))
+        crashed = state.with_process(
+            0, BenOrProcess(Phase.SEND1, 1, 1, None, None, True)
+        )
+        assert benor_process_transitions(crashed, 0, 1) == []
+
+
+class TestProperties:
+    @pytest.mark.parametrize(
+        "inputs", [(0, 0, 0), (1, 1, 1), (0, 1, 1), (1, 0, 1, 0, 1)]
+    )
+    def test_agreement_and_validity_along_runs(self, inputs):
+        for seed in (0, 1):
+            fragment = run_walk(
+                inputs, HashedRandomRoundPolicy(seed), 300, seed
+            )
+            for state in fragment.states:
+                assert bo.agreement_holds(state)
+                assert bo.validity_holds(state, inputs)
+
+    @pytest.mark.parametrize("inputs", [(0, 0, 0), (1, 1, 1)])
+    def test_unanimous_inputs_decide_round_one(self, inputs):
+        automaton = bo.benor_automaton(inputs)
+        adversary = RoundBasedAdversary(
+            bo.BenOrProcessView(3), FifoRoundPolicy()
+        )
+        elapsed = sample_time_until(
+            automaton,
+            adversary,
+            ExecutionFragment.initial(bo.benor_initial_state(inputs)),
+            bo.all_live_decided,
+            bo.benor_time_of,
+            random.Random(0),
+            2_000,
+        )
+        assert elapsed is not None and elapsed <= 4
+        # And the decision is the common input (validity).
+        fragment = run_walk(inputs, FifoRoundPolicy(), 40, 0)
+        decided = {
+            p.decided
+            for p in fragment.lstate.processes
+            if p.decided is not None
+        }
+        assert decided == {inputs[0]}
+
+    def test_termination_with_mixed_inputs(self):
+        automaton = bo.benor_automaton((0, 1, 0))
+        for policy in (FifoRoundPolicy(), ReversedRoundPolicy()):
+            adversary = RoundBasedAdversary(bo.BenOrProcessView(3), policy)
+            rng = random.Random(7)
+            for _ in range(10):
+                elapsed = sample_time_until(
+                    automaton,
+                    adversary,
+                    ExecutionFragment.initial(bo.benor_initial_state((0, 1, 0))),
+                    bo.some_decided,
+                    bo.benor_time_of,
+                    rng,
+                    5_000,
+                )
+                assert elapsed is not None
+
+    def test_termination_despite_a_crash(self):
+        class CrashEarly(FifoRoundPolicy):
+            def next_move(self, automaton, fragment, pending, view):
+                state = fragment.lstate
+                if state.crashed_count() < 1:
+                    for step in automaton.transitions(state):
+                        if step.action == (bo.CRASH, 2):
+                            return step
+                return super().next_move(
+                    automaton, fragment, pending, view
+                )
+
+        automaton = bo.benor_automaton((0, 1, 1), f=1)
+        adversary = RoundBasedAdversary(
+            bo.BenOrProcessView(3), CrashEarly()
+        )
+        elapsed = sample_time_until(
+            automaton,
+            adversary,
+            ExecutionFragment.initial(bo.benor_initial_state((0, 1, 1))),
+            bo.some_decided,
+            bo.benor_time_of,
+            random.Random(3),
+            5_000,
+        )
+        assert elapsed is not None
+
+
+class TestCoinPath:
+    def test_split_vote_after_crash_uses_coins_and_terminates(self):
+        """Crashing a 0-voter immediately leaves live inputs (1, 0):
+        no majority, proposals all '?', so progress comes from the
+        coins — and Ben-Or still terminates, in randomized time."""
+
+        class CrashNow(FifoRoundPolicy):
+            def next_move(self, automaton, fragment, pending, view):
+                state = fragment.lstate
+                if state.crashed_count() < 1:
+                    for step in automaton.transitions(state):
+                        if step.action == (bo.CRASH, 0):
+                            return step
+                return super().next_move(
+                    automaton, fragment, pending, view
+                )
+
+        inputs = (0, 1, 0)
+        automaton = bo.benor_automaton(inputs)
+        adversary = RoundBasedAdversary(bo.BenOrProcessView(3), CrashNow())
+        rng = random.Random(0)
+        flips_seen = 0
+        decision_times = []
+        for _ in range(20):
+            fragment = ExecutionFragment.initial(
+                bo.benor_initial_state(inputs)
+            )
+            elapsed = None
+            for _ in range(3_000):
+                step = adversary.checked_choose(automaton, fragment)
+                fragment = fragment.extend(
+                    step.action, step.target.sample(rng)
+                )
+                if step.action[0] == bo.FLIP:
+                    flips_seen += 1
+                assert bo.agreement_holds(fragment.lstate)
+                if bo.some_decided(fragment.lstate):
+                    elapsed = bo.benor_time_of(fragment.lstate)
+                    break
+            assert elapsed is not None
+            decision_times.append(elapsed)
+        assert flips_seen > 0  # the coin path genuinely ran
+        # Randomized termination: slower than the majority path (3)
+        # but still well within the retry bound.
+        assert max(decision_times) > 3
+        mean = float(sum(decision_times) / len(decision_times))
+        assert mean <= float(bo.benor_expected_time_bound(3))
+
+
+class TestClaims:
+    def test_progress_statement_shape(self):
+        statement = bo.benor_progress_statement(3)
+        assert statement.time_bound == 10
+        assert statement.probability == Fraction(1, 8)
+        assert statement.source == bo.INIT_CLASS
+        assert statement.target == bo.DECIDED_CLASS
+
+    def test_initial_state_is_in_init(self):
+        assert bo.INIT_CLASS.contains(bo.benor_initial_state((0, 1, 0)))
+
+    def test_started_state_leaves_init(self):
+        fragment = run_walk((0, 1, 0), FifoRoundPolicy(), 3, 0)
+        assert not bo.INIT_CLASS.contains(fragment.lstate)
+
+    def test_expected_time_bound(self):
+        assert bo.benor_expected_time_bound(3) == 80
+
+    def test_minimum_size(self):
+        with pytest.raises(ProofError):
+            bo.benor_progress_statement(1)

@@ -1,0 +1,85 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.n == 3 and args.seed == 0 and args.samples == 80
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["verify", "--n", "4", "--seed", "7", "--samples", "10"]
+        )
+        assert (args.n, args.seed, args.samples) == (4, 7, 10)
+
+
+class TestCommands:
+    def test_prove(self, capsys):
+        assert main(["prove"]) == 0
+        out = capsys.readouterr().out
+        assert "T --13-->_1/8 C" in out
+        assert "63" in out
+
+    def test_verify_small(self, capsys):
+        assert main(["verify", "--samples", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Prop A.11" in out
+        assert "REFUTED" not in out
+
+    def test_exact_small(self, capsys):
+        assert main(["exact", "--states", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "A.14" in out and "FAILS" not in out
+
+    def test_appendix(self, capsys):
+        assert main(["appendix"]) == 0
+        out = capsys.readouterr().out
+        assert "A.9" in out and "FAILS" not in out
+
+    def test_expected_time_small(self, capsys):
+        assert main(["expected-time", "--samples", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "adversary" in out and "FAILS" not in out
+
+    def test_election(self, capsys):
+        assert main(["election", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "A1 | A2 | A3" in out
+
+    def test_benor(self, capsys):
+        assert main(["benor"]) == 0
+        out = capsys.readouterr().out
+        assert "Init --10-->_1/8 Decided" in out
+
+    def test_independence(self, capsys):
+        assert main(["independence"]) == 0
+        out = capsys.readouterr().out
+        assert "peek-q-on-T" in out and "FAILS" not in out
+
+    def test_exhaustive(self, capsys):
+        assert main(["exhaustive"]) == 0
+        out = capsys.readouterr().out
+        assert "A.11" in out and "1/2" in out
+        assert "FAILS" not in out
+
+    def test_all(self, capsys):
+        assert main(["all", "--states", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "T --13-->_1/8 C" in out
+        assert "A.12" in out
+        assert "peek-q-on-H" in out
+        assert "FAILS" not in out and "REFUTED" not in out

@@ -1,0 +1,120 @@
+"""Unit tests for the two-coin Example 4.1 model and its adversaries."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.coins import (
+    FLIP_P,
+    FLIP_Q,
+    HEADS,
+    TAILS,
+    both_flip_adversary,
+    never_flip_q_adversary,
+    p_heads,
+    peek_adversary,
+    q_tails,
+    two_coin_automaton,
+)
+from repro.automaton.execution import ExecutionFragment
+from repro.events.combinators import Intersection
+from repro.events.first import FirstOccurrence
+from repro.execution.automaton import ExecutionAutomaton
+from repro.execution.measure import exact_event_probability
+
+
+@pytest.fixture
+def automaton():
+    return two_coin_automaton()
+
+
+def probability_under(automaton, adversary, event):
+    tree = ExecutionAutomaton(
+        automaton, adversary, ExecutionFragment.initial((None, None))
+    )
+    return exact_event_probability(tree, event, max_steps=4)
+
+
+def pattern_event():
+    return Intersection(
+        [FirstOccurrence(FLIP_P, p_heads), FirstOccurrence(FLIP_Q, q_tails)]
+    )
+
+
+class TestModel:
+    def test_nine_states(self, automaton):
+        assert len(automaton.states) == 9
+
+    def test_each_coin_flips_once(self, automaton):
+        assert automaton.is_enabled((None, None), FLIP_P)
+        assert automaton.is_enabled((None, None), FLIP_Q)
+        assert not automaton.is_enabled((HEADS, None), FLIP_P)
+        assert automaton.transitions((HEADS, TAILS)) == ()
+
+    def test_flips_are_fair(self, automaton):
+        (step,) = automaton.transitions_for((None, None), FLIP_P)
+        assert step.target[(HEADS, None)] == Fraction(1, 2)
+        assert step.target[(TAILS, None)] == Fraction(1, 2)
+
+
+class TestAdversaries:
+    def test_both_flip_gives_one_quarter(self, automaton):
+        assert probability_under(
+            automaton, both_flip_adversary(), pattern_event()
+        ) == Fraction(1, 4)
+
+    def test_peek_on_heads_gives_one_quarter(self, automaton):
+        assert probability_under(
+            automaton, peek_adversary(HEADS), pattern_event()
+        ) == Fraction(1, 4)
+
+    def test_peek_on_tails_gives_one_half(self, automaton):
+        # P=H (prob 1/2): Q never flips, first_q vacuous -> success.
+        assert probability_under(
+            automaton, peek_adversary(TAILS), pattern_event()
+        ) == Fraction(1, 2)
+
+    def test_never_flip_q_gives_one_half(self, automaton):
+        assert probability_under(
+            automaton, never_flip_q_adversary(), pattern_event()
+        ) == Fraction(1, 2)
+
+    def test_example_4_1_lower_bound_holds_for_all(self, automaton):
+        adversaries = [
+            both_flip_adversary(),
+            peek_adversary(HEADS),
+            peek_adversary(TAILS),
+            never_flip_q_adversary(),
+        ]
+        for adversary in adversaries:
+            assert probability_under(
+                automaton, adversary, pattern_event()
+            ) >= Fraction(1, 4)
+
+    def test_peek_induces_dependence_on_conditional(self, automaton):
+        # Conditioned on both coins flipped, peek-on-heads forces P=H:
+        # P[H,T | both] = 1/2 instead of the naive 1/4.
+        occurs_p = FirstOccurrence(FLIP_P, lambda s: True)
+        occurs_q_heads_only = Intersection(
+            [
+                FirstOccurrence(FLIP_P, p_heads),
+                FirstOccurrence(FLIP_Q, q_tails),
+                _occurs(FLIP_Q),
+            ]
+        )
+        joint = probability_under(
+            automaton, peek_adversary(HEADS), occurs_q_heads_only
+        )
+        both = probability_under(
+            automaton, peek_adversary(HEADS), _occurs(FLIP_Q)
+        )
+        assert both == Fraction(1, 2)
+        assert joint / both == Fraction(1, 2)
+
+
+def _occurs(action):
+    from repro.events.combinators import Complement
+
+    return Complement(FirstOccurrence(action, lambda s: False))

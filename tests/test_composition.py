@@ -1,0 +1,115 @@
+"""Unit tests for parallel composition, renaming, and relabelling."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.automaton.automaton import ExplicitAutomaton
+from repro.automaton.composition import (
+    parallel_compose,
+    relabel_states,
+    rename_actions,
+)
+from repro.automaton.signature import ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+from repro.probability.space import FiniteDistribution
+
+
+def flipper(name_prefix: str = "") -> ExplicitAutomaton[str]:
+    """idle --flip--> heads/tails (fair)."""
+    flip = name_prefix + "flip"
+    return ExplicitAutomaton(
+        states=["idle", "heads", "tails"],
+        start_states=["idle"],
+        signature=ActionSignature(external={flip}),
+        steps=[
+            Transition("idle", flip, FiniteDistribution.bernoulli("heads", "tails"))
+        ],
+    )
+
+
+def toggler() -> ExplicitAutomaton[str]:
+    """on <--toggle--> off (deterministic, private action)."""
+    return ExplicitAutomaton(
+        states=["on", "off"],
+        start_states=["off"],
+        signature=ActionSignature(external={"toggle"}),
+        steps=[
+            Transition.deterministic("off", "toggle", "on"),
+            Transition.deterministic("on", "toggle", "off"),
+        ],
+    )
+
+
+class TestParallelCompose:
+    def test_states_are_pairs(self):
+        composed = parallel_compose(flipper("l_"), flipper("r_"))
+        assert ("idle", "idle") in composed.states
+        assert composed.start_states == (("idle", "idle"),)
+
+    def test_private_actions_interleave(self):
+        composed = parallel_compose(flipper("l_"), flipper("r_"))
+        steps = composed.transitions(("idle", "idle"))
+        assert {step.action for step in steps} == {"l_flip", "r_flip"}
+
+    def test_private_step_fixes_other_component(self):
+        composed = parallel_compose(flipper("l_"), toggler())
+        (left_step,) = composed.transitions_for(("idle", "off"), "l_flip")
+        assert left_step.target.support == {("heads", "off"), ("tails", "off")}
+
+    def test_shared_action_synchronises_with_product(self):
+        composed = parallel_compose(flipper(), flipper())
+        (step,) = composed.transitions(("idle", "idle"))
+        assert step.action == "flip"
+        assert step.target[("heads", "tails")] == Fraction(1, 4)
+        assert len(step.target) == 4
+
+    def test_shared_action_blocked_when_one_side_disabled(self):
+        composed = parallel_compose(flipper(), flipper())
+        # After both flipped, nobody enables flip again.
+        assert composed.transitions(("heads", "tails")) == ()
+
+    def test_incompatible_internal_actions_rejected(self):
+        left = ExplicitAutomaton(
+            ["a"], ["a"], ActionSignature(internal={"x"}), []
+        )
+        right = ExplicitAutomaton(
+            ["b"], ["b"], ActionSignature(external={"x"}), []
+        )
+        with pytest.raises(AutomatonError):
+            parallel_compose(left, right)
+
+    def test_reachable_joint_behaviour(self):
+        from repro.automaton.reachability import reachable_states
+
+        composed = parallel_compose(flipper("l_"), flipper("r_"))
+        assert len(reachable_states(composed)) == 9
+
+
+class TestRenameActions:
+    def test_rename_updates_signature_and_steps(self):
+        renamed = rename_actions(flipper(), {"flip": "flip_1"})
+        assert "flip_1" in renamed.signature
+        assert "flip" not in renamed.signature
+        (step,) = renamed.transitions("idle")
+        assert step.action == "flip_1"
+
+    def test_unmapped_actions_kept(self):
+        renamed = rename_actions(toggler(), {})
+        (step,) = renamed.transitions("off")
+        assert step.action == "toggle"
+
+
+class TestRelabelStates:
+    def test_relabel_applies_everywhere(self):
+        relabelled = relabel_states(toggler(), lambda s: ("proc", s))
+        assert relabelled.start_states == ((("proc", "off")),)
+        (step,) = relabelled.transitions(("proc", "off"))
+        assert step.target.the_point() == ("proc", "on")
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(AutomatonError):
+            relabel_states(toggler(), lambda s: "same")

@@ -1,0 +1,187 @@
+"""Unit tests for the asynchronous deadline-driven adversaries."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.deadline import (
+    StaggeredDeadlineAdversary,
+    evenly_staggered,
+)
+from repro.algorithms import lehmann_rabin as lr
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import TIME_PASSAGE
+from repro.errors import AdversaryError
+
+QUANTUM = Fraction(1, 4)
+
+
+@pytest.fixture
+def ring3():
+    automaton = lr.lehmann_rabin_automaton(3, time_increments=(QUANTUM,))
+    return automaton, lr.LRProcessView(3)
+
+
+class TestConstruction:
+    def test_quantum_must_divide_one(self, ring3):
+        _, view = ring3
+        with pytest.raises(AdversaryError):
+            StaggeredDeadlineAdversary(view, [0, 0, 0], Fraction(3, 7))
+
+    def test_offsets_must_match_processes(self, ring3):
+        _, view = ring3
+        with pytest.raises(AdversaryError):
+            StaggeredDeadlineAdversary(view, [Fraction(0)], QUANTUM)
+
+    def test_offsets_must_be_on_grid(self, ring3):
+        _, view = ring3
+        with pytest.raises(AdversaryError):
+            StaggeredDeadlineAdversary(
+                view, [Fraction(1, 3), Fraction(0), Fraction(0)], QUANTUM
+            )
+
+    def test_offsets_must_be_in_unit_interval(self, ring3):
+        _, view = ring3
+        with pytest.raises(AdversaryError):
+            StaggeredDeadlineAdversary(
+                view, [Fraction(5, 4), Fraction(0), Fraction(0)], QUANTUM
+            )
+
+    def test_evenly_staggered_offsets(self, ring3):
+        _, view = ring3
+        adversary = evenly_staggered(view, QUANTUM)
+        assert "1/4" in repr(adversary)
+
+
+class TestScheduling:
+    def run(self, automaton, adversary, start, steps, seed=0):
+        rng = random.Random(seed)
+        fragment = ExecutionFragment.initial(start)
+        for _ in range(steps):
+            step = adversary.checked_choose(automaton, fragment)
+            if step is None:
+                break
+            fragment = fragment.extend(step.action, step.target.sample(rng))
+        return fragment
+
+    def test_unit_time_obligation_holds(self, ring3):
+        automaton, view = ring3
+        adversary = evenly_staggered(view, QUANTUM)
+        start = lr.canonical_states(3)["all_flip"]
+        fragment = self.run(automaton, adversary, start, 300)
+        last = {}
+        for source, action, _ in fragment.steps():
+            process = view.process_of(action)
+            if process is None:
+                continue
+            now = lr.lr_time_of(source)
+            if process in last:
+                assert now - last[process] <= 1
+            last[process] = now
+
+    def test_steps_land_on_each_process_grid(self, ring3):
+        automaton, view = ring3
+        offsets = [Fraction(0), Fraction(1, 4), Fraction(1, 2)]
+        adversary = StaggeredDeadlineAdversary(view, offsets, QUANTUM)
+        start = lr.canonical_states(3)["all_flip"]
+        fragment = self.run(automaton, adversary, start, 200)
+        for source, action, _ in fragment.steps():
+            process = view.process_of(action)
+            if process is None:
+                continue
+            phase = (lr.lr_time_of(source) - offsets[process]) % 1
+            assert phase == 0, (process, lr.lr_time_of(source))
+
+    def test_consecutive_steps_exactly_one_apart(self, ring3):
+        automaton, view = ring3
+        adversary = evenly_staggered(view, QUANTUM)
+        start = lr.canonical_states(3)["contended"]
+        fragment = self.run(automaton, adversary, start, 200)
+        last = {}
+        gaps = set()
+        for source, action, _ in fragment.steps():
+            process = view.process_of(action)
+            if process is None:
+                continue
+            now = lr.lr_time_of(source)
+            if process in last:
+                gaps.add(now - last[process])
+            last[process] = now
+        assert gaps == {Fraction(1)}
+
+    def test_time_advances_between_grid_events(self, ring3):
+        automaton, view = ring3
+        adversary = evenly_staggered(view, QUANTUM)
+        start = lr.canonical_states(3)["all_flip"]
+        fragment = self.run(automaton, adversary, start, 100)
+        assert lr.lr_time_of(fragment.lstate) > 5
+
+    def test_invariants_preserved(self, ring3):
+        automaton, view = ring3
+        adversary = evenly_staggered(view, QUANTUM)
+        start = lr.canonical_states(3)["all_flip"]
+        fragment = self.run(automaton, adversary, start, 250, seed=3)
+        for state in fragment.states:
+            assert lr.lemma_6_1_holds(state)
+            assert lr.mutual_exclusion_holds(state)
+
+    def test_needs_matching_time_increments(self):
+        automaton = lr.lehmann_rabin_automaton(3)  # unit increments only
+        view = lr.LRProcessView(3)
+        adversary = StaggeredDeadlineAdversary(
+            view, [Fraction(0), Fraction(1, 4), Fraction(1, 2)], QUANTUM
+        )
+        start = lr.canonical_states(3)["all_flip"]
+        fragment = ExecutionFragment.initial(start)
+        # Process 0 is due at its offset 0 grid point immediately, so
+        # the first choices succeed; drive until a quantum advance is
+        # needed and the mismatch surfaces.
+        rng = random.Random(0)
+        with pytest.raises(AdversaryError):
+            for _ in range(50):
+                step = adversary.checked_choose(automaton, fragment)
+                fragment = fragment.extend(
+                    step.action, step.target.sample(rng)
+                )
+
+
+class TestClaimsUnderAsynchrony:
+    def test_composed_statement_survives(self, ring3):
+        from repro.events.reach import ReachWithinTime
+        from repro.execution.sampler import sample_event
+
+        automaton, view = ring3
+        adversary = evenly_staggered(view, QUANTUM)
+        start = lr.canonical_states(3)["all_flip"]
+        schema = ReachWithinTime(lr.in_critical, 13, lr.lr_time_of)
+        rng = random.Random(1)
+        wins = 0
+        samples = 120
+        for _ in range(samples):
+            result = sample_event(
+                automaton, adversary, ExecutionFragment.initial(start),
+                schema, rng, 3_000,
+            )
+            assert not result.truncated
+            wins += bool(result.verdict)
+        assert wins / samples >= 0.125
+
+    def test_expected_time_survives(self, ring3):
+        from repro.execution.sampler import sample_time_until
+
+        automaton, view = ring3
+        adversary = evenly_staggered(view, QUANTUM)
+        start = lr.canonical_states(3)["all_flip"]
+        rng = random.Random(2)
+        times = [
+            sample_time_until(
+                automaton, adversary, ExecutionFragment.initial(start),
+                lr.in_critical, lr.lr_time_of, rng, 20_000,
+            )
+            for _ in range(60)
+        ]
+        assert all(t is not None for t in times)
+        assert float(sum(times) / len(times)) <= 63.0

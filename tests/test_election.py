@@ -1,0 +1,218 @@
+"""Unit tests for the randomized leader-election case study."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import (
+    FifoRoundPolicy,
+    ReversedRoundPolicy,
+    RoundBasedAdversary,
+)
+from repro.algorithms import election as el
+from repro.algorithms.election.automaton import (
+    ElectionState,
+    EStatus,
+    election_transitions,
+)
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import AutomatonError, ProofError
+from repro.execution.sampler import sample_time_until
+
+
+def state_of(statuses, time=Fraction(0)):
+    return ElectionState(tuple(statuses), time)
+
+
+class TestTransitions:
+    def test_flip_is_fair(self):
+        state = state_of([EStatus.F, EStatus.F])
+        steps = [
+            s for s in election_transitions(state) if s.action == ("flip", 0)
+        ]
+        assert len(steps) == 1
+        outcomes = {s.statuses[0] for s in steps[0].target.support}
+        assert outcomes == {EStatus.W0, EStatus.W1}
+
+    def test_no_resolve_while_flips_pending(self):
+        state = state_of([EStatus.W0, EStatus.F])
+        actions = {s.action for s in election_transitions(state)}
+        assert ("resolve", 0) not in actions
+
+    def test_losing_zero_withdraws(self):
+        state = state_of([EStatus.W0, EStatus.W1])
+        (step,) = [
+            s for s in election_transitions(state) if s.action == ("resolve", 0)
+        ]
+        after = step.target.the_point()
+        assert after.statuses[0] is EStatus.O
+
+    def test_winning_one_parks_in_rs(self):
+        state = state_of([EStatus.W1, EStatus.W0, EStatus.W1])
+        (step,) = [
+            s for s in election_transitions(state) if s.action == ("resolve", 0)
+        ]
+        after = step.target.the_point()
+        assert after.statuses[0] is EStatus.RS1
+
+    def test_all_equal_round_keeps_everyone(self):
+        state = state_of([EStatus.W1, EStatus.W1])
+        (step,) = [
+            s for s in election_transitions(state) if s.action == ("resolve", 0)
+        ]
+        after = step.target.the_point()
+        assert after.statuses[0] is EStatus.RS1
+
+    def test_last_resolver_releases_barrier(self):
+        state = state_of([EStatus.RS1, EStatus.W1])
+        (step,) = [
+            s for s in election_transitions(state) if s.action == ("resolve", 1)
+        ]
+        after = step.target.the_point()
+        # Both survived the all-ones round; the barrier resets them to F.
+        assert after.statuses == (EStatus.F, EStatus.F)
+
+    def test_round_mixing_is_impossible(self):
+        """The regression the RS statuses exist for: an early resolver
+        must not re-flip before the round's other resolutions, so later
+        resolvers still see the true round bit-vector."""
+        state = state_of([EStatus.W1, EStatus.W0])
+        # Candidate 0 resolves first: parks in RS1 (not F!), keeping
+        # its coin visible.
+        (step0,) = [
+            s for s in election_transitions(state) if s.action == ("resolve", 0)
+        ]
+        mid = step0.target.the_point()
+        assert mid.statuses[0] is EStatus.RS1
+        # No flip is enabled for candidate 0 while 1 is unresolved.
+        actions = {s.action for s in election_transitions(mid)}
+        assert ("flip", 0) not in actions
+        # Candidate 1 still sees the mixed bits {1, 0} and withdraws.
+        (step1,) = [
+            s for s in election_transitions(mid) if s.action == ("resolve", 1)
+        ]
+        after = step1.target.the_point()
+        assert after.statuses[1] is EStatus.O
+        # Barrier released: the survivor returns to F.
+        assert after.statuses[0] is EStatus.F
+
+    def test_lone_candidate_leads(self):
+        state = state_of([EStatus.F, EStatus.O, EStatus.O])
+        (step,) = [
+            s for s in election_transitions(state) if s.action == ("lead", 0)
+        ]
+        assert step.target.the_point().statuses[0] is EStatus.L
+        actions = {s.action for s in election_transitions(state)}
+        assert ("flip", 0) not in actions
+
+    def test_minimum_candidates(self):
+        with pytest.raises(AutomatonError):
+            el.election_automaton(1)
+
+
+class TestRegionsAndClasses:
+    def test_active_count(self):
+        assert el.active_count(state_of([EStatus.F, EStatus.O, EStatus.W1])) == 2
+
+    def test_leader_elected(self):
+        assert el.leader_elected(state_of([EStatus.L, EStatus.O]))
+        assert not el.leader_elected(state_of([EStatus.F, EStatus.F]))
+
+    def test_at_most_class_union(self):
+        d3 = el.at_most_active_class(3)
+        assert d3.atoms == frozenset({"A1", "A2", "A3"})
+        assert d3.contains(state_of([EStatus.F, EStatus.O, EStatus.F]))
+        assert not d3.contains(state_of([EStatus.L, EStatus.O]))
+
+    def test_exactly_class_cached_and_consistent(self):
+        assert el.exactly_active_class(2) is el.exactly_active_class(2)
+        # Reuse inside unions must not trip the predicate-conflict check.
+        _ = el.at_most_active_class(3) | el.at_most_active_class(2)
+
+    def test_level_statement_validation(self):
+        with pytest.raises(ProofError):
+            el.level_statement(1)
+
+
+class TestProofChain:
+    def test_composed_statement_shape(self):
+        chain = el.election_proof(5)
+        final = chain.final_statement
+        assert final.time_bound == 3 * 4 + 2
+        assert final.probability == Fraction(1, 16)
+        assert final.target == el.LEADER_CLASS
+
+    def test_expected_time_bound(self):
+        assert el.election_expected_time_bound(2) == 8
+        assert el.election_expected_time_bound(4) == 20
+
+    def test_minimum_candidates_enforced(self):
+        with pytest.raises(ProofError):
+            el.election_proof(1)
+        with pytest.raises(ProofError):
+            el.election_expected_time_bound(1)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_leader_always_elected(self, n):
+        automaton = el.election_automaton(n)
+        view = el.ElectionProcessView(n)
+        for policy in (
+            FifoRoundPolicy(), ReversedRoundPolicy(), HashedRandomRoundPolicy(1)
+        ):
+            adversary = RoundBasedAdversary(view, policy)
+            rng = random.Random(n)
+            for _ in range(10):
+                elapsed = sample_time_until(
+                    automaton,
+                    adversary,
+                    ExecutionFragment.initial(el.election_initial_state(n)),
+                    el.leader_elected,
+                    el.election_time_of,
+                    rng,
+                    5_000,
+                )
+                assert elapsed is not None
+
+    def test_exactly_one_leader_ever(self):
+        n = 4
+        automaton = el.election_automaton(n)
+        view = el.ElectionProcessView(n)
+        adversary = RoundBasedAdversary(view, HashedRandomRoundPolicy(2))
+        rng = random.Random(0)
+        fragment = ExecutionFragment.initial(el.election_initial_state(n))
+        for _ in range(400):
+            step = adversary.checked_choose(automaton, fragment)
+            if step is None:
+                break
+            fragment = fragment.extend(step.action, step.target.sample(rng))
+            leaders = sum(
+                1 for s in fragment.lstate.statuses if s is EStatus.L
+            )
+            assert leaders <= 1
+
+    def test_mean_time_within_expected_bound(self):
+        n = 4
+        automaton = el.election_automaton(n)
+        view = el.ElectionProcessView(n)
+        adversary = RoundBasedAdversary(view, FifoRoundPolicy())
+        rng = random.Random(1)
+        times = [
+            sample_time_until(
+                automaton,
+                adversary,
+                ExecutionFragment.initial(el.election_initial_state(n)),
+                el.leader_elected,
+                el.election_time_of,
+                rng,
+                5_000,
+            )
+            for _ in range(150)
+        ]
+        mean = float(sum(times) / len(times))
+        assert mean <= float(el.election_expected_time_bound(n))

@@ -1,0 +1,252 @@
+"""Unit tests for event schemas and their combinators."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import EventError
+from repro.events.combinators import Complement, Intersection, Union
+from repro.events.first import FirstOccurrence
+from repro.events.next_first import NextFirstOccurrence
+from repro.events.reach import (
+    EventuallyReach,
+    ReachWithinSteps,
+    ReachWithinTime,
+)
+from repro.events.schema import EventStatus
+
+
+def frag(*parts):
+    states = list(parts[0::2])
+    actions = list(parts[1::2])
+    return ExecutionFragment(states, actions)
+
+
+class TestEventStatus:
+    def test_negate(self):
+        assert EventStatus.ACCEPT.negate() is EventStatus.REJECT
+        assert EventStatus.REJECT.negate() is EventStatus.ACCEPT
+        assert EventStatus.UNDECIDED.negate() is EventStatus.UNDECIDED
+
+
+class TestReachWithinTime:
+    # States are (name, time) pairs; time_of reads the second component.
+    @staticmethod
+    def time_of(state):
+        return Fraction(state[1])
+
+    def make(self, bound):
+        return ReachWithinTime(
+            target=lambda s: s[0] == "goal", time_bound=bound,
+            time_of=self.time_of,
+        )
+
+    def test_accepts_when_target_hit_in_time(self):
+        schema = self.make(2)
+        fragment = frag(("a", 0), "x", ("goal", 1))
+        assert schema.classify(fragment) is EventStatus.ACCEPT
+
+    def test_accepts_immediately_in_target(self):
+        schema = self.make(0)
+        assert schema.classify(
+            ExecutionFragment.initial(("goal", 5))
+        ) is EventStatus.ACCEPT
+
+    def test_rejects_once_deadline_passed(self):
+        schema = self.make(2)
+        fragment = frag(("a", 0), "x", ("b", 3))
+        assert schema.classify(fragment) is EventStatus.REJECT
+
+    def test_hit_exactly_at_deadline_accepted(self):
+        schema = self.make(2)
+        fragment = frag(("a", 0), "x", ("goal", 2))
+        assert schema.classify(fragment) is EventStatus.ACCEPT
+
+    def test_hit_after_deadline_rejected(self):
+        schema = self.make(2)
+        fragment = frag(("a", 0), "x", ("b", 3), "y", ("goal", 3))
+        assert schema.classify(fragment) is EventStatus.REJECT
+
+    def test_clock_is_relative_to_first_state(self):
+        schema = self.make(2)
+        fragment = frag(("a", 10), "x", ("goal", 11))
+        assert schema.classify(fragment) is EventStatus.ACCEPT
+
+    def test_undecided_before_deadline(self):
+        schema = self.make(5)
+        fragment = frag(("a", 0), "x", ("b", 1))
+        assert schema.classify(fragment) is EventStatus.UNDECIDED
+
+    def test_maximal_undecided_is_failure(self):
+        schema = self.make(5)
+        assert schema.decide_maximal(frag(("a", 0))) is False
+
+    def test_accepts_set_based_target(self):
+        schema = ReachWithinTime(
+            target=frozenset({("goal", 1)}), time_bound=2, time_of=self.time_of
+        )
+        fragment = frag(("a", 0), "x", ("goal", 1))
+        assert schema.classify(fragment) is EventStatus.ACCEPT
+
+    def test_monotone_once_accepted(self):
+        schema = self.make(2)
+        fragment = frag(("a", 0), "x", ("goal", 1), "y", ("b", 99))
+        assert schema.classify(fragment) is EventStatus.ACCEPT
+
+
+class TestReachWithinSteps:
+    def make(self, bound):
+        return ReachWithinSteps(lambda s: s == "goal", bound)
+
+    def test_accept_within_steps(self):
+        assert self.make(2).classify(
+            frag("a", "x", "goal")
+        ) is EventStatus.ACCEPT
+
+    def test_reject_after_budget(self):
+        schema = self.make(1)
+        assert schema.classify(frag("a", "x", "b")) is EventStatus.REJECT
+
+    def test_hit_exactly_at_budget(self):
+        schema = self.make(1)
+        assert schema.classify(frag("a", "x", "goal")) is EventStatus.ACCEPT
+
+    def test_undecided_under_budget(self):
+        schema = self.make(3)
+        assert schema.classify(frag("a", "x", "b")) is EventStatus.UNDECIDED
+
+
+class TestEventuallyReach:
+    def test_accept_on_hit(self):
+        schema = EventuallyReach(lambda s: s == "goal")
+        assert schema.classify(frag("a", "x", "goal")) is EventStatus.ACCEPT
+
+    def test_never_rejects_finite_prefix(self):
+        schema = EventuallyReach(lambda s: s == "goal")
+        assert schema.classify(frag("a", "x", "b")) is EventStatus.UNDECIDED
+
+    def test_maximal_without_hit_fails(self):
+        schema = EventuallyReach(lambda s: s == "goal")
+        assert schema.decide_maximal(frag("a")) is False
+
+
+class TestFirstOccurrence:
+    def make(self):
+        return FirstOccurrence("flip", lambda s: s == "H")
+
+    def test_accept_when_first_occurrence_lands_in_target(self):
+        assert self.make().classify(frag("s", "flip", "H")) is EventStatus.ACCEPT
+
+    def test_reject_when_first_occurrence_misses(self):
+        assert self.make().classify(frag("s", "flip", "T")) is EventStatus.REJECT
+
+    def test_only_first_occurrence_counts(self):
+        fragment = frag("s", "flip", "T", "flip", "H")
+        assert self.make().classify(fragment) is EventStatus.REJECT
+
+    def test_undecided_before_occurrence(self):
+        assert self.make().classify(frag("s", "other", "s2")) is EventStatus.UNDECIDED
+
+    def test_vacuous_acceptance_on_maximal(self):
+        assert self.make().decide_maximal(frag("s")) is True
+
+    def test_set_target(self):
+        schema = FirstOccurrence("flip", frozenset({"H"}))
+        assert schema.classify(frag("s", "flip", "H")) is EventStatus.ACCEPT
+
+
+class TestNextFirstOccurrence:
+    def make(self):
+        return NextFirstOccurrence(
+            [("flip_p", lambda s: s == "pH"), ("flip_q", lambda s: s == "qT")]
+        )
+
+    def test_first_watched_action_decides(self):
+        assert self.make().classify(
+            frag("s", "flip_q", "qT")
+        ) is EventStatus.ACCEPT
+
+    def test_first_watched_action_can_reject(self):
+        assert self.make().classify(
+            frag("s", "flip_q", "qH", "flip_p", "pH")
+        ) is EventStatus.REJECT
+
+    def test_unwatched_actions_ignored(self):
+        assert self.make().classify(
+            frag("s", "noise", "s2")
+        ) is EventStatus.UNDECIDED
+
+    def test_vacuous_acceptance_on_maximal(self):
+        assert self.make().decide_maximal(frag("s")) is True
+
+    def test_requires_distinct_actions(self):
+        with pytest.raises(EventError):
+            NextFirstOccurrence(
+                [("flip", lambda s: True), ("flip", lambda s: True)]
+            )
+
+    def test_requires_nonempty(self):
+        with pytest.raises(EventError):
+            NextFirstOccurrence([])
+
+
+class TestCombinators:
+    def heads(self):
+        return FirstOccurrence("p", lambda s: s == "H")
+
+    def tails(self):
+        return FirstOccurrence("q", lambda s: s == "T")
+
+    def test_intersection_accepts_when_all_accept(self):
+        event = Intersection([self.heads(), self.tails()])
+        fragment = frag("s", "p", "H", "q", "T")
+        assert event.classify(fragment) is EventStatus.ACCEPT
+
+    def test_intersection_rejects_on_any_reject(self):
+        event = Intersection([self.heads(), self.tails()])
+        fragment = frag("s", "p", "T")
+        assert event.classify(fragment) is EventStatus.REJECT
+
+    def test_intersection_undecided_otherwise(self):
+        event = Intersection([self.heads(), self.tails()])
+        fragment = frag("s", "p", "H")
+        assert event.classify(fragment) is EventStatus.UNDECIDED
+
+    def test_intersection_maximal_uses_vacuity(self):
+        event = Intersection([self.heads(), self.tails()])
+        assert event.decide_maximal(frag("s", "p", "H")) is True
+        assert event.decide_maximal(frag("s")) is True
+
+    def test_union_accepts_on_any_accept(self):
+        event = Union([self.heads(), self.tails()])
+        assert event.classify(frag("s", "p", "H")) is EventStatus.ACCEPT
+
+    def test_union_rejects_when_all_reject(self):
+        event = Union([self.heads(), self.tails()])
+        fragment = frag("s", "p", "T", "q", "H")
+        assert event.classify(fragment) is EventStatus.REJECT
+
+    def test_complement_swaps_verdicts(self):
+        event = Complement(self.heads())
+        assert event.classify(frag("s", "p", "T")) is EventStatus.ACCEPT
+        assert event.classify(frag("s", "p", "H")) is EventStatus.REJECT
+        assert event.classify(frag("s")) is EventStatus.UNDECIDED
+
+    def test_complement_maximal(self):
+        event = Complement(self.heads())
+        # Inner holds vacuously on maximal, so complement fails.
+        assert event.decide_maximal(frag("s")) is False
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(EventError):
+            Intersection([])
+        with pytest.raises(EventError):
+            Union([])
+
+    def test_holds_on_truncated_is_pessimistic(self):
+        event = self.heads()
+        assert event.holds_on(frag("s"), maximal=False) is False
+        assert event.holds_on(frag("s"), maximal=True) is True

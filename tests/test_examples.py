@@ -1,0 +1,67 @@
+"""Smoke tests: the example scripts run and print what they promise.
+
+Only the fast, exact examples run in the test suite (the Monte-Carlo
+heavy ones are exercised by the benchmarks); each is executed in
+process via runpy with its module namespace isolated.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "exact worst-case probability = 3/4" in out
+        assert "Start --4-->_9/16 Goal" in out
+
+    def test_adversarial_independence(self, capsys):
+        out = run_example("adversarial_independence.py", capsys)
+        assert "peek: Q only if P=T" in out
+        assert "conjunction >= 1/4" in out
+
+    def test_proof_ledger_walkthrough(self, capsys):
+        out = run_example("proof_ledger_walkthrough.py", capsys)
+        assert "E[V] = 60" in out
+        assert "total expected-time bound: 63" in out
+        assert "cross-schema assumption rejected" in out
+
+    def test_exact_model_checking(self, capsys):
+        out = run_example("exact_model_checking.py", capsys)
+        assert "A.9" in out
+        assert "max counterexample probability = 0 (holds)" in out
+        assert "(claim >= 1/8)" in out
+
+    def test_benor_consensus(self, capsys):
+        out = run_example("benor_consensus.py", capsys)
+        assert "Agreement and validity held" in out
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "lehmann_rabin_progress.py",
+            "adversarial_independence.py",
+            "proof_ledger_walkthrough.py",
+            "leader_election.py",
+            "baseline_comparison.py",
+            "benor_consensus.py",
+            "exact_model_checking.py",
+        ],
+    )
+    def test_example_file_present(self, name):
+        assert (EXAMPLES / name).is_file()

@@ -1,0 +1,116 @@
+"""Unit tests for execution automata (Definitions 2.3/2.4)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.base import FunctionAdversary
+from repro.adversary.deterministic import (
+    FirstEnabledAdversary,
+    StoppingAdversary,
+)
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import AdversaryError
+from repro.execution.automaton import ExecutionAutomaton
+
+
+def initial(state):
+    return ExecutionFragment.initial(state)
+
+
+class TestLifting:
+    def test_step_lifts_targets_to_fragments(self, coin_walk):
+        tree = ExecutionAutomaton(
+            coin_walk, FirstEnabledAdversary(), initial("start")
+        )
+        action, distribution = tree.step(initial("start"))
+        assert action == "hop1"
+        supports = distribution.support
+        assert initial("start").extend("hop1", "middle") in supports
+        assert initial("start").extend("hop1", "start") in supports
+
+    def test_lifted_probabilities_match_definition(self, coin_walk):
+        # Definition 2.3 condition 2: P'[alpha a s] = P[s].
+        tree = ExecutionAutomaton(
+            coin_walk, FirstEnabledAdversary(), initial("start")
+        )
+        _, distribution = tree.step(initial("start"))
+        extended = initial("start").extend("hop1", "middle")
+        assert distribution[extended] == Fraction(1, 2)
+
+    def test_start_state_is_the_fragment(self, coin_walk):
+        start = initial("start").extend("hop1", "middle")
+        tree = ExecutionAutomaton(coin_walk, FirstEnabledAdversary(), start)
+        assert tree.start == start
+
+    def test_terminal_when_adversary_halts(self, coin_walk):
+        tree = ExecutionAutomaton(
+            coin_walk,
+            StoppingAdversary(FirstEnabledAdversary(), max_steps=0),
+            initial("start"),
+        )
+        assert tree.is_terminal(initial("start"))
+        assert tree.step(initial("start")) is None
+
+    def test_terminal_at_deadlocked_state(self, coin_walk):
+        tree = ExecutionAutomaton(
+            coin_walk, FirstEnabledAdversary(), initial("goal")
+        )
+        assert tree.is_terminal(initial("goal"))
+
+    def test_adversary_contract_enforced(self, coin_walk):
+        from repro.automaton.transition import Transition
+
+        rogue = FunctionAdversary(
+            lambda auto, frag: Transition.deterministic("start", "hop1", "goal"),
+            name="rogue",
+        )
+        tree = ExecutionAutomaton(coin_walk, rogue, initial("start"))
+        with pytest.raises(AdversaryError):
+            tree.step(initial("start"))
+
+    def test_step_memoised(self, coin_walk):
+        calls = []
+
+        def choose(auto, frag):
+            calls.append(frag)
+            return auto.transitions(frag.lstate)[0] if auto.transitions(
+                frag.lstate
+            ) else None
+
+        tree = ExecutionAutomaton(
+            coin_walk, FunctionAdversary(choose), initial("start")
+        )
+        tree.step(initial("start"))
+        tree.step(initial("start"))
+        assert len(calls) == 1
+
+
+class TestEnumeration:
+    def test_nodes_to_depth_counts(self, coin_walk):
+        tree = ExecutionAutomaton(
+            coin_walk, FirstEnabledAdversary(), initial("start")
+        )
+        nodes = list(tree.nodes_to_depth(2))
+        # Depth 0: 1 node; depth 1: 2 children; depth 2: 4 grandchildren
+        # (middle branches to {goal, middle}, start to {start, middle}).
+        assert len(nodes) == 7
+        assert max(depth for _, depth in nodes) == 2
+
+    def test_nodes_fragments_extend_start(self, coin_walk):
+        start = initial("start")
+        tree = ExecutionAutomaton(coin_walk, FirstEnabledAdversary(), start)
+        for fragment, _ in tree.nodes_to_depth(3):
+            assert start.is_prefix_of(fragment)
+
+    def test_fully_probabilistic_structure(self, coin_walk):
+        # From every node at most one step is enabled (Definition 2.3
+        # requires execution automata to be fully probabilistic).
+        tree = ExecutionAutomaton(
+            coin_walk, FirstEnabledAdversary(), initial("start")
+        )
+        for fragment, _ in tree.nodes_to_depth(3):
+            lifted = tree.step(fragment)
+            assert lifted is None or isinstance(lifted, tuple)

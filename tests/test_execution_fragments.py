@@ -1,0 +1,156 @@
+"""Unit tests for execution fragments (Section 2 operations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import ExecutionError
+
+
+def frag(*parts):
+    """Build a fragment from alternating state, action, state, ..."""
+    states = list(parts[0::2])
+    actions = list(parts[1::2])
+    return ExecutionFragment(states, actions)
+
+
+class TestConstruction:
+    def test_needs_a_state(self):
+        with pytest.raises(ExecutionError):
+            ExecutionFragment([], [])
+
+    def test_alternation_arity_checked(self):
+        with pytest.raises(ExecutionError):
+            ExecutionFragment(["s0", "s1"], [])
+        with pytest.raises(ExecutionError):
+            ExecutionFragment(["s0"], ["a"])
+
+    def test_initial(self):
+        fragment = ExecutionFragment.initial("s0")
+        assert fragment.fstate == "s0" and fragment.lstate == "s0"
+        assert len(fragment) == 0
+
+    def test_extend(self):
+        fragment = ExecutionFragment.initial("s0").extend("a", "s1")
+        assert fragment.lstate == "s1"
+        assert fragment.actions == ("a",)
+        assert len(fragment) == 1
+
+
+class TestAccessors:
+    def test_fstate_lstate(self):
+        fragment = frag("s0", "a", "s1", "b", "s2")
+        assert fragment.fstate == "s0"
+        assert fragment.lstate == "s2"
+
+    def test_states_and_actions(self):
+        fragment = frag("s0", "a", "s1", "b", "s2")
+        assert fragment.states == ("s0", "s1", "s2")
+        assert fragment.actions == ("a", "b")
+
+    def test_steps_iteration(self):
+        fragment = frag("s0", "a", "s1", "b", "s2")
+        assert list(fragment.steps()) == [("s0", "a", "s1"), ("s1", "b", "s2")]
+
+
+class TestConcat:
+    def test_concat_matching_endpoints(self):
+        left = frag("s0", "a", "s1")
+        right = frag("s1", "b", "s2")
+        joined = left.concat(right)
+        assert joined.states == ("s0", "s1", "s2")
+        assert joined.actions == ("a", "b")
+
+    def test_concat_shared_state_once(self):
+        left = frag("s0", "a", "s1")
+        right = ExecutionFragment.initial("s1")
+        assert left.concat(right) == left
+
+    def test_concat_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            frag("s0", "a", "s1").concat(frag("s2", "b", "s3"))
+
+    def test_concat_associative(self):
+        a = frag("s0", "x", "s1")
+        b = frag("s1", "y", "s2")
+        c = frag("s2", "z", "s3")
+        assert a.concat(b).concat(c) == a.concat(b.concat(c))
+
+
+class TestPrefix:
+    def test_reflexive(self):
+        fragment = frag("s0", "a", "s1")
+        assert fragment.is_prefix_of(fragment)
+
+    def test_proper_prefix(self):
+        short = frag("s0", "a", "s1")
+        long = frag("s0", "a", "s1", "b", "s2")
+        assert short.is_prefix_of(long)
+        assert not long.is_prefix_of(short)
+
+    def test_divergent_not_prefix(self):
+        assert not frag("s0", "a", "s1").is_prefix_of(frag("s0", "b", "s1"))
+
+    def test_suffix_after(self):
+        long = frag("s0", "a", "s1", "b", "s2")
+        suffix = long.suffix_after(frag("s0", "a", "s1"))
+        assert suffix == frag("s1", "b", "s2")
+
+    def test_suffix_after_full_prefix_is_point(self):
+        fragment = frag("s0", "a", "s1")
+        assert fragment.suffix_after(fragment) == ExecutionFragment.initial("s1")
+
+    def test_suffix_after_non_prefix_rejected(self):
+        with pytest.raises(ExecutionError):
+            frag("s0", "a", "s1").suffix_after(frag("s9", "a", "s1"))
+
+    def test_concat_suffix_roundtrip(self):
+        long = frag("s0", "a", "s1", "b", "s2", "c", "s3")
+        prefix = frag("s0", "a", "s1")
+        assert prefix.concat(long.suffix_after(prefix)) == long
+
+    def test_prefix_of_length(self):
+        long = frag("s0", "a", "s1", "b", "s2")
+        assert long.prefix_of_length(1) == frag("s0", "a", "s1")
+        assert long.prefix_of_length(0) == ExecutionFragment.initial("s0")
+
+    def test_prefix_of_length_bounds(self):
+        fragment = frag("s0", "a", "s1")
+        with pytest.raises(ExecutionError):
+            fragment.prefix_of_length(2)
+        with pytest.raises(ExecutionError):
+            fragment.prefix_of_length(-1)
+
+
+class TestValidity:
+    def test_valid_fragment(self, coin_walk):
+        fragment = frag("start", "hop1", "middle", "hop2", "goal")
+        assert fragment.is_valid_in(coin_walk)
+
+    def test_self_loop_valid(self, coin_walk):
+        fragment = frag("start", "hop1", "start", "hop1", "middle")
+        assert fragment.is_valid_in(coin_walk)
+
+    def test_wrong_action_invalid(self, coin_walk):
+        fragment = frag("start", "hop2", "middle")
+        assert not fragment.is_valid_in(coin_walk)
+
+    def test_unreachable_target_invalid(self, coin_walk):
+        fragment = frag("start", "hop1", "goal")
+        assert not fragment.is_valid_in(coin_walk)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = frag("s0", "a", "s1")
+        b = frag("s0", "a", "s1")
+        assert a == b and hash(a) == hash(b)
+
+    def test_usable_in_sets(self):
+        fragments = {frag("s0", "a", "s1"), frag("s0", "a", "s1")}
+        assert len(fragments) == 1
+
+    def test_repr_mentions_states_and_actions(self):
+        text = repr(frag("s0", "go", "s1"))
+        assert "s0" in text and "go" in text and "s1" in text

@@ -1,0 +1,87 @@
+"""Unit tests for the exhaustive region verification (n = 3)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import lehmann_rabin as lr
+from repro.algorithms.lehmann_rabin.exhaustive import (
+    LEAF_SPECS,
+    all_consistent_states,
+    exhaustive_composed_check,
+    exhaustive_leaf_check,
+)
+from repro.errors import VerificationError
+
+
+class TestEnumeration:
+    def test_known_count_for_ring3(self):
+        states = all_consistent_states(3)
+        assert len(states) == 4382
+
+    def test_all_enumerated_states_are_consistent(self):
+        for state in all_consistent_states(3)[::97]:
+            assert lr.lemma_6_1_holds(state)
+
+    def test_enumeration_cached(self):
+        assert all_consistent_states(3) is all_consistent_states(3)
+
+    def test_large_rings_rejected(self):
+        with pytest.raises(VerificationError):
+            all_consistent_states(5)
+
+    def test_region_sizes(self):
+        states = all_consistent_states(3)
+        count = lambda region: sum(1 for s in states if region.contains(s))
+        assert count(lr.P_CLASS) == 672
+        assert count(lr.F_CLASS) == 920
+        assert count(lr.G_CLASS) == 1044
+        assert count(lr.RT_CLASS) == 2096
+        assert count(lr.T_CLASS) == 3896
+
+
+class TestExhaustiveLeaves:
+    @pytest.mark.parametrize("name", sorted(LEAF_SPECS))
+    def test_leaf_holds_over_entire_region(self, name):
+        result = exhaustive_leaf_check(name, 3)
+        assert result.holds, (
+            f"{name}: exhaustive minimum {result.exact_minimum} below "
+            f"{result.bound} at {result.witness!r}"
+        )
+
+    def test_deterministic_leaves_have_minimum_one(self):
+        for name in ("A.1", "A.3", "A.15"):
+            result = exhaustive_leaf_check(name, 3)
+            assert result.exact_minimum == 1
+            assert result.witness is None  # nothing ever dipped below 1
+
+    def test_a11_true_minimum_is_one_half(self):
+        """The exhaustive sweep sharpens Proposition A.11: over the
+        whole G region the true round-synchronous minimum is 1/2 —
+        double the paper's 1/4."""
+        result = exhaustive_leaf_check("A.11", 3)
+        assert result.exact_minimum == Fraction(1, 2)
+        assert result.slack == Fraction(1, 4)
+        assert result.witness is not None
+        assert lr.in_good(result.witness)
+
+    def test_a14_true_minimum_is_one(self):
+        """On a ring of three every F state reaches G|P surely within
+        two rounds: Proposition A.14's randomness is only needed on
+        larger rings / other configurations."""
+        result = exhaustive_leaf_check("A.14", 3)
+        assert result.exact_minimum == 1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(VerificationError):
+            exhaustive_leaf_check("A.99", 3)
+
+
+class TestExhaustiveComposed:
+    def test_composed_on_a_prefix_of_t_states(self):
+        result = exhaustive_composed_check(3, rounds=13, limit=150)
+        assert result.states_checked == 150
+        assert result.holds
+        assert result.exact_minimum >= Fraction(1, 8)

@@ -1,0 +1,133 @@
+"""Unit tests for the expected-time machinery (Section 6.2)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProofError
+from repro.proofs.expected_time import (
+    RetryBranch,
+    RetryRecursion,
+    expected_time_upper_bound,
+    geometric_bound,
+)
+from repro.proofs.statements import ArrowStatement, StateClass
+
+
+class TestRetryBranch:
+    def test_of_normalises(self):
+        branch = RetryBranch.of(0.5, 5, retries=True)
+        assert branch.probability == Fraction(1, 2)
+        assert branch.time == Fraction(5)
+
+
+class TestRetryRecursion:
+    def test_paper_recursion_solves_to_sixty(self):
+        recursion = RetryRecursion(
+            [
+                RetryBranch.of(Fraction(1, 8), 10, retries=False),
+                RetryBranch.of(Fraction(1, 2), 5, retries=True),
+                RetryBranch.of(Fraction(3, 8), 10, retries=True),
+            ]
+        )
+        assert recursion.solve() == 60
+
+    def test_no_retry_is_plain_expectation(self):
+        recursion = RetryRecursion(
+            [
+                RetryBranch.of(Fraction(1, 2), 2, retries=False),
+                RetryBranch.of(Fraction(1, 2), 4, retries=False),
+            ]
+        )
+        assert recursion.solve() == 3
+
+    def test_geometric_structure(self):
+        # Success 1/2 costing 1, failure 1/2 costing 1 and retrying:
+        # E = 1 / (1/2) = 2.
+        recursion = RetryRecursion(
+            [
+                RetryBranch.of(Fraction(1, 2), 1, retries=False),
+                RetryBranch.of(Fraction(1, 2), 1, retries=True),
+            ]
+        )
+        assert recursion.solve() == 2
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ProofError):
+            RetryRecursion([RetryBranch.of(Fraction(1, 2), 1, retries=False)])
+
+    def test_full_retry_mass_rejected(self):
+        with pytest.raises(ProofError):
+            RetryRecursion([RetryBranch.of(1, 1, retries=True)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProofError):
+            RetryRecursion([])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ProofError):
+            RetryRecursion(
+                [
+                    RetryBranch.of(Fraction(1, 2), -1, retries=False),
+                    RetryBranch.of(Fraction(1, 2), 1, retries=False),
+                ]
+            )
+
+    def test_matches_simulation(self):
+        import random
+
+        recursion = RetryRecursion(
+            [
+                RetryBranch.of(Fraction(1, 4), 3, retries=False),
+                RetryBranch.of(Fraction(3, 4), 2, retries=True),
+            ]
+        )
+        exact = recursion.solve()  # (1/4*3 + 3/4*2) / (1/4) = 9
+        assert exact == 9
+        rng = random.Random(0)
+        total = 0.0
+        runs = 20_000
+        for _ in range(runs):
+            time = 0.0
+            while True:
+                if rng.random() < 0.25:
+                    time += 3
+                    break
+                time += 2
+            total += time
+        assert abs(total / runs - float(exact)) < 0.2
+
+
+class TestDerivedBounds:
+    def test_geometric_bound(self):
+        statement = ArrowStatement(
+            StateClass("T", lambda s: True),
+            StateClass("C", lambda s: True),
+            13,
+            Fraction(1, 8),
+            "S",
+        )
+        assert geometric_bound(statement) == 104
+
+    def test_geometric_bound_rejects_zero_probability(self):
+        statement = ArrowStatement(
+            StateClass("T", lambda s: True),
+            StateClass("C", lambda s: True),
+            13,
+            0,
+            "S",
+        )
+        with pytest.raises(ProofError):
+            geometric_bound(statement)
+
+    def test_expected_time_upper_bound_is_the_papers_63(self):
+        recursion = RetryRecursion(
+            [
+                RetryBranch.of(Fraction(1, 8), 10, retries=False),
+                RetryBranch.of(Fraction(1, 2), 5, retries=True),
+                RetryBranch.of(Fraction(3, 8), 10, retries=True),
+            ]
+        )
+        assert expected_time_upper_bound(2, recursion, 1) == 63

@@ -1,0 +1,128 @@
+"""Unit tests for the greedy expectation-minimising adversary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.greedy import GreedyMinimizerPolicy, lr_progress_potential
+from repro.adversary.unit_time import RoundBasedAdversary, unit_time_schema
+from repro.algorithms import lehmann_rabin as lr
+from repro.algorithms.lehmann_rabin.state import PC, ProcessState, Side
+from repro.automaton.execution import ExecutionFragment
+
+
+@pytest.fixture
+def setup3():
+    return lr.lehmann_rabin_automaton(3), lr.LRProcessView(3)
+
+
+def ring(*locals_):
+    return lr.make_state(list(locals_))
+
+
+R = lambda: ProcessState(PC.R, Side.LEFT)
+
+
+class TestPotential:
+    def test_critical_dominates(self):
+        critical = ring(ProcessState(PC.C, Side.LEFT), R(), R())
+        pre = ring(ProcessState(PC.P, Side.LEFT), R(), R())
+        idle = ring(R(), R(), R())
+        assert lr_progress_potential(critical) > lr_progress_potential(pre)
+        assert lr_progress_potential(pre) > lr_progress_potential(idle)
+
+    def test_free_second_resource_scores_higher(self):
+        promising = ring(ProcessState(PC.S, Side.LEFT), R(), R())
+        blocked = ring(
+            ProcessState(PC.S, Side.LEFT),
+            ProcessState(PC.D, Side.LEFT),
+            R(),
+        )
+        # Process 0 at S<- wants Res_0 as its second resource; in
+        # `blocked`, process 1 at D<- holds Res_0 (and contributes
+        # nothing itself), so the state scores strictly lower.
+        assert lr_progress_potential(promising) > lr_progress_potential(
+            blocked
+        )
+
+
+class TestGreedyPolicy:
+    def test_defers_the_promising_check(self, setup3):
+        automaton, view = setup3
+        # Process 0 at S<- with a free second resource (potential +8 if
+        # it fires: it would enter P, +50); process 1 at F is the
+        # cheaper move for the adversary.
+        state = ring(
+            ProcessState(PC.S, Side.LEFT),
+            ProcessState(PC.F, Side.LEFT),
+            R(),
+        )
+        adversary = RoundBasedAdversary(
+            view, GreedyMinimizerPolicy(lr_progress_potential)
+        )
+        step = adversary.choose(automaton, ExecutionFragment.initial(state))
+        assert view.process_of(step.action) == 1
+
+    def test_fires_the_doomed_check_first(self, setup3):
+        automaton, view = setup3
+        # Process 0's second resource is taken (its check would fail,
+        # lowering the potential); firing it is the adversary's best
+        # move.
+        state = ring(
+            ProcessState(PC.S, Side.RIGHT),
+            ProcessState(PC.F, Side.LEFT),
+            ProcessState(PC.S, Side.RIGHT),
+        )
+        adversary = RoundBasedAdversary(
+            view, GreedyMinimizerPolicy(lr_progress_potential)
+        )
+        step = adversary.choose(automaton, ExecutionFragment.initial(state))
+        assert view.process_of(step.action) == 0
+
+    def test_is_deterministic(self, setup3):
+        automaton, view = setup3
+        state = lr.canonical_states(3)["contended"]
+        adversary = RoundBasedAdversary(
+            view, GreedyMinimizerPolicy(lr_progress_potential)
+        )
+        fragment = ExecutionFragment.initial(state)
+        assert adversary.choose(automaton, fragment) == adversary.choose(
+            automaton, fragment
+        )
+
+    def test_is_unit_time_member(self, setup3):
+        _, view = setup3
+        schema = unit_time_schema(view)
+        adversary = RoundBasedAdversary(
+            view, GreedyMinimizerPolicy(lr_progress_potential)
+        )
+        assert schema.contains(adversary)
+
+    def test_progress_still_occurs(self, setup3):
+        """Even the directed spoiler cannot prevent progress."""
+        from repro.execution.sampler import sample_time_until
+
+        automaton, view = setup3
+        adversary = RoundBasedAdversary(
+            view, GreedyMinimizerPolicy(lr_progress_potential)
+        )
+        rng = random.Random(0)
+        for _ in range(10):
+            elapsed = sample_time_until(
+                automaton,
+                adversary,
+                ExecutionFragment.initial(lr.canonical_states(3)["all_flip"]),
+                lr.in_critical,
+                lr.lr_time_of,
+                rng,
+                10_000,
+            )
+            assert elapsed is not None
+            assert elapsed <= 63
+
+    def test_in_family(self):
+        view = lr.LRProcessView(3)
+        names = [name for name, _ in lr.lr_adversary_family(view)]
+        assert "greedy-min" in names

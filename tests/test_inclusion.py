@@ -1,0 +1,136 @@
+"""Unit tests for the semantic-inclusion registry."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import lehmann_rabin as lr
+from repro.errors import ProofError
+from repro.proofs.inclusion import InclusionRegistry, lehmann_rabin_inclusions
+from repro.proofs.statements import ArrowStatement, StateClass
+
+
+def cls(name, predicate=None):
+    return StateClass(name, predicate or (lambda s: False))
+
+
+class TestDeclare:
+    def test_declaration_recorded(self):
+        registry = InclusionRegistry()
+        a, b = cls("A"), cls("B")
+        record = registry.declare(a, b, "by definition")
+        assert record.evidence == "by definition"
+        assert registry.declarations == (record,)
+
+    def test_evidence_required(self):
+        registry = InclusionRegistry()
+        with pytest.raises(ProofError):
+            registry.declare(cls("A"), cls("B"), "")
+
+    def test_samples_can_refute(self):
+        registry = InclusionRegistry()
+        evens = StateClass("Evens", lambda s: s % 2 == 0)
+        small = StateClass("Small", lambda s: s < 10)
+        with pytest.raises(ProofError):
+            registry.declare(evens, small, "wrong", samples=[12])
+
+    def test_consistent_samples_accepted(self):
+        registry = InclusionRegistry()
+        evens = StateClass("Evens", lambda s: s % 2 == 0)
+        ints = StateClass("Ints", lambda s: True)
+        registry.declare(evens, ints, "evens are integers", samples=range(20))
+
+
+class TestEntailment:
+    def test_syntactic_inclusion_free(self):
+        registry = InclusionRegistry()
+        a, b = cls("A"), cls("B")
+        assert registry.entails(a, a | b)
+
+    def test_declared_inclusion(self):
+        registry = InclusionRegistry()
+        a, b = cls("A"), cls("B")
+        registry.declare(a, b, "decl")
+        assert registry.entails(a, b)
+        assert not registry.entails(b, a)
+
+    def test_transitivity(self):
+        registry = InclusionRegistry()
+        a, b, c = cls("A"), cls("B"), cls("C")
+        registry.declare(a, b, "one")
+        registry.declare(b, c, "two")
+        assert registry.entails(a, c)
+
+    def test_union_on_the_right(self):
+        registry = InclusionRegistry()
+        a, b, d = cls("A"), cls("B"), cls("D")
+        registry.declare(a, b, "decl")
+        assert registry.entails(a, b | d)
+
+    def test_underivable(self):
+        registry = InclusionRegistry()
+        assert not registry.entails(cls("A"), cls("Z"))
+
+
+class TestRules:
+    def arrow(self, source, target):
+        return ArrowStatement(source, target, 1, Fraction(1, 2), "S")
+
+    def test_strengthen_source_via_registry(self):
+        registry = InclusionRegistry()
+        a, b, goal = cls("A"), cls("B"), cls("Goal")
+        registry.declare(a, b, "decl")
+        statement = self.arrow(b, goal)
+        restricted = registry.strengthen_source(statement, a)
+        assert restricted.source == a
+        assert restricted.probability == statement.probability
+
+    def test_widen_target_via_registry(self):
+        registry = InclusionRegistry()
+        goal, bigger, start = cls("Goal"), cls("Bigger"), cls("Start")
+        registry.declare(goal, bigger, "decl")
+        widened = registry.widen_target(self.arrow(start, goal), bigger)
+        assert widened.target == bigger
+
+    def test_underivable_rejected(self):
+        registry = InclusionRegistry()
+        statement = self.arrow(cls("B"), cls("Goal"))
+        with pytest.raises(ProofError):
+            registry.strengthen_source(statement, cls("A"))
+        with pytest.raises(ProofError):
+            registry.widen_target(statement, cls("Z"))
+
+
+class TestLehmannRabinRegistry:
+    def samples(self):
+        rng = random.Random(0)
+        states = []
+        for _ in range(300):
+            state = lr.random_consistent_state(3, rng)
+            if state is not None:
+                states.append(state)
+        return states
+
+    def test_registry_builds_with_samples(self):
+        registry = lehmann_rabin_inclusions(self.samples())
+        assert len(registry.declarations) == 4
+
+    def test_section_6_2_inclusions_derivable(self):
+        registry = lehmann_rabin_inclusions(self.samples())
+        assert registry.entails(lr.G_CLASS, lr.RT_CLASS)
+        assert registry.entails(lr.F_CLASS, lr.T_CLASS)  # via RT
+        assert registry.entails(lr.G_CLASS, lr.T_CLASS)
+        assert registry.entails(lr.P_CLASS, lr.T_CLASS)
+        assert not registry.entails(lr.T_CLASS, lr.G_CLASS)
+
+    def test_strengthening_a_leaf(self):
+        """A use the paper makes implicitly: the composed statement
+        restricted to the smaller start set G."""
+        registry = lehmann_rabin_inclusions(self.samples())
+        final = lr.lehmann_rabin_proof().final_statement
+        restricted = registry.strengthen_source(final, lr.G_CLASS)
+        assert restricted.source == lr.G_CLASS
+        assert restricted.probability == final.probability

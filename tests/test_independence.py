@@ -1,0 +1,167 @@
+"""Unit tests for the Proposition 4.2 machinery."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.coins import (
+    FLIP_P,
+    FLIP_Q,
+    HEADS,
+    TAILS,
+    both_flip_adversary,
+    never_flip_q_adversary,
+    p_heads,
+    peek_adversary,
+    q_tails,
+    two_coin_automaton,
+)
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import EventError
+from repro.events.independence import (
+    action_outcome_lower_bound,
+    first_conjunction_claim,
+    next_claim,
+    proposition_4_2_claims,
+)
+from repro.execution.automaton import ExecutionAutomaton
+from repro.execution.measure import exact_event_probability
+
+
+@pytest.fixture
+def automaton():
+    return two_coin_automaton()
+
+
+class TestActionOutcomeLowerBound:
+    def test_fair_coin_bound_is_half(self, automaton):
+        bound = action_outcome_lower_bound(
+            automaton, FLIP_P, p_heads, automaton.states
+        )
+        assert bound == Fraction(1, 2)
+
+    def test_unused_action_is_vacuous(self, automaton):
+        bound = action_outcome_lower_bound(
+            automaton, "missing", p_heads, automaton.states
+        )
+        assert bound == 1
+
+    def test_impossible_outcome_bound_zero(self, automaton):
+        bound = action_outcome_lower_bound(
+            automaton, FLIP_P, lambda s: False, automaton.states
+        )
+        assert bound == 0
+
+    def test_minimum_over_steps(self):
+        # An automaton where the same action has different outcome
+        # probabilities from different states: the bound is the min.
+        from repro.automaton.automaton import ExplicitAutomaton
+        from repro.automaton.signature import ActionSignature
+        from repro.automaton.transition import Transition
+        from repro.probability.space import FiniteDistribution
+
+        auto = ExplicitAutomaton(
+            ["a", "b", "win", "lose"],
+            ["a"],
+            ActionSignature(internal={"roll"}),
+            [
+                Transition(
+                    "a", "roll",
+                    FiniteDistribution(
+                        {"win": Fraction(3, 4), "lose": Fraction(1, 4)}
+                    ),
+                ),
+                Transition(
+                    "b", "roll",
+                    FiniteDistribution(
+                        {"win": Fraction(1, 4), "lose": Fraction(3, 4)}
+                    ),
+                ),
+            ],
+        )
+        bound = action_outcome_lower_bound(
+            auto, "roll", lambda s: s == "win", auto.states
+        )
+        assert bound == Fraction(1, 4)
+
+
+class TestClaims:
+    def pairs(self):
+        return [(FLIP_P, p_heads), (FLIP_Q, q_tails)]
+
+    def test_first_conjunction_bound_is_product(self):
+        claim = first_conjunction_claim(
+            self.pairs(), [Fraction(1, 2), Fraction(1, 2)]
+        )
+        assert claim.lower_bound == Fraction(1, 4)
+        assert claim.kind == "first-conjunction"
+
+    def test_next_bound_is_minimum(self):
+        claim = next_claim(self.pairs(), [Fraction(1, 2), Fraction(1, 3)])
+        assert claim.lower_bound == Fraction(1, 3)
+        assert claim.kind == "next-minimum"
+
+    def test_duplicate_actions_rejected(self):
+        with pytest.raises(EventError):
+            first_conjunction_claim(
+                [(FLIP_P, p_heads), (FLIP_P, q_tails)],
+                [Fraction(1, 2), Fraction(1, 2)],
+            )
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(EventError):
+            next_claim(self.pairs(), [Fraction(1, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EventError):
+            first_conjunction_claim([], [])
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(EventError):
+            next_claim(self.pairs(), [Fraction(1, 2), Fraction(3, 2)])
+
+
+class TestProposition42EndToEnd:
+    def adversaries(self):
+        return [
+            both_flip_adversary(),
+            peek_adversary(HEADS),
+            peek_adversary(TAILS),
+            never_flip_q_adversary(),
+        ]
+
+    def test_bounds_hold_under_every_adversary(self, automaton):
+        first_claim, nxt_claim = proposition_4_2_claims(
+            automaton,
+            [(FLIP_P, p_heads), (FLIP_Q, q_tails)],
+            automaton.states,
+        )
+        assert first_claim.lower_bound == Fraction(1, 4)
+        assert nxt_claim.lower_bound == Fraction(1, 2)
+        start = ExecutionFragment.initial((None, None))
+        for adversary in self.adversaries():
+            tree = ExecutionAutomaton(automaton, adversary, start)
+            assert exact_event_probability(
+                tree, first_claim.event, 4
+            ) >= first_claim.lower_bound
+            assert exact_event_probability(
+                tree, nxt_claim.event, 4
+            ) >= nxt_claim.lower_bound
+
+    def test_next_event_tight_under_both_flip(self, automaton):
+        # Under the both-flip adversary, P goes first, so next(...)
+        # reduces to first(flip_p, H): probability exactly 1/2.
+        _, nxt_claim = proposition_4_2_claims(
+            automaton,
+            [(FLIP_P, p_heads), (FLIP_Q, q_tails)],
+            automaton.states,
+        )
+        tree = ExecutionAutomaton(
+            automaton, both_flip_adversary(),
+            ExecutionFragment.initial((None, None)),
+        )
+        assert exact_event_probability(
+            tree, nxt_claim.event, 4
+        ) == Fraction(1, 2)

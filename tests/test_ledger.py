@@ -1,0 +1,127 @@
+"""Unit tests for the proof ledger."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProofError
+from repro.proofs.ledger import ProofLedger
+from repro.proofs.statements import ArrowStatement, StateClass
+
+
+def cls(name):
+    return StateClass(name, lambda s: False)
+
+
+def arrow(source, target, t, p, schema="S"):
+    return ArrowStatement(source, target, t, p, schema)
+
+
+@pytest.fixture
+def ledger():
+    return ProofLedger("S", execution_closed=True)
+
+
+class TestAssume:
+    def test_assume_and_retrieve(self, ledger):
+        statement = arrow(cls("U"), cls("V"), 1, 1)
+        sid = ledger.assume(statement, evidence="hand proof")
+        assert ledger.statement(sid) == statement
+        assert ledger.derivation(sid).rule == "assume"
+        assert ledger.derivation(sid).evidence == "hand proof"
+
+    def test_empty_evidence_rejected(self, ledger):
+        with pytest.raises(ProofError):
+            ledger.assume(arrow(cls("U"), cls("V"), 1, 1), evidence="")
+
+    def test_cross_schema_rejected(self, ledger):
+        foreign = arrow(cls("U"), cls("V"), 1, 1, schema="other")
+        with pytest.raises(ProofError):
+            ledger.assume(foreign, evidence="x")
+
+    def test_len_counts_entries(self, ledger):
+        assert len(ledger) == 0
+        ledger.assume(arrow(cls("U"), cls("V"), 1, 1), evidence="x")
+        assert len(ledger) == 1
+
+
+class TestRules:
+    def test_compose_via_ids(self, ledger):
+        a = ledger.assume(arrow(cls("U"), cls("V"), 1, Fraction(1, 2)), "e")
+        b = ledger.assume(arrow(cls("V"), cls("W"), 2, Fraction(1, 2)), "e")
+        composed = ledger.compose(a, b)
+        statement = ledger.statement(composed)
+        assert statement.time_bound == 3
+        assert statement.probability == Fraction(1, 4)
+
+    def test_compose_blocked_without_closure(self):
+        open_ledger = ProofLedger("S", execution_closed=False)
+        a = open_ledger.assume(arrow(cls("U"), cls("V"), 1, 1), "e")
+        b = open_ledger.assume(arrow(cls("V"), cls("W"), 1, 1), "e")
+        with pytest.raises(ProofError):
+            open_ledger.compose(a, b)
+
+    def test_union(self, ledger):
+        a = ledger.assume(arrow(cls("U"), cls("V"), 1, 1), "e")
+        lifted = ledger.union(a, cls("X"))
+        assert ledger.statement(lifted).source == cls("U") | cls("X")
+
+    def test_weaken(self, ledger):
+        a = ledger.assume(arrow(cls("U"), cls("V"), 1, Fraction(1, 2)), "e")
+        weakened = ledger.weaken(a, probability=Fraction(1, 4), time_bound=2)
+        assert ledger.statement(weakened).probability == Fraction(1, 4)
+        assert ledger.statement(weakened).time_bound == 2
+
+    def test_strengthen_and_widen(self, ledger):
+        u, x, v, w = cls("U"), cls("X"), cls("V"), cls("W")
+        a = ledger.assume(arrow(u | x, v, 1, 1), "e")
+        restricted = ledger.strengthen_source(a, u)
+        widened = ledger.widen_target(restricted, v | w)
+        assert ledger.statement(widened).source == u
+        assert ledger.statement(widened).target == v | w
+
+    def test_chain(self, ledger):
+        ids = [
+            ledger.assume(arrow(cls("A"), cls("B"), 1, 1), "e"),
+            ledger.assume(arrow(cls("B"), cls("C"), 1, 1), "e"),
+            ledger.assume(arrow(cls("C"), cls("D"), 1, 1), "e"),
+        ]
+        final = ledger.chain(ids)
+        assert ledger.statement(final).target == cls("D")
+
+    def test_chain_empty_rejected(self, ledger):
+        with pytest.raises(ProofError):
+            ledger.chain([])
+
+    def test_unknown_id_rejected(self, ledger):
+        with pytest.raises(ProofError):
+            ledger.statement(99)
+
+
+class TestProvenance:
+    def build(self, ledger):
+        a = ledger.assume(arrow(cls("U"), cls("V"), 1, 1), "axiom A")
+        b = ledger.assume(arrow(cls("V"), cls("W"), 1, 1), "axiom B")
+        return a, b, ledger.compose(a, b)
+
+    def test_leaves(self, ledger):
+        a, b, _ = self.build(ledger)
+        assert [i for i, _ in ledger.leaves()] == [a, b]
+
+    def test_supporting_leaves(self, ledger):
+        a, b, composed = self.build(ledger)
+        assert ledger.supporting_leaves(composed) == [a, b]
+
+    def test_supporting_leaves_deduplicates(self, ledger):
+        a = ledger.assume(arrow(cls("U"), cls("U"), 1, 1), "axiom A")
+        twice = ledger.compose(a, a)
+        assert ledger.supporting_leaves(twice) == [a]
+
+    def test_explain_renders_tree(self, ledger):
+        _, _, composed = self.build(ledger)
+        text = ledger.explain(composed)
+        assert "compose (Thm 3.4)" in text
+        assert "axiom A" in text and "axiom B" in text
+        assert text.splitlines()[0].startswith(f"[{composed}]")

@@ -1,0 +1,137 @@
+"""Unit tests for the hostile Lehmann-Rabin adversaries."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.unit_time import RoundBasedAdversary, unit_time_schema
+from repro.algorithms import lehmann_rabin as lr
+from repro.algorithms.lehmann_rabin.adversaries import (
+    ObstructionistPolicy,
+    SlowStarterPolicy,
+)
+from repro.algorithms.lehmann_rabin.state import PC, ProcessState, Side
+from repro.automaton.execution import ExecutionFragment
+
+
+def ring(*locals_):
+    return lr.make_state(list(locals_))
+
+
+R = lambda: ProcessState(PC.R, Side.LEFT)
+
+
+@pytest.fixture
+def setup3():
+    return lr.lehmann_rabin_automaton(3), lr.LRProcessView(3)
+
+
+class TestObstructionist:
+    def test_steals_contested_resource_first(self, setup3):
+        automaton, view = setup3
+        # Process 0 at S<- holds Res_2 and wants Res_0 next; process 1
+        # waits left for Res_0.  Stealing Res_0 via process 1 first
+        # makes 0's check fail.
+        state = ring(
+            ProcessState(PC.S, Side.LEFT),
+            ProcessState(PC.W, Side.LEFT),
+            R(),
+        )
+        adversary = RoundBasedAdversary(view, ObstructionistPolicy())
+        step = adversary.choose(automaton, ExecutionFragment.initial(state))
+        assert view.process_of(step.action) == 1  # the thief goes first
+
+    def test_hurries_a_doomed_check(self, setup3):
+        automaton, view = setup3
+        # Process 0 at S-> whose second resource (Res_2) is held by
+        # process 2 (S->): firing the check now wastes it.  Process 1
+        # at F is neutral, so 0 goes first.
+        state = ring(
+            ProcessState(PC.S, Side.RIGHT),
+            ProcessState(PC.F, Side.LEFT),
+            ProcessState(PC.S, Side.RIGHT),
+        )
+        adversary = RoundBasedAdversary(view, ObstructionistPolicy())
+        step = adversary.choose(automaton, ExecutionFragment.initial(state))
+        assert view.process_of(step.action) == 0
+
+    def test_delays_a_promising_check(self, setup3):
+        automaton, view = setup3
+        # Process 0 at S<- with its second resource free scores last;
+        # the neutral process 1 (at F) goes first.
+        state = ring(
+            ProcessState(PC.S, Side.LEFT),
+            ProcessState(PC.F, Side.LEFT),
+            R(),
+        )
+        adversary = RoundBasedAdversary(view, ObstructionistPolicy())
+        step = adversary.choose(automaton, ExecutionFragment.initial(state))
+        assert view.process_of(step.action) == 1
+
+    def test_is_a_unit_time_member(self, setup3):
+        _, view = setup3
+        schema = unit_time_schema(view)
+        assert schema.contains(
+            RoundBasedAdversary(view, ObstructionistPolicy())
+        )
+
+
+class TestSlowStarter:
+    def test_victim_scheduled_last(self, setup3):
+        automaton, view = setup3
+        state = lr.canonical_states(3)["all_flip"]
+        adversary = RoundBasedAdversary(view, SlowStarterPolicy(0))
+        fragment = ExecutionFragment.initial(state)
+        scheduled = []
+        rng = random.Random(0)
+        for _ in range(3):
+            step = adversary.checked_choose(automaton, fragment)
+            scheduled.append(view.process_of(step.action))
+            fragment = fragment.extend(step.action, step.target.sample(rng))
+        assert scheduled == [1, 2, 0]
+
+    def test_victim_still_progresses_within_round(self, setup3):
+        automaton, view = setup3
+        state = lr.canonical_states(3)["all_flip"]
+        adversary = RoundBasedAdversary(view, SlowStarterPolicy(0))
+        fragment = ExecutionFragment.initial(state)
+        rng = random.Random(0)
+        from repro.automaton.signature import TIME_PASSAGE
+
+        while True:
+            step = adversary.checked_choose(automaton, fragment)
+            fragment = fragment.extend(step.action, step.target.sample(rng))
+            if step.action == TIME_PASSAGE:
+                break
+        # By the end of round 1 every process, victim included, stepped.
+        stepped = {
+            view.process_of(a) for a in fragment.actions if a != TIME_PASSAGE
+        }
+        assert stepped == {0, 1, 2}
+
+
+class TestFamily:
+    def test_family_members_are_unit_time(self):
+        view = lr.LRProcessView(4)
+        schema = unit_time_schema(view)
+        family = lr.lr_adversary_family(view)
+        assert len(family) >= 8
+        for name, adversary in family:
+            assert schema.contains(adversary), name
+
+    def test_family_names_unique(self):
+        view = lr.LRProcessView(3)
+        names = [name for name, _ in lr.lr_adversary_family(view)]
+        assert len(names) == len(set(names))
+
+    def test_max_rounds_propagates(self):
+        view = lr.LRProcessView(3)
+        automaton = lr.lehmann_rabin_automaton(3)
+        family = lr.lr_adversary_family(view, max_rounds=0)
+        start = lr.canonical_states(3)["all_flip"]
+        for name, adversary in family:
+            assert adversary.choose(
+                automaton, ExecutionFragment.initial(start)
+            ) is None, name

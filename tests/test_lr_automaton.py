@@ -1,0 +1,229 @@
+"""Unit tests: the Lehmann-Rabin transition relation vs Figure 1."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.lehmann_rabin.automaton import (
+    CRIT,
+    DROP,
+    DROPF,
+    DROPS,
+    EXIT,
+    FLIP,
+    LRProcessView,
+    REM,
+    SECOND,
+    TRY,
+    WAIT,
+    lehmann_rabin_automaton,
+    lr_signature,
+    lr_time_of,
+    process_transitions,
+)
+from repro.algorithms.lehmann_rabin.state import (
+    FREE,
+    PC,
+    ProcessState,
+    Side,
+    TAKEN,
+    initial_state,
+    make_state,
+)
+from repro.automaton.signature import TIME_PASSAGE
+from repro.errors import AutomatonError
+
+
+def single(steps):
+    assert len(steps) == 1
+    return steps[0]
+
+
+def ring(*locals_):
+    return make_state(list(locals_))
+
+
+R = lambda: ProcessState(PC.R, Side.LEFT)
+
+
+class TestInstructionSemantics:
+    def test_try_enters_trying_region(self):
+        state = ring(R(), R(), R())
+        step = single(process_transitions(state, 0))
+        assert step.action == (TRY, 0)
+        assert step.target.the_point().process(0).pc is PC.F
+
+    def test_flip_is_a_fair_coin_into_W(self):
+        state = ring(ProcessState(PC.F, Side.LEFT), R(), R())
+        step = single(process_transitions(state, 0))
+        assert step.action == (FLIP, 0)
+        outcomes = {s.process(0) for s in step.target.support}
+        assert outcomes == {
+            ProcessState(PC.W, Side.LEFT),
+            ProcessState(PC.W, Side.RIGHT),
+        }
+        for target, weight in step.target.items():
+            assert weight == Fraction(1, 2)
+
+    def test_wait_takes_free_first_resource(self):
+        state = ring(ProcessState(PC.W, Side.RIGHT), R(), R())
+        step = single(process_transitions(state, 0))
+        after = step.target.the_point()
+        assert step.action == (WAIT, 0)
+        assert after.process(0).pc is PC.S
+        assert after.resource(0) == TAKEN  # right resource of process 0
+
+    def test_wait_busy_waits_when_taken(self):
+        # Process 1 waits left (Res_0) while process 0 holds Res_0.
+        state = ring(
+            ProcessState(PC.S, Side.RIGHT),
+            ProcessState(PC.W, Side.LEFT),
+            R(),
+        )
+        step = single(process_transitions(state, 1))
+        assert step.action == (WAIT, 1)
+        assert step.target.the_point() == state  # unchanged (goto 2)
+
+    def test_second_success_enters_pre_critical(self):
+        state = ring(ProcessState(PC.S, Side.RIGHT), R(), R())
+        step = single(process_transitions(state, 0))
+        after = step.target.the_point()
+        assert step.action == (SECOND, 0)
+        assert after.process(0).pc is PC.P
+        assert after.resource(2) == TAKEN  # left resource (second)
+
+    def test_second_failure_moves_to_drop(self):
+        # Process 0 at S-> (holds Res_0), its second is Res_2, held by
+        # process 2 pointing right... wait: process 2's right resource
+        # is Res_2 and it holds it when S->.
+        state = ring(
+            ProcessState(PC.S, Side.RIGHT),
+            R(),
+            ProcessState(PC.S, Side.RIGHT),
+        )
+        step = single(process_transitions(state, 0))
+        after = step.target.the_point()
+        assert after.process(0).pc is PC.D
+        assert after.resource(2) == TAKEN  # still the neighbour's
+
+    def test_drop_releases_first_resource_and_reflips(self):
+        state = ring(ProcessState(PC.D, Side.RIGHT), R(), R())
+        step = single(process_transitions(state, 0))
+        after = step.target.the_point()
+        assert step.action == (DROP, 0)
+        assert after.process(0).pc is PC.F
+        assert after.resource(0) == FREE
+
+    def test_crit_announces_critical(self):
+        state = ring(ProcessState(PC.P, Side.LEFT), R(), R())
+        step = single(process_transitions(state, 0))
+        after = step.target.the_point()
+        assert step.action == (CRIT, 0)
+        assert after.process(0).pc is PC.C
+        # Resources stay held.
+        assert after.resource(0) == TAKEN and after.resource(2) == TAKEN
+
+    def test_exit_starts_exit_protocol(self):
+        state = ring(ProcessState(PC.C, Side.LEFT), R(), R())
+        step = single(process_transitions(state, 0))
+        assert step.action == (EXIT, 0)
+        assert step.target.the_point().process(0).pc is PC.EF
+
+    def test_dropf_offers_both_nondeterministic_choices(self):
+        state = ring(ProcessState(PC.EF, Side.LEFT), R(), R())
+        steps = process_transitions(state, 0)
+        assert len(steps) == 2
+        assert all(step.action == (DROPF, 0) for step in steps)
+        outcomes = {}
+        for step in steps:
+            after = step.target.the_point()
+            outcomes[after.process(0).u] = (
+                after.resource(2), after.resource(0)
+            )
+        # u := RIGHT frees the left resource (Res_2) and vice versa.
+        assert outcomes[Side.RIGHT] == (FREE, TAKEN)
+        assert outcomes[Side.LEFT] == (TAKEN, FREE)
+        assert all(
+            step.target.the_point().process(0).pc is PC.ES for step in steps
+        )
+
+    def test_drops_releases_remaining_resource(self):
+        state = ring(ProcessState(PC.ES, Side.RIGHT), R(), R())
+        step = single(process_transitions(state, 0))
+        after = step.target.the_point()
+        assert step.action == (DROPS, 0)
+        assert after.process(0).pc is PC.ER
+        assert after.resource(0) == FREE
+
+    def test_rem_returns_to_remainder(self):
+        state = ring(ProcessState(PC.ER, Side.LEFT), R(), R())
+        step = single(process_transitions(state, 0))
+        assert step.action == (REM, 0)
+        assert step.target.the_point().process(0).pc is PC.R
+
+
+class TestAutomatonAssembly:
+    def test_all_processes_plus_time_passage(self):
+        auto = lehmann_rabin_automaton(3)
+        steps = auto.transitions(initial_state(3))
+        # Three try steps plus one time-passage step.
+        assert len(steps) == 4
+        assert sum(1 for s in steps if s.action == TIME_PASSAGE) == 1
+
+    def test_time_passage_advances_one_unit(self):
+        auto = lehmann_rabin_automaton(3)
+        state = initial_state(3)
+        (passage,) = [
+            s for s in auto.transitions(state) if s.action == TIME_PASSAGE
+        ]
+        assert passage.target.the_point().time == 1
+        assert passage.target.the_point().untimed() == state.untimed()
+
+    def test_signature_classifies_actions(self):
+        signature = lr_signature(3)
+        assert signature.is_external((TRY, 0))
+        assert signature.is_external((CRIT, 2))
+        assert signature.is_internal((FLIP, 1))
+        assert signature.is_internal(TIME_PASSAGE)
+
+    def test_ring_size_validated(self):
+        with pytest.raises(AutomatonError):
+            lehmann_rabin_automaton(1)
+
+    def test_start_state_must_match_size(self):
+        with pytest.raises(AutomatonError):
+            lehmann_rabin_automaton(3, start=initial_state(4))
+
+    def test_time_of(self):
+        assert lr_time_of(initial_state(3)) == 0
+
+
+class TestProcessView:
+    def test_processes(self):
+        view = LRProcessView(4)
+        assert view.processes == (0, 1, 2, 3)
+
+    def test_ready_excludes_remainder_and_critical(self):
+        view = LRProcessView(3)
+        state = ring(
+            ProcessState(PC.F, Side.LEFT),
+            ProcessState(PC.C, Side.LEFT),
+            R(),
+        )
+        assert view.ready(state) == frozenset({0})
+
+    def test_ready_includes_exit_protocol(self):
+        view = LRProcessView(3)
+        state = ring(ProcessState(PC.EF, Side.LEFT), R(), R())
+        assert view.ready(state) == frozenset({0})
+
+    def test_process_of(self):
+        view = LRProcessView(3)
+        assert view.process_of((FLIP, 2)) == 2
+        assert view.process_of(TIME_PASSAGE) is None
+
+    def test_minimum_ring_size(self):
+        with pytest.raises(AutomatonError):
+            LRProcessView(1)

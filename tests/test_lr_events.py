@@ -1,0 +1,154 @@
+"""The Section 4 event schemas applied to Lehmann-Rabin itself.
+
+Proposition A.11's proof banks compound events of the form
+``first(flip_{i-1}, left) AND first(flip_{i+1}, right)``, each worth at
+least 1/4 by Proposition 4.2, and shows they lead to ``P``.  These
+tests evaluate those events *exactly* on Lehmann-Rabin execution trees
+under several adversaries — the paper's machinery applied to the
+paper's own algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import (
+    FifoRoundPolicy,
+    ReversedRoundPolicy,
+    RoundBasedAdversary,
+    RotatingRoundPolicy,
+)
+from repro.algorithms import lehmann_rabin as lr
+from repro.algorithms.lehmann_rabin.adversaries import ObstructionistPolicy
+from repro.algorithms.lehmann_rabin.automaton import FLIP
+from repro.algorithms.lehmann_rabin.state import PC, ProcessState, Side
+from repro.automaton.execution import ExecutionFragment
+from repro.events.combinators import Intersection
+from repro.events.first import FirstOccurrence
+from repro.events.independence import action_outcome_lower_bound
+from repro.events.next_first import NextFirstOccurrence
+from repro.events.reach import ReachWithinTime
+from repro.execution.automaton import ExecutionAutomaton
+from repro.execution.measure import event_probability_bounds
+
+
+def flip_lands(i, side):
+    return lambda state: state.process(i) == ProcessState(PC.W, side)
+
+
+def adversaries(view, max_rounds):
+    return [
+        RoundBasedAdversary(view, policy, max_rounds=max_rounds)
+        for policy in (
+            FifoRoundPolicy(),
+            ReversedRoundPolicy(),
+            RotatingRoundPolicy(),
+            ObstructionistPolicy(),
+            HashedRandomRoundPolicy(3),
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def ring3():
+    return lr.lehmann_rabin_automaton(3), lr.LRProcessView(3)
+
+
+class TestPerFlipBounds:
+    def test_flip_outcome_bound_is_half(self, ring3):
+        """Each flip gives each side probability exactly 1/2 from every
+        state that enables it — the p_i of Proposition 4.2."""
+        automaton, _ = ring3
+        rng = random.Random(0)
+        states = [
+            s for s in (lr.random_consistent_state(3, rng) for _ in range(60))
+            if s is not None
+        ]
+        for i in range(3):
+            for side in (Side.LEFT, Side.RIGHT):
+                bound = action_outcome_lower_bound(
+                    automaton, (FLIP, i), flip_lands(i, side), states
+                )
+                assert bound == Fraction(1, 2)
+
+
+class TestCompoundEventsOnLR:
+    def test_two_flip_conjunction_meets_quarter(self, ring3):
+        """P[first(flip_0, left) AND first(flip_2, right)] >= 1/4 under
+        every adversary tried, exactly (Proposition 4.2 clause 1)."""
+        automaton, view = ring3
+        start = lr.make_state(
+            [
+                ProcessState(PC.F, Side.LEFT),
+                ProcessState(PC.W, Side.LEFT),
+                ProcessState(PC.F, Side.LEFT),
+            ]
+        )
+        event = Intersection(
+            [
+                FirstOccurrence((FLIP, 0), flip_lands(0, Side.LEFT)),
+                FirstOccurrence((FLIP, 2), flip_lands(2, Side.RIGHT)),
+            ]
+        )
+        for adversary in adversaries(view, max_rounds=3):
+            tree = ExecutionAutomaton(
+                automaton, adversary, ExecutionFragment.initial(start)
+            )
+            bounds = event_probability_bounds(tree, event, max_steps=14)
+            assert bounds.lower >= Fraction(1, 4), adversary
+
+    def test_next_event_meets_half(self, ring3):
+        """P[next((flip_0, left), (flip_2, right))] >= 1/2, exactly
+        (Proposition 4.2 clause 2)."""
+        automaton, view = ring3
+        start = lr.canonical_states(3)["all_flip"]
+        event = NextFirstOccurrence(
+            [
+                ((FLIP, 0), flip_lands(0, Side.LEFT)),
+                ((FLIP, 2), flip_lands(2, Side.RIGHT)),
+            ]
+        )
+        for adversary in adversaries(view, max_rounds=2):
+            tree = ExecutionAutomaton(
+                automaton, adversary, ExecutionFragment.initial(start)
+            )
+            bounds = event_probability_bounds(tree, event, max_steps=10)
+            assert bounds.lower >= Fraction(1, 2), adversary
+
+    def test_lucky_coins_imply_progress(self, ring3):
+        """The A.9-shaped implication on a concrete G state: whenever
+        both constrained coins land well, P is reached within 5 —
+        i.e. P[coins-good AND NOT reach] = 0, exactly."""
+        from repro.events.combinators import Complement
+
+        automaton, view = ring3
+        # X_0 in T (F), X_1 = W<-, X_2 in {ER,R,F,W->,D->} (F here).
+        start = lr.make_state(
+            [
+                ProcessState(PC.F, Side.LEFT),
+                ProcessState(PC.W, Side.LEFT),
+                ProcessState(PC.F, Side.LEFT),
+            ]
+        )
+        coins_good = Intersection(
+            [
+                FirstOccurrence((FLIP, 0), flip_lands(0, Side.LEFT)),
+                FirstOccurrence((FLIP, 2), flip_lands(2, Side.RIGHT)),
+            ]
+        )
+        missed = Complement(
+            ReachWithinTime(lr.in_pre_critical, 5, lr.lr_time_of)
+        )
+        counterexample = Intersection([coins_good, missed])
+        for adversary in adversaries(view, max_rounds=6):
+            tree = ExecutionAutomaton(
+                automaton, adversary, ExecutionFragment.initial(start)
+            )
+            bounds = event_probability_bounds(
+                tree, counterexample, max_steps=26
+            )
+            assert bounds.upper == 0, adversary

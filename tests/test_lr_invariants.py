@@ -1,0 +1,97 @@
+"""Invariant tests: Lemma 6.1 and mutual exclusion along executions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import (
+    FifoRoundPolicy,
+    ReversedRoundPolicy,
+    RoundBasedAdversary,
+)
+from repro.algorithms import lehmann_rabin as lr
+from repro.automaton.execution import ExecutionFragment
+
+
+def walk_states(n, policy, start, steps, seed):
+    """All states along one sampled execution."""
+    automaton = lr.lehmann_rabin_automaton(n)
+    adversary = RoundBasedAdversary(lr.LRProcessView(n), policy)
+    rng = random.Random(seed)
+    fragment = ExecutionFragment.initial(start)
+    for _ in range(steps):
+        step = adversary.checked_choose(automaton, fragment)
+        if step is None:
+            break
+        fragment = fragment.extend(step.action, step.target.sample(rng))
+    return fragment.states
+
+
+class TestLemma61AlongExecutions:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_invariant_from_initial_state(self, n, seed):
+        policy = HashedRandomRoundPolicy(seed)
+        start = lr.canonical_states(n)["all_flip"]
+        for state in walk_states(n, policy, start, 150, seed):
+            assert lr.lemma_6_1_holds(state)
+            assert lr.mutual_exclusion_holds(state)
+
+    def test_invariant_from_random_consistent_states(self):
+        rng = random.Random(3)
+        for start in lr.sample_states_in(lr.T_CLASS, 4, 5, rng):
+            for state in walk_states(4, FifoRoundPolicy(), start, 100, 7):
+                assert lr.lemma_6_1_holds(state)
+
+    def test_invariant_under_reversed_policy(self):
+        start = lr.canonical_states(3)["contended"]
+        for state in walk_states(3, ReversedRoundPolicy(), start, 120, 5):
+            assert lr.lemma_6_1_holds(state)
+            assert lr.mutual_exclusion_holds(state)
+
+
+class TestLemma61Exhaustively:
+    def test_every_step_preserves_lemma_from_sampled_states(self):
+        """Inductive check: one step from any consistent state stays
+        consistent (Lemma 6.1 is an inductive invariant)."""
+        rng = random.Random(9)
+        automaton = lr.lehmann_rabin_automaton(3)
+        states = [lr.random_consistent_state(3, rng) for _ in range(300)]
+        for state in states:
+            if state is None:
+                continue
+            assert lr.lemma_6_1_holds(state)
+            for step in automaton.transitions(state):
+                for target in step.target.support:
+                    assert lr.lemma_6_1_holds(target), (
+                        f"{state!r} --{step.action}--> {target!r}"
+                    )
+
+    def test_exhaustive_tree_from_initial_state(self):
+        """Breadth-first over all adversary interleavings for a few
+        levels: every reachable state satisfies both invariants."""
+        automaton = lr.lehmann_rabin_automaton(3)
+        frontier = {lr.initial_state(3).untimed()}
+        seen = set(frontier)
+        from fractions import Fraction
+
+        from repro.algorithms.lehmann_rabin.state import LRState
+
+        for _ in range(6):
+            next_frontier = set()
+            for untimed in frontier:
+                state = LRState(untimed[0], untimed[1], Fraction(0))
+                for step in automaton.transitions(state):
+                    for target in step.target.support:
+                        key = target.untimed()
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        next_frontier.add(key)
+                        assert lr.lemma_6_1_holds(target)
+                        assert lr.mutual_exclusion_holds(target)
+            frontier = next_frontier
+        assert len(seen) > 50  # the exploration actually went somewhere

@@ -1,0 +1,113 @@
+"""Unit tests for the reconstructed Section 6.2 proof."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import lehmann_rabin as lr
+from repro.errors import VerificationError
+from repro.proofs.statements import ArrowStatement
+
+
+class TestLeafStatements:
+    def test_the_five_propositions(self):
+        leaves = lr.leaf_statements()
+        assert repr(leaves["A.3"]) == "T --2-->_1 C | RT  [Unit-Time]"
+        assert repr(leaves["A.15"]) == "RT --3-->_1 F | G | P  [Unit-Time]"
+        assert repr(leaves["A.14"]) == "F --2-->_1/2 G | P  [Unit-Time]"
+        assert repr(leaves["A.11"]) == "G --5-->_1/4 P  [Unit-Time]"
+        assert repr(leaves["A.1"]) == "P --1-->_1 C  [Unit-Time]"
+
+
+class TestDerivation:
+    def test_final_statement_matches_paper(self):
+        chain = lr.lehmann_rabin_proof()
+        final = chain.final_statement
+        assert final.source == lr.T_CLASS
+        assert final.target == lr.C_CLASS
+        assert final.time_bound == 13
+        assert final.probability == Fraction(1, 8)
+
+    def test_rests_on_exactly_the_five_leaves(self):
+        chain = lr.lehmann_rabin_proof()
+        leaves = chain.ledger.supporting_leaves(chain.final_id)
+        assert sorted(leaves) == sorted(chain.leaf_ids.values())
+
+    def test_explanation_cites_propositions(self):
+        chain = lr.lehmann_rabin_proof()
+        text = chain.ledger.explain(chain.final_id)
+        for name in ("A.1", "A.3", "A.11", "A.14", "A.15"):
+            assert f"Proposition {name}" in text
+
+    def test_leaf_statements_accessor(self):
+        chain = lr.lehmann_rabin_proof()
+        assert chain.leaf_statements()["A.11"].probability == Fraction(1, 4)
+
+
+class TestExpectedTime:
+    def test_recursion_solves_to_sixty(self):
+        assert lr.section_6_2_recursion().solve() == 60
+
+    def test_overall_bound_is_63(self):
+        assert lr.expected_time_bound() == 63
+
+
+class TestStartStateGenerators:
+    def test_random_consistent_state_respects_lemma(self):
+        rng = random.Random(0)
+        produced = 0
+        for _ in range(200):
+            state = lr.random_consistent_state(3, rng)
+            if state is None:
+                continue
+            produced += 1
+            assert lr.lemma_6_1_holds(state)
+        assert produced > 50
+
+    @pytest.mark.parametrize(
+        "region",
+        [lr.T_CLASS, lr.RT_CLASS, lr.F_CLASS, lr.G_CLASS, lr.P_CLASS],
+    )
+    def test_sample_states_in_region(self, region):
+        rng = random.Random(1)
+        states = lr.sample_states_in(region, 3, 5, rng)
+        assert len(states) == 5
+        for state in states:
+            assert region.contains(state)
+            assert lr.lemma_6_1_holds(state)
+
+    def test_samples_are_distinct(self):
+        rng = random.Random(2)
+        states = lr.sample_states_in(lr.T_CLASS, 3, 8, rng)
+        assert len({s.untimed() for s in states}) == 8
+
+    def test_impossible_region_raises(self):
+        from repro.proofs.statements import StateClass
+
+        empty = StateClass("Empty", lambda s: False)
+        with pytest.raises(VerificationError):
+            lr.sample_states_in(empty, 3, 1, random.Random(0), max_attempts=200)
+
+
+class TestCanonicalStates:
+    def test_expected_region_membership(self):
+        states = lr.canonical_states(4)
+        assert lr.in_flip_ready(states["all_flip"])
+        assert lr.in_reduced_trying(states["one_trying"])
+        assert lr.in_good(states["good_pair"])
+        assert lr.in_reduced_trying(states["contended"])
+        assert lr.in_pre_critical(states["pre_critical"])
+        assert lr.in_trying(states["with_exiter"])
+        assert not lr.in_reduced_trying(states["with_exiter"])
+
+    def test_all_canonical_states_satisfy_lemma(self):
+        for state in lr.canonical_states(5).values():
+            assert lr.lemma_6_1_holds(state)
+
+    def test_canonical_states_scale_with_n(self):
+        for n in (2, 3, 6):
+            states = lr.canonical_states(n)
+            assert all(s.n == n for s in states.values())

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the Lehmann-Rabin model.
+
+Random invariant-consistent states are generated directly from local
+states (rejecting inconsistent combinations), and the structural facts
+the proof leans on are checked as universally as hypothesis can manage:
+the region inclusion lattice, Lemma 6.1 as an inductive invariant, the
+determinism of the transition relation outside flips, and the exact
+correspondence between region predicates and their definitions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import lehmann_rabin as lr
+from repro.algorithms.lehmann_rabin.automaton import FLIP, lr_transitions
+from repro.algorithms.lehmann_rabin.state import (
+    PC,
+    ProcessState,
+    Side,
+    consistent_resources,
+)
+
+local_states = st.builds(
+    ProcessState,
+    pc=st.sampled_from(list(PC)),
+    u=st.sampled_from([Side.LEFT, Side.RIGHT]),
+)
+
+
+@st.composite
+def consistent_states(draw, min_n=2, max_n=5):
+    """A random Lemma 6.1-consistent global state."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    locals_ = draw(
+        st.lists(local_states, min_size=n, max_size=n)
+    )
+    assume(consistent_resources(locals_) is not None)
+    return lr.make_state(locals_)
+
+
+@given(consistent_states())
+@settings(max_examples=150)
+def test_constructed_states_satisfy_lemma_6_1(state):
+    assert lr.lemma_6_1_holds(state)
+
+
+@given(consistent_states())
+@settings(max_examples=150)
+def test_region_inclusion_lattice(state):
+    # G ⊆ RT, F ⊆ RT, RT ⊆ T, P ⊆ T (Section 6.2 definitions).
+    if lr.in_good(state):
+        assert lr.in_reduced_trying(state)
+    if lr.in_flip_ready(state):
+        assert lr.in_reduced_trying(state)
+    if lr.in_reduced_trying(state):
+        assert lr.in_trying(state)
+    if lr.in_pre_critical(state):
+        assert lr.in_trying(state)
+
+
+@given(consistent_states())
+@settings(max_examples=150)
+def test_good_processes_agree_with_region(state):
+    has_good = bool(lr.good_processes(state))
+    assert lr.in_good(state) == (has_good and lr.in_reduced_trying(state))
+
+
+@given(consistent_states())
+@settings(max_examples=100)
+def test_one_step_preserves_lemma_6_1(state):
+    for step in lr_transitions(state):
+        for target in step.target.support:
+            assert lr.lemma_6_1_holds(target)
+
+
+@given(consistent_states())
+@settings(max_examples=100)
+def test_flips_are_the_only_probabilistic_steps(state):
+    for step in lr_transitions(state):
+        if step.action != "nu" and step.action[0] == FLIP:
+            assert len(step.target) == 2
+            for _, weight in step.target.items():
+                assert weight == Fraction(1, 2)
+        else:
+            assert step.is_deterministic()
+
+
+@given(consistent_states())
+@settings(max_examples=100)
+def test_every_process_enables_exactly_its_figure_1_steps(state):
+    for i in range(state.n):
+        from repro.algorithms.lehmann_rabin.automaton import (
+            process_transitions,
+        )
+
+        steps = process_transitions(state, i)
+        pc = state.process(i).pc
+        # The EF counter offers the nondeterministic pair; everything
+        # else exactly one step.
+        expected = 2 if pc is PC.EF else 1
+        assert len(steps) == expected
+        assert all(step.action[1] == i for step in steps)
+
+
+@given(consistent_states())
+@settings(max_examples=100)
+def test_readiness_matches_user_action_convention(state):
+    view = lr.LRProcessView(state.n)
+    ready = view.ready(state)
+    for i in range(state.n):
+        pc = state.process(i).pc
+        if pc in (PC.R, PC.C):
+            assert i not in ready
+        else:
+            assert i in ready
+
+
+@given(consistent_states())
+@settings(max_examples=100)
+def test_time_passage_changes_only_the_clock(state):
+    passages = [s for s in lr_transitions(state) if s.action == "nu"]
+    assert len(passages) == 1
+    after = passages[0].target.the_point()
+    assert after.untimed() == state.untimed()
+    assert after.time == state.time + 1
+
+
+@given(consistent_states())
+@settings(max_examples=100)
+def test_resources_conserved_by_steps(state):
+    """A step changes the holdings of at most the acting process, and
+    every resource it frees/takes is adjacent to that process."""
+    for step in lr_transitions(state):
+        if step.action == "nu":
+            continue
+        _, actor = step.action
+        adjacent = {
+            state.resource_index(actor, Side.LEFT),
+            state.resource_index(actor, Side.RIGHT),
+        }
+        for target in step.target.support:
+            for j in range(state.n):
+                if state.resource(j) != target.resource(j):
+                    assert j in adjacent

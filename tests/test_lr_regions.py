@@ -1,0 +1,232 @@
+"""Unit tests for the Section 6.2 region predicates and Lemma 6.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.lehmann_rabin.regions import (
+    C_CLASS,
+    F_CLASS,
+    G_CLASS,
+    P_CLASS,
+    RT_CLASS,
+    T_CLASS,
+    good_processes,
+    in_critical,
+    in_flip_ready,
+    in_good,
+    in_pre_critical,
+    in_reduced_trying,
+    in_trying,
+    is_good_process,
+    lemma_6_1_holds,
+    mutual_exclusion_holds,
+)
+from repro.algorithms.lehmann_rabin.state import (
+    PC,
+    ProcessState,
+    Side,
+    make_state,
+)
+
+
+def ring(*locals_):
+    return make_state(list(locals_))
+
+
+R = lambda: ProcessState(PC.R, Side.LEFT)
+
+
+class TestBasicRegions:
+    def test_trying_detects_each_trying_counter(self):
+        for pc in (PC.F, PC.W, PC.S, PC.D, PC.P):
+            side = Side.LEFT
+            state = ring(ProcessState(pc, side), R(), R())
+            assert in_trying(state), pc
+
+    def test_remainder_only_is_not_trying(self):
+        assert not in_trying(ring(R(), R(), R()))
+
+    def test_critical(self):
+        state = ring(ProcessState(PC.C, Side.LEFT), R(), R())
+        assert in_critical(state)
+        assert not in_trying(state)
+
+    def test_pre_critical(self):
+        state = ring(ProcessState(PC.P, Side.LEFT), R(), R())
+        assert in_pre_critical(state)
+
+    def test_reduced_trying_excludes_critical(self):
+        state = ring(
+            ProcessState(PC.F, Side.LEFT), ProcessState(PC.C, Side.LEFT), R()
+        )
+        assert in_trying(state)
+        assert not in_reduced_trying(state)
+
+    def test_reduced_trying_excludes_resourceful_exiters(self):
+        for pc in (PC.EF, PC.ES):
+            state = ring(
+                ProcessState(PC.F, Side.LEFT), ProcessState(pc, Side.LEFT), R()
+            )
+            assert not in_reduced_trying(state), pc
+
+    def test_reduced_trying_allows_er(self):
+        state = ring(
+            ProcessState(PC.F, Side.LEFT), ProcessState(PC.ER, Side.LEFT), R()
+        )
+        assert in_reduced_trying(state)
+
+    def test_flip_ready_requires_rt(self):
+        good = ring(ProcessState(PC.F, Side.LEFT), R(), R())
+        assert in_flip_ready(good)
+        with_critical = ring(
+            ProcessState(PC.F, Side.LEFT), ProcessState(PC.C, Side.LEFT), R()
+        )
+        assert not in_flip_ready(with_critical)
+
+
+class TestGoodProcesses:
+    def test_left_committed_with_clear_right_neighbour(self):
+        # X_0 = W<- ; X_1 in {ER, R, F, #->} makes 0 good.
+        for neighbour in (
+            ProcessState(PC.ER, Side.LEFT),
+            ProcessState(PC.R, Side.LEFT),
+            ProcessState(PC.F, Side.LEFT),
+            ProcessState(PC.W, Side.RIGHT),
+            ProcessState(PC.S, Side.RIGHT),
+            ProcessState(PC.D, Side.RIGHT),
+        ):
+            state = ring(ProcessState(PC.W, Side.LEFT), neighbour, R())
+            assert is_good_process(state, 0), neighbour
+
+    def test_left_committed_with_hostile_right_neighbour(self):
+        for neighbour in (
+            ProcessState(PC.W, Side.LEFT),
+            ProcessState(PC.S, Side.LEFT),
+            ProcessState(PC.D, Side.LEFT),
+        ):
+            state = ring(ProcessState(PC.W, Side.LEFT), neighbour, R())
+            assert not is_good_process(state, 0), neighbour
+
+    def test_right_committed_with_clear_left_neighbour(self):
+        # X_1 = S-> ; X_0 in {ER, R, F, #<-} makes 1 good.
+        state = ring(
+            ProcessState(PC.D, Side.LEFT),
+            ProcessState(PC.S, Side.RIGHT),
+            R(),
+        )
+        assert is_good_process(state, 1)
+
+    def test_right_committed_with_hostile_left_neighbour(self):
+        state = ring(
+            ProcessState(PC.W, Side.RIGHT),
+            ProcessState(PC.S, Side.RIGHT),
+            R(),
+        )
+        assert not is_good_process(state, 1)
+
+    def test_uncommitted_processes_are_not_good(self):
+        state = ring(ProcessState(PC.D, Side.LEFT), R(), R())
+        assert not is_good_process(state, 0)
+        assert good_processes(state) == []
+
+    def test_good_processes_listed_in_order(self):
+        state = ring(
+            ProcessState(PC.W, Side.LEFT),
+            ProcessState(PC.W, Side.RIGHT),
+            R(),
+        )
+        # 0 is good (neighbour 1 points right); 1 is good (neighbour 0
+        # points left).
+        assert good_processes(state) == [0, 1]
+
+    def test_g_requires_rt(self):
+        state = ring(
+            ProcessState(PC.W, Side.LEFT),
+            ProcessState(PC.C, Side.LEFT),
+            R(),
+        )
+        assert not in_good(state)
+
+    def test_g_on_good_rt_state(self):
+        state = ring(ProcessState(PC.W, Side.LEFT), R(), R())
+        assert in_good(state)
+
+
+class TestLemma61:
+    def test_holds_on_consistent_states(self):
+        state = ring(ProcessState(PC.P, Side.LEFT), R(), R())
+        assert lemma_6_1_holds(state)
+
+    def test_detects_spurious_taken_resource(self):
+        state = ring(R(), R(), R()).with_resource(0, True)
+        assert not lemma_6_1_holds(state)
+
+    def test_detects_missing_taken_resource(self):
+        state = ring(ProcessState(PC.S, Side.RIGHT), R(), R()).with_resource(
+            0, False
+        )
+        assert not lemma_6_1_holds(state)
+
+    def test_detects_double_holding(self):
+        # Force the unreachable double-hold state manually.
+        from fractions import Fraction
+
+        from repro.algorithms.lehmann_rabin.state import LRState
+
+        state = LRState(
+            processes=(
+                ProcessState(PC.S, Side.RIGHT),
+                ProcessState(PC.S, Side.LEFT),
+                R(),
+            ),
+            resources=(True, False, False),
+            time=Fraction(0),
+        )
+        assert not lemma_6_1_holds(state)
+
+
+class TestMutualExclusion:
+    def test_single_critical_ok(self):
+        state = ring(ProcessState(PC.C, Side.LEFT), R(), R())
+        assert mutual_exclusion_holds(state)
+
+    def test_nonadjacent_criticals_ok(self):
+        state = make_state(
+            [
+                ProcessState(PC.C, Side.LEFT),
+                R(),
+                ProcessState(PC.C, Side.LEFT),
+                R(),
+            ]
+        )
+        assert mutual_exclusion_holds(state)
+
+    def test_adjacent_criticals_detected(self):
+        from fractions import Fraction
+
+        from repro.algorithms.lehmann_rabin.state import LRState
+
+        state = LRState(
+            processes=(
+                ProcessState(PC.C, Side.LEFT),
+                ProcessState(PC.C, Side.LEFT),
+                R(),
+            ),
+            resources=(True, True, True),
+            time=Fraction(0),
+        )
+        assert not mutual_exclusion_holds(state)
+
+
+class TestStateClasses:
+    def test_class_names(self):
+        assert T_CLASS.name == "T"
+        assert (F_CLASS | G_CLASS | P_CLASS).name == "F | G | P"
+
+    def test_classes_delegate_to_predicates(self):
+        state = ring(ProcessState(PC.P, Side.LEFT), R(), R())
+        assert T_CLASS.contains(state)
+        assert P_CLASS.contains(state)
+        assert RT_CLASS.contains(state)
+        assert not C_CLASS.contains(state)

@@ -1,0 +1,110 @@
+"""Unit tests for exact extremal expected hitting times."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms import lehmann_rabin as lr
+from repro.errors import VerificationError
+from repro.mdp.expected_time import extremal_expected_time_rounds
+
+
+def strip(state):
+    return state.untimed()
+
+
+@pytest.fixture(scope="module")
+def ring3():
+    return lr.lehmann_rabin_automaton(3), lr.LRProcessView(3)
+
+
+class TestBasics:
+    def test_target_at_start_is_zero(self, ring3):
+        automaton, view = ring3
+        start = lr.canonical_states(3)["pre_critical"]
+        value = extremal_expected_time_rounds(
+            automaton, view, lr.in_pre_critical, start, strip
+        )
+        assert value == 0.0
+
+    def test_deterministic_one_round(self, ring3):
+        automaton, view = ring3
+        # A pre-critical process fires crit during round 1: time-to-C is
+        # 0 rounds completed... the crit step happens before any time
+        # passage, so the expected number of completed rounds is 0.
+        start = lr.canonical_states(3)["pre_critical"]
+        value = extremal_expected_time_rounds(
+            automaton, view, lr.in_critical, start, strip
+        )
+        assert value == 0.0
+
+    def test_min_leq_max(self, ring3):
+        automaton, view = ring3
+        start = lr.canonical_states(3)["one_trying"]
+        worst = extremal_expected_time_rounds(
+            automaton, view, lr.in_critical, start, strip, maximise=True
+        )
+        best = extremal_expected_time_rounds(
+            automaton, view, lr.in_critical, start, strip, maximise=False
+        )
+        assert best <= worst
+
+    def test_divergence_detected(self):
+        # With an unreachable target the value grows without bound; the
+        # iteration reports failure (either divergence or
+        # non-convergence) instead of looping forever.  A two-process
+        # ordered ring keeps the node space tiny.
+        from repro.algorithms import ordered as od
+
+        automaton = od.ordered_automaton(2)
+        view = od.OrderedProcessView(2)
+        start = od.ordered_initial_state(2)
+        with pytest.raises(VerificationError):
+            extremal_expected_time_rounds(
+                automaton, view, lambda s: False, start,
+                lambda s: s.untimed(), max_iterations=300,
+            )
+
+
+class TestPaperBound:
+    def test_worst_case_expected_time_below_63(self, ring3):
+        """The paper's 63 dominates the exact subclass optimum from
+        every canonical and sampled trying state (n = 3)."""
+        automaton, view = ring3
+        starts = [
+            lr.canonical_states(3)["one_trying"],
+            lr.canonical_states(3)["with_exiter"],
+        ]
+        starts += lr.sample_states_in(lr.T_CLASS, 3, 2, random.Random(0))
+        for start in starts:
+            value = extremal_expected_time_rounds(
+                automaton, view, lr.in_critical, start, strip,
+                maximise=True, tolerance=1e-7,
+            )
+            assert value <= 63.0, (start, value)
+
+    def test_known_exact_values(self, ring3):
+        automaton, view = ring3
+        states = lr.canonical_states(3)
+        worst_all_flip = extremal_expected_time_rounds(
+            automaton, view, lr.in_critical, states["all_flip"], strip
+        )
+        # 13/3: flip+grab round, then the second-check lottery.
+        assert worst_all_flip == pytest.approx(13 / 3, abs=1e-6)
+        worst_contended = extremal_expected_time_rounds(
+            automaton, view, lr.in_critical, states["contended"], strip
+        )
+        assert worst_contended == pytest.approx(2.0, abs=1e-6)
+
+    def test_progress_is_almost_sure(self, ring3):
+        """Convergence of the worst-case expectation certifies the
+        Zuck-Pnueli progress property the paper refines: no
+        round-synchronous scheduler can starve the critical region."""
+        automaton, view = ring3
+        value = extremal_expected_time_rounds(
+            automaton, view, lr.in_critical,
+            lr.canonical_states(3)["all_flip"], strip, maximise=True,
+        )
+        assert value < float("inf")

@@ -1,0 +1,125 @@
+"""Unit tests for the cone measure and event-probability bounds."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.deterministic import (
+    FirstEnabledAdversary,
+    StoppingAdversary,
+)
+from repro.automaton.execution import ExecutionFragment
+from repro.errors import VerificationError
+from repro.events.first import FirstOccurrence
+from repro.events.reach import EventuallyReach, ReachWithinSteps
+from repro.execution.automaton import ExecutionAutomaton
+from repro.execution.measure import (
+    event_probability_bounds,
+    exact_event_probability,
+    rectangle_probability,
+)
+
+
+def initial(state):
+    return ExecutionFragment.initial(state)
+
+
+def tree_for(automaton, max_steps=None, start="start"):
+    adversary = FirstEnabledAdversary()
+    if max_steps is not None:
+        adversary = StoppingAdversary(adversary, max_steps)
+    return ExecutionAutomaton(automaton, adversary, initial(start))
+
+
+class TestRectangleProbability:
+    def test_start_rectangle_has_mass_one(self, coin_walk):
+        tree = tree_for(coin_walk)
+        assert rectangle_probability(tree, initial("start")) == 1
+
+    def test_one_step_rectangle(self, coin_walk):
+        tree = tree_for(coin_walk)
+        fragment = initial("start").extend("hop1", "middle")
+        assert rectangle_probability(tree, fragment) == Fraction(1, 2)
+
+    def test_two_step_rectangle_is_product(self, coin_walk):
+        tree = tree_for(coin_walk)
+        fragment = (
+            initial("start").extend("hop1", "middle").extend("hop2", "goal")
+        )
+        assert rectangle_probability(tree, fragment) == Fraction(1, 4)
+
+    def test_unscheduled_action_has_mass_zero(self, coin_walk):
+        tree = tree_for(coin_walk)
+        fragment = initial("start").extend("hop2", "middle")
+        assert rectangle_probability(tree, fragment) == 0
+
+    def test_non_extension_has_mass_zero(self, coin_walk):
+        tree = tree_for(coin_walk)
+        assert rectangle_probability(tree, initial("middle")) == 0
+
+
+class TestEventProbabilityBounds:
+    def test_exact_when_horizon_decides_everything(self, coin_walk):
+        # With a 2-step stopping adversary every execution is decided.
+        tree = tree_for(coin_walk, max_steps=2)
+        schema = ReachWithinSteps(lambda s: s == "goal", 2)
+        bounds = event_probability_bounds(tree, schema, max_steps=2)
+        assert bounds.is_exact
+        assert bounds.lower == Fraction(1, 4)
+
+    def test_reach_probability_grows_with_horizon(self, coin_walk):
+        schema = EventuallyReach(lambda s: s == "goal")
+        tree = tree_for(coin_walk)
+        shallow = event_probability_bounds(tree, schema, max_steps=2)
+        deep = event_probability_bounds(tree, schema, max_steps=8)
+        assert deep.lower > shallow.lower
+        assert shallow.lower == Fraction(1, 4)
+
+    def test_undecided_mass_reported(self, coin_walk):
+        schema = EventuallyReach(lambda s: s == "goal")
+        tree = tree_for(coin_walk)
+        bounds = event_probability_bounds(tree, schema, max_steps=2)
+        assert not bounds.is_exact
+        assert bounds.width == 1 - Fraction(1, 4) - 0  # undecided mass
+        assert bounds.upper == 1
+
+    def test_eight_step_value_matches_hand_computation(self, coin_walk):
+        # Reaching goal within k steps: needs one success in each leg.
+        # With 4 coin flips available the probability is
+        # P[X + Y <= 4] where X, Y ~ Geometric(1/2):
+        # = sum_{x=1..3} (1/2)^x * (1 - (1/2)^(4-x)) = 11/16.
+        schema = EventuallyReach(lambda s: s == "goal")
+        tree = tree_for(coin_walk)
+        bounds = event_probability_bounds(tree, schema, max_steps=4)
+        assert bounds.lower == Fraction(11, 16)
+
+    def test_maximal_vacuity_counts_as_success(self, coin_walk):
+        # first(hop2, ...) holds vacuously when the run halts before
+        # hop2 ever fires.
+        tree = tree_for(coin_walk, max_steps=0)
+        schema = FirstOccurrence("hop2", lambda s: False)
+        bounds = event_probability_bounds(tree, schema, max_steps=5)
+        assert bounds.is_exact and bounds.lower == 1
+
+    def test_negative_max_steps_rejected(self, coin_walk):
+        tree = tree_for(coin_walk)
+        with pytest.raises(VerificationError):
+            event_probability_bounds(
+                tree, EventuallyReach(lambda s: False), max_steps=-1
+            )
+
+
+class TestExactEventProbability:
+    def test_returns_exact_value(self, coin_walk):
+        tree = tree_for(coin_walk, max_steps=3)
+        schema = ReachWithinSteps(lambda s: s == "middle", 3)
+        # P[reach middle within 3 steps] = 1 - (1/2)^3 = 7/8.
+        assert exact_event_probability(tree, schema, 3) == Fraction(7, 8)
+
+    def test_raises_on_undecided_mass(self, coin_walk):
+        tree = tree_for(coin_walk)
+        schema = EventuallyReach(lambda s: s == "goal")
+        with pytest.raises(VerificationError):
+            exact_event_probability(tree, schema, 2)

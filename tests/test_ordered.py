@@ -1,0 +1,184 @@
+"""Unit tests for the deterministic ordered-philosophers baseline."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import (
+    FifoRoundPolicy,
+    ReversedRoundPolicy,
+    RoundBasedAdversary,
+)
+from repro.algorithms import ordered as od
+from repro.algorithms.ordered.automaton import (
+    OPC,
+    OrderedState,
+    adjacent_resources,
+    ordered_transitions,
+)
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import TIME_PASSAGE
+from repro.errors import AutomatonError
+from repro.execution.sampler import sample_time_until
+
+
+def state_of(pcs, resources=None, time=Fraction(0)):
+    n = len(pcs)
+    return OrderedState(
+        tuple(pcs), tuple(resources or [False] * n), time
+    )
+
+
+class TestGeometry:
+    def test_pickup_order_is_ascending_resource_index(self):
+        assert adjacent_resources(1, 4) == (0, 1)
+        assert adjacent_resources(2, 4) == (1, 2)
+
+    def test_one_process_is_left_handed(self):
+        # Process 0's resources are n-1 (left) and 0 (right); ascending
+        # order makes it grab its RIGHT resource first - the asymmetry.
+        assert adjacent_resources(0, 4) == (0, 3)
+
+
+class TestTransitions:
+    def test_try_then_waits(self):
+        state = state_of([OPC.R, OPC.R])
+        steps = [
+            s for s in ordered_transitions(state) if s.action == ("try", 0)
+        ]
+        assert steps[0].target.the_point().pcs[0] is OPC.W1
+
+    def test_wait1_takes_free_resource(self):
+        state = state_of([OPC.W1, OPC.R])
+        (step,) = [
+            s for s in ordered_transitions(state) if s.action == ("wait1", 0)
+        ]
+        after = step.target.the_point()
+        assert after.pcs[0] is OPC.W2
+        first, _ = adjacent_resources(0, 2)
+        assert after.resources[first]
+
+    def test_wait1_busy_waits_when_taken(self):
+        first, _ = adjacent_resources(0, 2)
+        resources = [False, False]
+        resources[first] = True
+        state = state_of([OPC.W1, OPC.R], resources)
+        (step,) = [
+            s for s in ordered_transitions(state) if s.action == ("wait1", 0)
+        ]
+        assert step.target.the_point() == state
+
+    def test_hold_and_wait_keeps_first_resource(self):
+        first, second = adjacent_resources(0, 2)
+        resources = [False, False]
+        resources[first] = True
+        resources[second] = True  # second taken: must busy-wait
+        state = state_of([OPC.W2, OPC.R], resources)
+        (step,) = [
+            s for s in ordered_transitions(state) if s.action == ("wait2", 0)
+        ]
+        after = step.target.the_point()
+        assert after == state  # still holding first, still waiting
+
+    def test_full_cycle_returns_to_remainder(self):
+        n = 2
+        automaton = od.ordered_automaton(n)
+        view = od.OrderedProcessView(n)
+
+        class EagerPolicy(FifoRoundPolicy):
+            """Also fires the user actions try/exit for process 0."""
+
+            def next_move(self, automaton, fragment, pending, view):
+                state = fragment.lstate
+                if state.pcs[0] in (OPC.R, OPC.C):
+                    for step in automaton.transitions(state):
+                        if step.action in (("try", 0), ("exit", 0)):
+                            return step
+                return super().next_move(automaton, fragment, pending, view)
+
+        adversary = RoundBasedAdversary(view, EagerPolicy())
+        fragment = ExecutionFragment.initial(od.ordered_initial_state(n))
+        rng = random.Random(0)
+        seen_pcs = set()
+        for _ in range(40):
+            step = adversary.checked_choose(automaton, fragment)
+            fragment = fragment.extend(step.action, step.target.sample(rng))
+            seen_pcs.add(fragment.lstate.pcs[0])
+        assert {OPC.W1, OPC.W2, OPC.P, OPC.C, OPC.E1, OPC.E2, OPC.ER} <= seen_pcs
+
+    def test_ring_size_validated(self):
+        with pytest.raises(AutomatonError):
+            od.ordered_automaton(1)
+
+
+class TestSafetyAndProgress:
+    def run_walk(self, n, policy, steps=200, seed=0):
+        automaton = od.ordered_automaton(n)
+        adversary = RoundBasedAdversary(od.OrderedProcessView(n), policy)
+        rng = random.Random(seed)
+        start = state_of([OPC.W1] * n)
+        fragment = ExecutionFragment.initial(start)
+        for _ in range(steps):
+            step = adversary.checked_choose(automaton, fragment)
+            if step is None:
+                break
+            fragment = fragment.extend(step.action, step.target.sample(rng))
+        return fragment.states
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_resource_invariant_preserved(self, n):
+        for state in self.run_walk(n, FifoRoundPolicy()):
+            assert od.ordered_resource_invariant(state)
+            assert od.ordered_mutual_exclusion(state)
+
+    def test_no_deadlock_all_waiting(self):
+        # The classic circular-wait scenario: everyone at W1.  The
+        # resource order guarantees someone always progresses.
+        for policy in (
+            FifoRoundPolicy(), ReversedRoundPolicy(), HashedRandomRoundPolicy(3)
+        ):
+            n = 4
+            automaton = od.ordered_automaton(n)
+            adversary = RoundBasedAdversary(od.OrderedProcessView(n), policy)
+            elapsed = sample_time_until(
+                automaton,
+                adversary,
+                ExecutionFragment.initial(state_of([OPC.W1] * n)),
+                od.ordered_in_critical,
+                od.ordered_time_of,
+                random.Random(0),
+                5_000,
+            )
+            assert elapsed is not None
+            assert elapsed <= n + 2
+
+    def test_full_contention_reaches_c_within_three_rounds_exactly(self):
+        """The deterministic analogue of the paper's claims: from the
+        all-waiting state, *every* round-synchronous schedule reaches
+        ``C`` within 3 rounds with probability 1 (exact check — the
+        automaton is deterministic, so this is a pure game against the
+        scheduler)."""
+        from repro.mdp.bounded import min_reach_probability_rounds
+
+        n = 4
+        automaton = od.ordered_automaton(n)
+        view = od.OrderedProcessView(n)
+        start = state_of([OPC.W1] * n)
+        value = min_reach_probability_rounds(
+            automaton, view, od.ordered_in_critical, start, 3,
+            strip_time=lambda s: s.untimed(),
+        )
+        assert value == 1
+
+    def test_regions(self):
+        trying = state_of([OPC.W1, OPC.R])
+        critical = state_of([OPC.C, OPC.R], [True, True])
+        assert od.ordered_in_trying(trying)
+        assert not od.ordered_in_critical(trying)
+        assert od.ordered_in_critical(critical)
+        assert od.ORDERED_T_CLASS.contains(trying)
+        assert od.ORDERED_C_CLASS.contains(critical)

@@ -1,0 +1,100 @@
+"""Unit tests for the patient (timed) construction."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.automaton.automaton import ExplicitAutomaton
+from repro.automaton.patient import TimedState, elapsed_time, patient
+from repro.automaton.signature import TIME_PASSAGE, ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+from repro.probability.space import FiniteDistribution
+
+
+@pytest.fixture
+def base() -> ExplicitAutomaton[str]:
+    return ExplicitAutomaton(
+        states=["a", "b"],
+        start_states=["a"],
+        signature=ActionSignature(internal={"go"}),
+        steps=[Transition("a", "go", FiniteDistribution.bernoulli("a", "b"))],
+    )
+
+
+class TestPatient:
+    def test_start_states_carry_time_zero(self, base):
+        timed = patient(base)
+        assert timed.start_states == (TimedState("a", Fraction(0)),)
+
+    def test_discrete_steps_preserve_time(self, base):
+        timed = patient(base)
+        start = TimedState("a", Fraction(3))
+        go_steps = [s for s in timed.transitions(start) if s.action == "go"]
+        assert len(go_steps) == 1
+        for target in go_steps[0].target.support:
+            assert target.now == Fraction(3)
+
+    def test_time_passage_steps_added(self, base):
+        timed = patient(base, increments=[Fraction(1, 2), Fraction(2)])
+        start = timed.start_states[0]
+        passages = [
+            s for s in timed.transitions(start) if s.action == TIME_PASSAGE
+        ]
+        amounts = {s.target.the_point().now for s in passages}
+        assert amounts == {Fraction(1, 2), Fraction(2)}
+
+    def test_time_passage_is_dirac_and_base_preserving(self, base):
+        timed = patient(base)
+        start = timed.start_states[0]
+        for step in timed.transitions(start):
+            if step.action == TIME_PASSAGE:
+                assert step.is_deterministic()
+                assert step.target.the_point().base == "b" or \
+                    step.target.the_point().base == "a"
+                assert step.target.the_point().base == start.base
+
+    def test_terminal_states_still_let_time_pass(self, base):
+        timed = patient(base)
+        terminal = TimedState("b", Fraction(5))
+        steps = timed.transitions(terminal)
+        assert steps and all(step.action == TIME_PASSAGE for step in steps)
+
+    def test_signature_gains_internal_time_passage(self, base):
+        timed = patient(base)
+        assert timed.signature.is_internal(TIME_PASSAGE)
+        assert timed.signature.is_internal("go")
+
+    def test_nonpositive_increment_rejected(self, base):
+        with pytest.raises(AutomatonError):
+            patient(base, increments=[Fraction(0)])
+
+    def test_empty_increments_rejected(self, base):
+        with pytest.raises(AutomatonError):
+            patient(base, increments=[])
+
+    def test_reserved_action_clash_rejected(self):
+        clashing = ExplicitAutomaton(
+            ["a"], ["a"],
+            ActionSignature(internal={TIME_PASSAGE}),
+            [],
+        )
+        with pytest.raises(AutomatonError):
+            patient(clashing)
+
+
+class TestTimedState:
+    def test_advanced(self):
+        state = TimedState("a", Fraction(1))
+        assert state.advanced(Fraction(1, 2)) == TimedState("a", Fraction(3, 2))
+
+    def test_elapsed_time(self):
+        assert elapsed_time(
+            ["x"], [Fraction(1), Fraction(3)]
+        ) == Fraction(2)
+
+    def test_elapsed_time_empty_rejected(self):
+        with pytest.raises(AutomatonError):
+            elapsed_time([], [])

@@ -1,0 +1,158 @@
+"""Unit tests for the Section 6.2 phase decomposition."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import FifoRoundPolicy, RoundBasedAdversary
+from repro.algorithms import lehmann_rabin as lr
+from repro.algorithms.lehmann_rabin.state import PC, ProcessState, Side
+from repro.analysis.phases import (
+    FAIL_FOURTH,
+    FAIL_THIRD,
+    SUCCESS,
+    PhaseOutcome,
+    PhaseStatistics,
+    classify_attempt,
+    sample_phase_statistics,
+)
+from repro.errors import VerificationError
+
+
+def ring(*locals_):
+    return lr.make_state(list(locals_))
+
+
+def timed(state, t):
+    return state.with_time(Fraction(t))
+
+
+R = lambda: ProcessState(PC.R, Side.LEFT)
+
+
+class TestClassifyAttempt:
+    def test_immediate_success_through_gp(self):
+        # Start already in G; P reached one unit later.
+        g_state = ring(ProcessState(PC.W, Side.LEFT), R(), R())
+        p_state = timed(
+            ring(ProcessState(PC.P, Side.LEFT), R(), R()), 1
+        )
+        outcome = classify_attempt([g_state, p_state])
+        assert outcome == PhaseOutcome(branch=SUCCESS, time_spent=Fraction(1))
+
+    def test_success_entering_through_f(self):
+        f_state = ring(ProcessState(PC.F, Side.LEFT), R(), R())
+        g_state = timed(ring(ProcessState(PC.W, Side.LEFT), R(), R()), 1)
+        p_state = timed(ring(ProcessState(PC.P, Side.LEFT), R(), R()), 3)
+        outcome = classify_attempt([f_state, g_state, p_state])
+        assert outcome.branch == SUCCESS
+        assert outcome.time_spent == 3
+
+    def test_failure_at_third_arrow(self):
+        # Enter F at time 0; still outside G|P when the 2-unit window
+        # closes (witnessed by a state past time 2).
+        f0 = ring(ProcessState(PC.F, Side.LEFT), R(), R())
+        contended = ring(
+            ProcessState(PC.W, Side.LEFT),
+            ProcessState(PC.W, Side.LEFT),
+            ProcessState(PC.W, Side.LEFT),
+        )
+        later = timed(contended, 3)
+        outcome = classify_attempt([f0, timed(contended, 1), later])
+        assert outcome.branch == FAIL_THIRD
+        assert outcome.time_spent == 3
+
+    def test_failure_at_fourth_arrow(self):
+        g0 = ring(ProcessState(PC.W, Side.LEFT), R(), R())
+        still_g = timed(g0, 6)
+        outcome = classify_attempt([g0, timed(g0, 2), still_g])
+        assert outcome.branch == FAIL_FOURTH
+        assert outcome.time_spent == 6
+
+    def test_unresolved_returns_none(self):
+        g0 = ring(ProcessState(PC.W, Side.LEFT), R(), R())
+        assert classify_attempt([g0, timed(g0, 2)]) is None
+
+    def test_entry_deadline_measured_from_start(self):
+        # RT state not yet in F|G|P (everyone contended W pointing the
+        # same way is in RT; check it is really outside F|G|P first).
+        contended = ring(
+            ProcessState(PC.W, Side.LEFT),
+            ProcessState(PC.W, Side.LEFT),
+            ProcessState(PC.W, Side.LEFT),
+        )
+        assert lr.in_reduced_trying(contended)
+        assert not (
+            lr.in_flip_ready(contended) or lr.in_good(contended)
+            or lr.in_pre_critical(contended)
+        )
+        f_late = timed(
+            ring(ProcessState(PC.F, Side.LEFT), R(), R()), 2
+        )
+        p_soon = timed(
+            ring(ProcessState(PC.P, Side.LEFT), R(), R()), 3
+        )
+        outcome = classify_attempt([contended, f_late, p_soon])
+        assert outcome.branch == SUCCESS
+        assert outcome.time_spent == 3
+
+
+class TestStatistics:
+    def outcomes(self):
+        return PhaseStatistics(
+            outcomes=(
+                PhaseOutcome(SUCCESS, Fraction(4)),
+                PhaseOutcome(SUCCESS, Fraction(6)),
+                PhaseOutcome(FAIL_THIRD, Fraction(5)),
+                PhaseOutcome(FAIL_FOURTH, Fraction(9)),
+            )
+        )
+
+    def test_frequencies(self):
+        stats = self.outcomes()
+        assert stats.frequency(SUCCESS) == 0.5
+        assert stats.frequency(FAIL_THIRD) == 0.25
+
+    def test_max_time(self):
+        stats = self.outcomes()
+        assert stats.max_time(SUCCESS) == 6
+        assert stats.max_time("missing-branch") == 0
+
+    def test_coefficient_check(self):
+        assert self.outcomes().respects_recursion_coefficients()
+
+    def test_empty_rejected(self):
+        with pytest.raises(VerificationError):
+            PhaseStatistics(outcomes=()).frequency(SUCCESS)
+
+
+class TestSampling:
+    def test_sampled_statistics_fit_the_recursion(self):
+        automaton = lr.lehmann_rabin_automaton(3)
+        view = lr.LRProcessView(3)
+        rng = random.Random(1)
+        starts = lr.sample_states_in(lr.RT_CLASS, 3, 4, rng)
+        for policy in (FifoRoundPolicy(), HashedRandomRoundPolicy(2)):
+            adversary = RoundBasedAdversary(view, policy)
+            stats = sample_phase_statistics(
+                automaton, adversary, starts, rng, attempts=120
+            )
+            assert stats.respects_recursion_coefficients()
+            # Branch time caps from the paper's accounting.
+            assert stats.max_time(SUCCESS) <= 10
+            assert stats.max_time(FAIL_THIRD) <= 6
+            assert stats.max_time(FAIL_FOURTH) <= 11
+
+    def test_no_starts_rejected(self):
+        automaton = lr.lehmann_rabin_automaton(3)
+        adversary = RoundBasedAdversary(
+            lr.LRProcessView(3), FifoRoundPolicy()
+        )
+        with pytest.raises(VerificationError):
+            sample_phase_statistics(
+                automaton, adversary, [], random.Random(0)
+            )

@@ -1,0 +1,194 @@
+"""Unit tests for the confidence-bound machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import VerificationError
+from repro.probability.stats import (
+    BernoulliSummary,
+    MeanSummary,
+    _binomial_cdf,
+    _normal_quantile,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+    hoeffding_lower_bound,
+    hoeffding_upper_bound,
+    refutes_lower_bound,
+    supports_lower_bound,
+    wilson_interval,
+)
+
+
+class TestBernoulliSummary:
+    def test_estimate(self):
+        assert BernoulliSummary(30, 100).estimate == 0.3
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(VerificationError):
+            BernoulliSummary(0, 0)
+
+    def test_rejects_successes_above_trials(self):
+        with pytest.raises(VerificationError):
+            BernoulliSummary(11, 10)
+
+    def test_rejects_negative_successes(self):
+        with pytest.raises(VerificationError):
+            BernoulliSummary(-1, 10)
+
+    def test_from_outcomes(self):
+        summary = BernoulliSummary.from_outcomes([True, False, True, True])
+        assert summary.successes == 3
+        assert summary.trials == 4
+
+
+class TestHoeffding:
+    def test_lower_below_estimate(self):
+        summary = BernoulliSummary(70, 100)
+        assert hoeffding_lower_bound(summary) < summary.estimate
+
+    def test_upper_above_estimate(self):
+        summary = BernoulliSummary(70, 100)
+        assert hoeffding_upper_bound(summary) > summary.estimate
+
+    def test_lower_clamped_at_zero(self):
+        assert hoeffding_lower_bound(BernoulliSummary(1, 100)) == 0.0
+
+    def test_upper_clamped_at_one(self):
+        assert hoeffding_upper_bound(BernoulliSummary(99, 100)) == 1.0
+
+    def test_slack_shrinks_with_samples(self):
+        small = BernoulliSummary(50, 100)
+        large = BernoulliSummary(5000, 10000)
+        assert (small.estimate - hoeffding_lower_bound(small)) > (
+            large.estimate - hoeffding_lower_bound(large)
+        )
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(VerificationError):
+            hoeffding_lower_bound(BernoulliSummary(1, 2), confidence=1.0)
+
+
+class TestWilson:
+    def test_interval_brackets_estimate(self):
+        summary = BernoulliSummary(40, 100)
+        low, high = wilson_interval(summary)
+        assert low < summary.estimate < high
+
+    def test_interval_within_unit(self):
+        low, high = wilson_interval(BernoulliSummary(0, 10))
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_tighter_than_hoeffding_midrange(self):
+        summary = BernoulliSummary(500, 1000)
+        low, _ = wilson_interval(summary, confidence=0.99)
+        assert low >= hoeffding_lower_bound(summary, confidence=0.99)
+
+
+class TestClopperPearson:
+    def test_zero_successes_lower_is_zero(self):
+        assert clopper_pearson_lower(BernoulliSummary(0, 50)) == 0.0
+
+    def test_all_successes_upper_is_one(self):
+        assert clopper_pearson_upper(BernoulliSummary(50, 50)) == 1.0
+
+    def test_lower_matches_scipy_beta(self):
+        # Clopper-Pearson lower bound = Beta(k, n-k+1) quantile at alpha.
+        k, n, confidence = 30, 100, 0.99
+        expected = scipy_stats.beta.ppf(1 - confidence, k, n - k + 1)
+        actual = clopper_pearson_lower(BernoulliSummary(k, n), confidence)
+        assert math.isclose(actual, expected, abs_tol=1e-6)
+
+    def test_upper_matches_scipy_beta(self):
+        k, n, confidence = 30, 100, 0.99
+        expected = scipy_stats.beta.ppf(confidence, k + 1, n - k)
+        actual = clopper_pearson_upper(BernoulliSummary(k, n), confidence)
+        assert math.isclose(actual, expected, abs_tol=1e-6)
+
+    def test_bounds_bracket_estimate(self):
+        summary = BernoulliSummary(25, 80)
+        assert (
+            clopper_pearson_lower(summary)
+            < summary.estimate
+            < clopper_pearson_upper(summary)
+        )
+
+
+class TestDecisions:
+    def test_refutes_clearly_false_claim(self):
+        # 5/1000 successes refutes "probability >= 1/2".
+        assert refutes_lower_bound(BernoulliSummary(5, 1000), 0.5)
+
+    def test_does_not_refute_consistent_claim(self):
+        assert not refutes_lower_bound(BernoulliSummary(130, 1000), 0.125)
+
+    def test_supports_clearly_true_claim(self):
+        assert supports_lower_bound(BernoulliSummary(900, 1000), 0.5)
+
+    def test_support_is_stronger_than_not_refuted(self):
+        summary = BernoulliSummary(55, 100)
+        assert not refutes_lower_bound(summary, 0.5)
+        assert not supports_lower_bound(summary, 0.5)
+
+
+class TestMeanSummary:
+    def test_from_values(self):
+        summary = MeanSummary.from_values([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.count == 3
+
+    def test_sample_variance(self):
+        summary = MeanSummary.from_values([1.0, 3.0])
+        assert summary.variance == 2.0
+
+    def test_single_value_variance_zero(self):
+        assert MeanSummary.from_values([5.0]).variance == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(VerificationError):
+            MeanSummary.from_values([])
+
+    def test_hoeffding_mean_upper_above_mean(self):
+        summary = MeanSummary.from_values([10.0] * 50)
+        assert summary.hoeffding_mean_upper(value_range=63.0) > 10.0
+
+    def test_hoeffding_mean_upper_rejects_bad_range(self):
+        summary = MeanSummary.from_values([1.0, 2.0])
+        with pytest.raises(VerificationError):
+            summary.hoeffding_mean_upper(value_range=0.0)
+
+
+class TestNumericHelpers:
+    def test_normal_quantile_median(self):
+        assert abs(_normal_quantile(0.5)) < 1e-9
+
+    def test_normal_quantile_975(self):
+        assert math.isclose(_normal_quantile(0.975), 1.959964, abs_tol=1e-4)
+
+    def test_normal_quantile_tails(self):
+        assert math.isclose(
+            _normal_quantile(0.001), scipy_stats.norm.ppf(0.001), abs_tol=1e-4
+        )
+
+    def test_normal_quantile_rejects_boundary(self):
+        with pytest.raises(VerificationError):
+            _normal_quantile(0.0)
+
+    @pytest.mark.parametrize("k,n,p", [(3, 10, 0.3), (0, 5, 0.9), (7, 8, 0.5)])
+    def test_binomial_cdf_matches_scipy(self, k, n, p):
+        assert math.isclose(
+            _binomial_cdf(k, n, p),
+            scipy_stats.binom.cdf(k, n, p),
+            abs_tol=1e-9,
+        )
+
+    def test_binomial_cdf_degenerate_cases(self):
+        assert _binomial_cdf(-1, 10, 0.5) == 0.0
+        assert _binomial_cdf(10, 10, 0.5) == 1.0
+        assert _binomial_cdf(3, 10, 0.0) == 1.0
+        assert _binomial_cdf(3, 10, 1.0) == 0.0

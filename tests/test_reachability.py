@@ -1,0 +1,108 @@
+"""Unit tests for reachability and invariant checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automaton.automaton import ExplicitAutomaton
+from repro.automaton.reachability import (
+    check_inductive_invariant,
+    check_invariant,
+    reachable_states,
+)
+from repro.automaton.signature import ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import VerificationError
+from repro.probability.space import FiniteDistribution
+
+
+def linear(n: int) -> ExplicitAutomaton[int]:
+    signature = ActionSignature(internal={"step"})
+    steps = [Transition.deterministic(i, "step", i + 1) for i in range(n)]
+    return ExplicitAutomaton(range(n + 1), [0], signature, steps)
+
+
+class TestReachableStates:
+    def test_chain(self):
+        assert reachable_states(linear(4)) == {0, 1, 2, 3, 4}
+
+    def test_unreachable_island_excluded(self):
+        signature = ActionSignature(internal={"step"})
+        auto = ExplicitAutomaton(
+            ["a", "b", "island"],
+            ["a"],
+            signature,
+            [Transition.deterministic("a", "step", "b")],
+        )
+        assert reachable_states(auto) == {"a", "b"}
+
+    def test_probabilistic_branches_explored(self, branching_automaton):
+        assert reachable_states(branching_automaton) == {"s0", "s1", "s2"}
+
+    def test_cycles_terminate(self):
+        signature = ActionSignature(internal={"loop"})
+        auto = ExplicitAutomaton(
+            ["a", "b"],
+            ["a"],
+            signature,
+            [
+                Transition.deterministic("a", "loop", "b"),
+                Transition.deterministic("b", "loop", "a"),
+            ],
+        )
+        assert reachable_states(auto) == {"a", "b"}
+
+    def test_max_states_guard(self):
+        with pytest.raises(VerificationError):
+            reachable_states(linear(100), max_states=10)
+
+
+class TestCheckInvariant:
+    def test_holds_everywhere(self):
+        assert check_invariant(linear(5), lambda s: s <= 5) is None
+
+    def test_violation_found_with_witness(self):
+        violation = check_invariant(linear(5), lambda s: s < 3)
+        assert violation is not None
+        assert violation.state == 3
+        assert violation.witness.lstate == 3
+        assert violation.witness.fstate == 0
+        assert len(violation.witness) == 3  # shortest path
+
+    def test_violation_at_start_state(self):
+        violation = check_invariant(linear(2), lambda s: s != 0)
+        assert violation is not None
+        assert violation.state == 0
+        assert len(violation.witness) == 0
+
+    def test_str_mentions_state(self):
+        violation = check_invariant(linear(2), lambda s: s < 1)
+        assert "1" in str(violation)
+
+    def test_max_states_guard(self):
+        with pytest.raises(VerificationError):
+            check_invariant(linear(100), lambda s: True, max_states=5)
+
+
+class TestInductiveInvariant:
+    def test_inductive_invariant_has_no_violations(self):
+        auto = linear(4)
+        violations = check_inductive_invariant(
+            auto, lambda s: 0 <= s <= 4, set(range(5))
+        )
+        assert violations == []
+
+    def test_non_inductive_invariant_reports_steps(self):
+        auto = linear(4)
+        violations = check_inductive_invariant(
+            auto, lambda s: s != 3, set(range(5))
+        )
+        assert violations == [(2, "step", 3)]
+
+    def test_violating_sources_are_skipped(self):
+        auto = linear(4)
+        # States violating the invariant don't need preservation.
+        violations = check_inductive_invariant(
+            auto, lambda s: s >= 3, set(range(5))
+        )
+        assert violations == []

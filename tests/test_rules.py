@@ -1,0 +1,150 @@
+"""Unit tests for the proof rules (Proposition 3.2, Theorem 3.4, ...)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProofError
+from repro.proofs.rules import (
+    chain,
+    compose,
+    strengthen_source,
+    union_rule,
+    weaken,
+    widen_target,
+)
+from repro.proofs.statements import ArrowStatement, StateClass
+
+
+def cls(name):
+    return StateClass(name, lambda s: False)
+
+
+def arrow(source, target, t, p, schema="S"):
+    return ArrowStatement(source, target, t, p, schema)
+
+
+class TestCompose:
+    def test_times_add_probabilities_multiply(self):
+        u, v, w = cls("U"), cls("V"), cls("W")
+        first = arrow(u, v, 2, Fraction(1, 2))
+        second = arrow(v, w, 3, Fraction(1, 4))
+        composed = compose(first, second)
+        assert composed.source == u
+        assert composed.target == w
+        assert composed.time_bound == 5
+        assert composed.probability == Fraction(1, 8)
+
+    def test_intermediate_sets_must_match(self):
+        first = arrow(cls("U"), cls("V"), 1, 1)
+        second = arrow(cls("X"), cls("W"), 1, 1)
+        with pytest.raises(ProofError):
+            compose(first, second)
+
+    def test_union_equality_counts_as_match(self):
+        u, v, w = cls("U"), cls("V"), cls("W")
+        first = arrow(u, v | w, 1, 1)
+        second = arrow(w | v, u, 1, 1)
+        assert compose(first, second).target == u
+
+    def test_schemas_must_match(self):
+        u, v, w = cls("U"), cls("V"), cls("W")
+        first = arrow(u, v, 1, 1, schema="A")
+        second = arrow(v, w, 1, 1, schema="B")
+        with pytest.raises(ProofError):
+            compose(first, second)
+
+    def test_requires_execution_closure(self):
+        u, v, w = cls("U"), cls("V"), cls("W")
+        first = arrow(u, v, 1, 1)
+        second = arrow(v, w, 1, 1)
+        with pytest.raises(ProofError):
+            compose(first, second, schema_execution_closed=False)
+
+
+class TestUnionRule:
+    def test_adds_extra_to_both_sides(self):
+        u, v, extra = cls("U"), cls("V"), cls("X")
+        lifted = union_rule(arrow(u, v, 2, Fraction(1, 2)), extra)
+        assert lifted.source == u | extra
+        assert lifted.target == v | extra
+        assert lifted.time_bound == 2
+        assert lifted.probability == Fraction(1, 2)
+
+    def test_absorbs_existing_atoms(self):
+        u, v = cls("U"), cls("V")
+        lifted = union_rule(arrow(u, v, 1, 1), v)
+        assert lifted.target == v
+
+
+class TestWeaken:
+    def statement(self):
+        return arrow(cls("U"), cls("V"), 5, Fraction(1, 2))
+
+    def test_lower_probability_allowed(self):
+        weakened = weaken(self.statement(), probability=Fraction(1, 4))
+        assert weakened.probability == Fraction(1, 4)
+
+    def test_raise_time_allowed(self):
+        weakened = weaken(self.statement(), time_bound=10)
+        assert weakened.time_bound == 10
+
+    def test_no_change_is_identity(self):
+        assert weaken(self.statement()) == self.statement()
+
+    def test_raising_probability_rejected(self):
+        with pytest.raises(ProofError):
+            weaken(self.statement(), probability=Fraction(3, 4))
+
+    def test_tightening_time_rejected(self):
+        with pytest.raises(ProofError):
+            weaken(self.statement(), time_bound=1)
+
+
+class TestSourceTargetAdjustment:
+    def test_strengthen_source_to_subset(self):
+        u, x, v = cls("U"), cls("X"), cls("V")
+        statement = arrow(u | x, v, 1, 1)
+        restricted = strengthen_source(statement, u)
+        assert restricted.source == u
+
+    def test_strengthen_source_rejects_non_subset(self):
+        statement = arrow(cls("U"), cls("V"), 1, 1)
+        with pytest.raises(ProofError):
+            strengthen_source(statement, cls("Z"))
+
+    def test_widen_target_to_superset(self):
+        u, v, w = cls("U"), cls("V"), cls("W")
+        statement = arrow(u, v, 1, 1)
+        widened = widen_target(statement, v | w)
+        assert widened.target == v | w
+
+    def test_widen_target_rejects_non_superset(self):
+        statement = arrow(cls("U"), cls("V"), 1, 1)
+        with pytest.raises(ProofError):
+            widen_target(statement, cls("Z"))
+
+
+class TestChain:
+    def test_folds_left(self):
+        a, b, c, d = cls("A"), cls("B"), cls("C"), cls("D")
+        result = chain(
+            [
+                arrow(a, b, 1, Fraction(1, 2)),
+                arrow(b, c, 2, Fraction(1, 2)),
+                arrow(c, d, 3, Fraction(1, 2)),
+            ]
+        )
+        assert result.source == a and result.target == d
+        assert result.time_bound == 6
+        assert result.probability == Fraction(1, 8)
+
+    def test_single_statement_unchanged(self):
+        statement = arrow(cls("A"), cls("B"), 1, 1)
+        assert chain([statement]) == statement
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProofError):
+            chain([])

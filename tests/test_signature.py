@@ -1,0 +1,80 @@
+"""Unit tests for action signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automaton.signature import TIME_PASSAGE, ActionSignature
+from repro.errors import AutomatonError
+
+
+class TestConstruction:
+    def test_disjointness_enforced(self):
+        with pytest.raises(AutomatonError):
+            ActionSignature(external=frozenset({"a"}), internal=frozenset({"a"}))
+
+    def test_iterables_are_frozen(self):
+        signature = ActionSignature(external=["a", "b"], internal=["c"])
+        assert signature.external == frozenset({"a", "b"})
+        assert signature.internal == frozenset({"c"})
+
+    def test_empty_signature_allowed(self):
+        signature = ActionSignature()
+        assert signature.actions == frozenset()
+
+
+class TestQueries:
+    def test_actions_union(self):
+        signature = ActionSignature(external={"a"}, internal={"b"})
+        assert signature.actions == frozenset({"a", "b"})
+
+    def test_is_external_internal(self):
+        signature = ActionSignature(external={"a"}, internal={"b"})
+        assert signature.is_external("a") and not signature.is_external("b")
+        assert signature.is_internal("b") and not signature.is_internal("a")
+
+    def test_contains(self):
+        signature = ActionSignature(external={"a"}, internal={"b"})
+        assert "a" in signature and "b" in signature and "c" not in signature
+
+    def test_time_passage_constant(self):
+        assert TIME_PASSAGE == "nu"
+
+
+class TestHide:
+    def test_hide_moves_actions(self):
+        signature = ActionSignature(external={"a", "b"}, internal={"c"})
+        hidden = signature.hide({"a"})
+        assert hidden.is_internal("a")
+        assert hidden.external == frozenset({"b"})
+
+    def test_hide_non_external_rejected(self):
+        signature = ActionSignature(external={"a"}, internal={"c"})
+        with pytest.raises(AutomatonError):
+            signature.hide({"c"})
+
+    def test_hide_unknown_rejected(self):
+        signature = ActionSignature(external={"a"})
+        with pytest.raises(AutomatonError):
+            signature.hide({"zzz"})
+
+
+class TestMerge:
+    def test_merge_unions_components(self):
+        left = ActionSignature(external={"a", "shared"}, internal={"x"})
+        right = ActionSignature(external={"b", "shared"}, internal={"y"})
+        merged = left.merge(right)
+        assert merged.external == frozenset({"a", "b", "shared"})
+        assert merged.internal == frozenset({"x", "y"})
+
+    def test_merge_rejects_shared_internal(self):
+        left = ActionSignature(internal={"x"})
+        right = ActionSignature(external={"x"})
+        with pytest.raises(AutomatonError):
+            left.merge(right)
+
+    def test_merge_rejects_internal_internal_clash(self):
+        left = ActionSignature(internal={"x"})
+        right = ActionSignature(internal={"x"})
+        with pytest.raises(AutomatonError):
+            left.merge(right)

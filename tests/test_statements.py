@@ -1,0 +1,115 @@
+"""Unit tests for arrow statements and state classes."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProofError
+from repro.proofs.statements import ArrowStatement, StateClass
+
+
+def cls(name, predicate=None):
+    return StateClass(name, predicate or (lambda s: False))
+
+
+class TestStateClass:
+    def test_name_and_atoms(self):
+        a = cls("A")
+        assert a.name == "A"
+        assert a.atoms == frozenset({"A"})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProofError):
+            StateClass("", lambda s: True)
+
+    def test_pipe_in_name_rejected(self):
+        with pytest.raises(ProofError):
+            StateClass("A|B", lambda s: True)
+
+    def test_union_name_sorted(self):
+        union = cls("B") | cls("A")
+        assert union.name == "A | B"
+
+    def test_union_commutative(self):
+        a, b = cls("A"), cls("B")
+        assert (a | b) == (b | a)
+
+    def test_union_associative(self):
+        a, b, c = cls("A"), cls("B"), cls("C")
+        assert ((a | b) | c) == (a | (b | c))
+
+    def test_union_idempotent(self):
+        a, b = cls("A"), cls("B")
+        assert (a | b) | b == a | b
+
+    def test_union_same_atom_same_predicate_ok(self):
+        predicate = lambda s: s == 1
+        a = StateClass("A", predicate)
+        again = StateClass("A", predicate)
+        assert (a | again).atoms == frozenset({"A"})
+
+    def test_union_same_atom_different_predicate_rejected(self):
+        a = StateClass("A", lambda s: True)
+        other = StateClass("A", lambda s: False)
+        with pytest.raises(ProofError):
+            a | other
+
+    def test_contains_disjunction(self):
+        even = StateClass("Even", lambda s: s % 2 == 0)
+        big = StateClass("Big", lambda s: s > 10)
+        union = even | big
+        assert union.contains(4)
+        assert union.contains(11)
+        assert not union.contains(3)
+        assert union(12)
+
+    def test_subset_by_atoms(self):
+        a, b = cls("A"), cls("B")
+        assert a.is_subset_by_atoms(a | b)
+        assert not (a | b).is_subset_by_atoms(a)
+
+    def test_hashable(self):
+        a, b = cls("A"), cls("B")
+        assert hash(a | b) == hash(b | a)
+
+
+class TestArrowStatement:
+    def source(self):
+        return cls("U")
+
+    def target(self):
+        return cls("V")
+
+    def test_components_normalised(self):
+        statement = ArrowStatement(self.source(), self.target(), 5, 0.25, "S")
+        assert statement.time_bound == Fraction(5)
+        assert statement.probability == Fraction(1, 4)
+        assert statement.schema_name == "S"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ProofError):
+            ArrowStatement(self.source(), self.target(), -1, 1, "S")
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(ProofError):
+            ArrowStatement(self.source(), self.target(), 1, 2, "S")
+        with pytest.raises(ProofError):
+            ArrowStatement(self.source(), self.target(), 1, -0.5, "S")
+
+    def test_equality(self):
+        a = ArrowStatement(self.source(), self.target(), 1, Fraction(1, 2), "S")
+        b = ArrowStatement(cls("U"), cls("V"), 1, Fraction(1, 2), "S")
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality_on_schema(self):
+        a = ArrowStatement(self.source(), self.target(), 1, 1, "S1")
+        b = ArrowStatement(self.source(), self.target(), 1, 1, "S2")
+        assert a != b
+
+    def test_repr_reads_like_the_paper(self):
+        statement = ArrowStatement(
+            cls("T"), cls("C"), 13, Fraction(1, 8), "Unit-Time"
+        )
+        assert repr(statement) == "T --13-->_1/8 C  [Unit-Time]"

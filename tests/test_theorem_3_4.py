@@ -1,0 +1,180 @@
+"""Semantic validation of Theorem 3.4 and its execution-closure hypothesis.
+
+Two complementary checks:
+
+1. *Soundness*: on concrete automata, the exact worst-case probability
+   of the composed reachability dominates the product of the exact
+   worst-case probabilities of the legs — the inequality the theorem's
+   syntactic rule banks on (here over the execution-closed schema of
+   all non-halting adversaries, step-indexed).
+2. *Necessity of execution closure*: a schema containing a single
+   history-dependent adversary — cooperative on fresh fragments but
+   treacherous after a particular prefix — satisfies both leg
+   statements yet falsifies the composed one.  The schema is not
+   execution closed, which is exactly the hypothesis Theorem 3.4 needs;
+   the library's rule refuses to compose when the flag says so.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import FunctionAdversary
+from repro.automaton.automaton import ExplicitAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import ProofError
+from repro.events.reach import ReachWithinSteps
+from repro.execution.automaton import ExecutionAutomaton
+from repro.execution.measure import exact_event_probability
+from repro.mdp.value_iteration import bounded_reachability
+from repro.probability.space import FiniteDistribution
+from repro.proofs.rules import compose
+from repro.proofs.statements import ArrowStatement, StateClass
+
+
+# ----------------------------------------------------------------------
+# 1. Soundness on random automata (hypothesis)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def small_automata(draw):
+    """Random explicit automata over states 0..3 with 1-2 steps each."""
+    n_states = 4
+    states = list(range(n_states))
+    steps = []
+    for source in states:
+        n_steps = draw(st.integers(min_value=1, max_value=2))
+        for index in range(n_steps):
+            support = draw(
+                st.lists(
+                    st.sampled_from(states), min_size=1, max_size=3,
+                    unique=True,
+                )
+            )
+            raw = draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=5),
+                    min_size=len(support), max_size=len(support),
+                )
+            )
+            total = sum(raw)
+            target = FiniteDistribution(
+                {s: Fraction(w, total) for s, w in zip(support, raw)}
+            )
+            steps.append(Transition(source, f"a{source}_{index}", target))
+    signature = ActionSignature(
+        internal=frozenset(step.action for step in steps)
+    )
+    return ExplicitAutomaton(states, [0], signature, steps)
+
+
+@given(small_automata(), st.integers(1, 4), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_composition_inequality_on_random_automata(automaton, t1, t2):
+    """min P[0 ->(t1+t2) 3] >= min P[0 ->t1 {1,2}] * min_{s in {1,2}}
+    P[s ->t2 3]: the semantic content of Theorem 3.4."""
+    mid = {1, 2}
+    goal = lambda s: s == 3
+    leg1 = bounded_reachability(automaton, lambda s: s in mid, 0, t1)
+    leg2 = min(
+        bounded_reachability(automaton, goal, s, t2) for s in mid
+    )
+    composed = bounded_reachability(automaton, goal, 0, t1 + t2)
+    # Hitting the middle set consumes at most t1 steps, leaving at
+    # least t2; the worst adversary of the whole cannot do better than
+    # independently worst legs.
+    assert composed >= leg1 * leg2
+
+
+# ----------------------------------------------------------------------
+# 2. Execution closure is necessary
+# ----------------------------------------------------------------------
+
+
+def chain_automaton() -> ExplicitAutomaton[str]:
+    """s0 --go/stall--> u --good/bad--> {goal, trap}."""
+    signature = ActionSignature(
+        internal=frozenset({"go", "good", "bad", "stay"})
+    )
+    steps = [
+        Transition.deterministic("s0", "go", "u"),
+        Transition.deterministic("u", "good", "goal"),
+        Transition.deterministic("u", "bad", "trap"),
+        Transition.deterministic("trap", "stay", "trap"),
+        Transition.deterministic("goal", "stay", "goal"),
+    ]
+    return ExplicitAutomaton(
+        ["s0", "u", "goal", "trap"], ["s0"], signature, steps
+    )
+
+
+def treacherous_adversary() -> FunctionAdversary:
+    """Cooperates on fragments that start at ``u``; sabotages at ``u``
+    whenever the history shows how it got there."""
+
+    def choose(automaton, fragment):
+        state = fragment.lstate
+        steps = automaton.transitions(state)
+        if state == "u":
+            action = "good" if len(fragment) == 0 else "bad"
+            return next(s for s in steps if s.action == action)
+        if state == "s0":
+            return next(s for s in steps if s.action == "go")
+        return None  # halt at goal/trap
+
+    return FunctionAdversary(choose, name="treacherous")
+
+
+class TestExecutionClosureNecessity:
+    def exact(self, start, target, steps):
+        automaton = chain_automaton()
+        tree = ExecutionAutomaton(
+            automaton, treacherous_adversary(),
+            ExecutionFragment.initial(start),
+        )
+        return exact_event_probability(
+            tree, ReachWithinSteps(target, steps), max_steps=steps + 1
+        )
+
+    def test_both_legs_hold_under_the_schema(self):
+        # Leg 1: from s0, u is reached within 1 step, surely.
+        assert self.exact("s0", lambda s: s == "u", 1) == 1
+        # Leg 2: from (a fresh fragment at) u, goal within 1, surely.
+        assert self.exact("u", lambda s: s == "goal", 1) == 1
+
+    def test_composition_fails_semantically(self):
+        # Yet from s0, goal within 2 has probability 0: the adversary
+        # read the history and took the trap.
+        assert self.exact("s0", lambda s: s == "goal", 2) == 0
+
+    def test_rule_refuses_without_closure(self):
+        s0 = StateClass("S0", lambda s: s == "s0")
+        u = StateClass("U", lambda s: s == "u")
+        goal = StateClass("Goal", lambda s: s == "goal")
+        leg1 = ArrowStatement(s0, u, 1, 1, "treacherous-only")
+        leg2 = ArrowStatement(u, goal, 1, 1, "treacherous-only")
+        with pytest.raises(ProofError):
+            compose(leg1, leg2, schema_execution_closed=False)
+
+    def test_shifted_adversary_leaves_the_singleton_schema(self):
+        """The schema {treacherous} is not execution closed: the shifted
+        adversary behaves differently from every member (there is only
+        one member, and it disagrees)."""
+        from repro.adversary.base import shift
+
+        automaton = chain_automaton()
+        adversary = treacherous_adversary()
+        prefix = ExecutionFragment.initial("s0").extend("go", "u")
+        shifted = shift(adversary, prefix)
+        probe = ExecutionFragment.initial("u")
+        original_choice = adversary.choose(automaton, probe)
+        shifted_choice = shifted.choose(automaton, probe)
+        assert original_choice.action == "good"
+        assert shifted_choice.action == "bad"

@@ -1,0 +1,123 @@
+"""Unit tests for trace extraction and the mutex interface condition."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary.search import HashedRandomRoundPolicy
+from repro.adversary.unit_time import FifoRoundPolicy, RoundBasedAdversary
+from repro.algorithms import lehmann_rabin as lr
+from repro.automaton.execution import ExecutionFragment
+from repro.automaton.signature import ActionSignature
+from repro.automaton.traces import (
+    count_kind,
+    first_occurrence_time,
+    mutex_interface_well_formed,
+    project_process,
+    timed_trace_of,
+    trace_of,
+)
+
+
+def frag(*parts):
+    states = list(parts[0::2])
+    actions = list(parts[1::2])
+    return ExecutionFragment(states, actions)
+
+
+SIGNATURE = ActionSignature(
+    external=frozenset({("crit", 0), ("try", 0), ("exit", 0), ("rem", 0)}),
+    internal=frozenset({("flip", 0), "nu"}),
+)
+
+
+class TestTraceExtraction:
+    def test_internal_actions_dropped(self):
+        fragment = frag("a", ("try", 0), "b", ("flip", 0), "c", ("crit", 0), "d")
+        assert trace_of(fragment, SIGNATURE) == (("try", 0), ("crit", 0))
+
+    def test_empty_fragment_empty_trace(self):
+        assert trace_of(ExecutionFragment.initial("a"), SIGNATURE) == ()
+
+    def test_timed_trace_uses_source_state_times(self):
+        # States carry their times directly for this test.
+        fragment = frag(
+            ("a", Fraction(0)), ("try", 0),
+            ("b", Fraction(0)), "nu",
+            ("b", Fraction(1)), ("crit", 0),
+            ("c", Fraction(1)),
+        )
+        events = timed_trace_of(fragment, SIGNATURE, lambda s: s[1])
+        assert [(e.action, e.time) for e in events] == [
+            (("try", 0), 0),
+            (("crit", 0), 1),
+        ]
+
+    def test_first_occurrence_time(self):
+        fragment = frag(
+            ("a", Fraction(0)), ("try", 0),
+            ("b", Fraction(2)), ("crit", 0),
+            ("c", Fraction(2)),
+        )
+        events = timed_trace_of(fragment, SIGNATURE, lambda s: s[1])
+        assert first_occurrence_time(events, "try") == 0
+        assert first_occurrence_time(events, "crit") == 2
+        assert first_occurrence_time(events, "rem") is None
+
+
+class TestTraceUtilities:
+    def test_project_process(self):
+        trace = (("try", 0), ("try", 1), ("crit", 1), ("crit", 0))
+        assert project_process(trace, 1) == (("try", 1), ("crit", 1))
+
+    def test_count_kind(self):
+        trace = (("try", 0), ("try", 1), ("crit", 1))
+        assert count_kind(trace, "try") == 2
+        assert count_kind(trace, "rem") == 0
+
+
+class TestMutexInterface:
+    def test_correct_cycle_accepted(self):
+        trace = (
+            ("try", 0), ("try", 1), ("crit", 0), ("exit", 0),
+            ("rem", 0), ("try", 0), ("crit", 1),
+        )
+        assert mutex_interface_well_formed(trace)
+
+    def test_crit_before_try_rejected(self):
+        assert not mutex_interface_well_formed((("crit", 0),))
+
+    def test_double_crit_rejected(self):
+        assert not mutex_interface_well_formed(
+            (("try", 0), ("crit", 0), ("crit", 0))
+        )
+
+    def test_lr_executions_have_well_formed_traces(self):
+        """The interface condition holds along adversarial runs."""
+        n = 3
+        automaton = lr.lehmann_rabin_automaton(n)
+        signature = lr.lr_signature(n)
+        adversary = RoundBasedAdversary(
+            lr.LRProcessView(n), HashedRandomRoundPolicy(4)
+        )
+        rng = random.Random(0)
+        fragment = ExecutionFragment.initial(lr.initial_state(n))
+        # Interleave: use the random policy but manually fire try for
+        # everyone first so the system actually runs.
+        for i in range(n):
+            (try_step,) = [
+                s for s in automaton.transitions(fragment.lstate)
+                if s.action == ("try", i)
+            ]
+            fragment = fragment.extend(
+                try_step.action, try_step.target.sample(rng)
+            )
+        for _ in range(250):
+            step = adversary.checked_choose(automaton, fragment)
+            fragment = fragment.extend(step.action, step.target.sample(rng))
+        trace = trace_of(fragment, signature)
+        assert mutex_interface_well_formed(trace)
+        assert count_kind(trace, "try") == n
