@@ -30,6 +30,7 @@ from typing import (
     TypeVar,
 )
 
+from repro import obs
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
 from repro.automaton.transition import Transition
@@ -62,6 +63,10 @@ class Adversary(Generic[State], abc.ABC):
     ) -> Optional[Transition[State]]:
         """Like :meth:`choose` but validates the adversary's contract."""
         step = self.choose(automaton, fragment)
+        if obs.enabled():
+            obs.incr("adversary.decisions")
+            if step is None:
+                obs.incr("adversary.halts")
         if step is None:
             return None
         if step.source != fragment.lstate:

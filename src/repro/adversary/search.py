@@ -17,7 +17,7 @@ observed success probability is the empirical analogue of the paper's
 from __future__ import annotations
 
 import hashlib
-from typing import Hashable, Iterator, Optional, Sequence, Tuple, TypeVar
+from typing import Hashable, Iterator, Tuple, TypeVar
 
 from repro.adversary.unit_time import (
     ADVANCE_TIME,

@@ -27,13 +27,11 @@ from __future__ import annotations
 import abc
 from fractions import Fraction
 from typing import (
-    Dict,
     FrozenSet,
     Generic,
     Hashable,
     List,
     Optional,
-    Sequence,
     Tuple,
     TypeVar,
     Union,

@@ -24,7 +24,6 @@ is loose, and the benchmarks show measured means of a few units.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence
 
 from repro.algorithms.benor.automaton import (
     BenOrState,

@@ -21,7 +21,7 @@ knowledge of the past" the paper grants the adversary.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.adversary.base import Adversary
 from repro.adversary.search import HashedRandomRoundPolicy
@@ -37,7 +37,7 @@ from repro.adversary.unit_time import (
     steps_of_process,
 )
 from repro.algorithms.lehmann_rabin.automaton import LRProcessView
-from repro.algorithms.lehmann_rabin.state import FREE, LRState, PC, Side
+from repro.algorithms.lehmann_rabin.state import FREE, LRState, PC
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
 from repro.errors import AdversaryError

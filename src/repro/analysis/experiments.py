@@ -8,9 +8,8 @@ worst-case probabilities and times indeed do not degrade with ``n``.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.algorithms import lehmann_rabin as lr
 from repro.analysis.montecarlo import (
@@ -18,7 +17,6 @@ from repro.analysis.montecarlo import (
     check_lr_statement,
     measure_lr_expected_time,
 )
-from repro.proofs.verifier import ArrowCheckReport
 
 
 @dataclass(frozen=True)

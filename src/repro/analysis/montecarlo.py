@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+from repro.adversary.base import Adversary
 from repro.algorithms import lehmann_rabin as lr
+from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.errors import VerificationError
 from repro.proofs.statements import ArrowStatement
 from repro.proofs.verifier import (
@@ -29,9 +31,9 @@ class LRExperimentSetup:
     """Everything needed to run Lehmann-Rabin experiments on one ring."""
 
     n: int
-    automaton: object
+    automaton: ProbabilisticAutomaton[lr.LRState]
     view: lr.LRProcessView
-    adversaries: Tuple[Tuple[str, object], ...]
+    adversaries: Tuple[Tuple[str, Adversary[lr.LRState]], ...]
 
     @classmethod
     def build(
@@ -41,17 +43,18 @@ class LRExperimentSetup:
         random_seeds: Sequence[int] = (1, 2, 3),
     ) -> "LRExperimentSetup":
         """Construct the automaton, view, and adversary family for ``n``."""
-        view = lr.LRProcessView(n)
-        return cls(
-            n=n,
-            automaton=lr.lehmann_rabin_automaton(n),
-            view=view,
-            adversaries=tuple(
-                lr.lr_adversary_family(
-                    view, max_rounds=max_rounds, random_seeds=random_seeds
-                )
-            ),
-        )
+        with obs.span("lr.setup_build", n=n):
+            view = lr.LRProcessView(n)
+            return cls(
+                n=n,
+                automaton=lr.lehmann_rabin_automaton(n),
+                view=view,
+                adversaries=tuple(
+                    lr.lr_adversary_family(
+                        view, max_rounds=max_rounds, random_seeds=random_seeds
+                    )
+                ),
+            )
 
 
 def start_states_for(
@@ -115,12 +118,13 @@ def check_all_leaves(
     samples_per_pair: int = 120,
 ) -> Dict[str, ArrowCheckReport]:
     """Check every Section 6.2 leaf statement; keyed by proposition name."""
-    return {
-        name: check_lr_statement(
-            statement, setup, seed=seed, samples_per_pair=samples_per_pair
-        )
-        for name, statement in lr.leaf_statements().items()
-    }
+    reports: Dict[str, ArrowCheckReport] = {}
+    for name, statement in lr.leaf_statements().items():
+        with obs.span("lr.check_leaf", proposition=name):
+            reports[name] = check_lr_statement(
+                statement, setup, seed=seed, samples_per_pair=samples_per_pair
+            )
+    return reports
 
 
 def measure_lr_expected_time(
@@ -138,16 +142,17 @@ def measure_lr_expected_time(
     final = lr.leaf_statements()["A.3"]  # source class T
     starts = start_states_for(final, setup, rng, random_count=6)
     reports: Dict[str, TimeToTargetReport] = {}
-    for name, adversary in setup.adversaries:
-        reports[name] = measure_time_to_target(
-            setup.automaton,
-            name,
-            adversary,
-            starts,
-            lr.in_critical,
-            lr.lr_time_of,
-            rng,
-            samples=samples,
-            max_steps=max_steps,
-        )
+    with obs.span("lr.expected_time", n=setup.n, samples=samples):
+        for name, adversary in setup.adversaries:
+            reports[name] = measure_time_to_target(
+                setup.automaton,
+                name,
+                adversary,
+                starts,
+                lr.in_critical,
+                lr.lr_time_of,
+                rng,
+                samples=samples,
+                max_steps=max_steps,
+            )
     return reports

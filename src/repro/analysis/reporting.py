@@ -40,3 +40,30 @@ def banner(title: str) -> str:
     """A section banner for experiment logs."""
     rule = "=" * max(len(title), 8)
     return f"{rule}\n{title}\n{rule}"
+
+
+def arrow_report_row(name: str, report) -> tuple:
+    """A table row for an :class:`~repro.proofs.verifier.ArrowCheckReport`.
+
+    Consumes the report's stable ``to_dict()`` form, so this stays in
+    sync with what trace sinks serialize.
+    """
+    data = report.to_dict()
+    return (
+        name,
+        data["statement"],
+        f"{data['min_estimate']:.3f}",
+        "REFUTED" if data["refuted"] else "ok",
+    )
+
+
+def time_report_row(name: str, report) -> tuple:
+    """A table row for a :class:`~repro.proofs.verifier.TimeToTargetReport`.
+
+    The verdict column is left to the caller (the acceptable mean
+    depends on the claimed bound); this renders the measured columns.
+    """
+    data = report.to_dict()
+    mean = f"{data['mean']:.2f}" if data["mean"] is not None else "n/a"
+    maximum = f"{data['max']:g}" if data["max"] is not None else "n/a"
+    return (name, mean, maximum, data["unreached"])

@@ -34,7 +34,6 @@ from typing import (
 from repro.automaton.signature import Action, ActionSignature
 from repro.automaton.transition import Transition
 from repro.errors import AutomatonError
-from repro.probability.space import FiniteDistribution
 
 State = TypeVar("State", bound=Hashable)
 

@@ -20,7 +20,6 @@ from typing import Dict, Hashable, List, Tuple, TypeVar
 from repro.automaton.automaton import ExplicitAutomaton
 from repro.automaton.signature import Action, ActionSignature
 from repro.automaton.transition import Transition
-from repro.probability.space import FiniteDistribution
 
 S = TypeVar("S", bound=Hashable)
 T = TypeVar("T", bound=Hashable)

@@ -22,6 +22,7 @@ from typing import (
     TypeVar,
 )
 
+from repro import obs
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.signature import Action
 from repro.errors import ExecutionError
@@ -61,6 +62,7 @@ class ExecutionFragment(Generic[State]):
 
     def extend(self, action: Action, state: State) -> "ExecutionFragment[State]":
         """The fragment ``self . a . s`` (one more step appended)."""
+        obs.incr("fragment.extensions")
         return ExecutionFragment(self._states + (state,), self._actions + (action,))
 
     # ------------------------------------------------------------------

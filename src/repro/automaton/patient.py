@@ -23,7 +23,6 @@ from fractions import Fraction
 from typing import Generic, Hashable, Iterable, List, Tuple, TypeVar
 
 from repro.automaton.automaton import (
-    ExplicitAutomaton,
     FunctionalAutomaton,
     ProbabilisticAutomaton,
 )

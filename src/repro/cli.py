@@ -13,7 +13,15 @@ plain-text report:
 * ``sweep``          — ring-size and deadline ablations;
 * ``election``       — the leader-election case study;
 * ``benor``          — the Ben-Or consensus case study;
-* ``independence``   — Example 4.1 / Proposition 4.2, exactly.
+* ``independence``   — Example 4.1 / Proposition 4.2, exactly;
+* ``stats``          — an instrumented Lehmann-Rabin run: span tree and
+  metric tables (samples drawn, steps simulated, value-iteration
+  residuals);
+* ``trace``          — run any other subcommand with instrumentation on
+  and render its span tree and metric tables afterwards.
+
+Every subcommand accepts ``--trace-out FILE.jsonl`` to record spans and
+metrics to a JSONL trace file (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def _cmd_prove(args: argparse.Namespace) -> int:
@@ -44,7 +52,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         check_all_leaves,
         check_lr_statement,
     )
-    from repro.analysis.reporting import banner, format_table
+    from repro.analysis.reporting import arrow_report_row, banner, format_table
 
     setup = LRExperimentSetup.build(args.n)
     print(banner(f"Monte-Carlo verification, ring size {args.n}"))
@@ -54,30 +62,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     rows = []
     failures = 0
     for name, report in sorted(reports.items()):
-        verdict = "REFUTED" if report.refuted else "ok"
         failures += report.refuted
-        rows.append(
-            (
-                f"Prop {name}",
-                repr(report.statement),
-                f"{report.min_estimate:.3f}",
-                verdict,
-            )
-        )
+        rows.append(arrow_report_row(f"Prop {name}", report))
     chain = lr.lehmann_rabin_proof()
     final = check_lr_statement(
         chain.final_statement, setup, seed=args.seed,
         samples_per_pair=args.samples,
     )
     failures += final.refuted
-    rows.append(
-        (
-            "composed",
-            repr(final.statement),
-            f"{final.min_estimate:.3f}",
-            "REFUTED" if final.refuted else "ok",
-        )
-    )
+    rows.append(arrow_report_row("composed", final))
     print(format_table(("claim", "statement", "worst estimate", "verdict"),
                        rows))
     return 1 if failures else 0
@@ -182,7 +175,7 @@ def _cmd_expected_time(args: argparse.Namespace) -> int:
         LRExperimentSetup,
         measure_lr_expected_time,
     )
-    from repro.analysis.reporting import banner, format_table
+    from repro.analysis.reporting import banner, format_table, time_report_row
 
     setup = LRExperimentSetup.build(args.n)
     print(banner(f"Time to the critical region, ring size {args.n} "
@@ -195,15 +188,7 @@ def _cmd_expected_time(args: argparse.Namespace) -> int:
     for name, report in sorted(reports.items()):
         ok = report.unreached == 0 and report.mean <= 63.0
         failures += not ok
-        rows.append(
-            (
-                name,
-                f"{report.mean:.2f}" if report.times else "n/a",
-                str(report.maximum) if report.times else "n/a",
-                report.unreached,
-                "ok" if ok else "FAILS",
-            )
-        )
+        rows.append(time_report_row(name, report) + ("ok" if ok else "FAILS",))
     print(format_table(
         ("adversary", "mean", "max", "unreached", "verdict"), rows
     ))
@@ -309,6 +294,86 @@ def _cmd_independence(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _write_trace(registry, path: str, reports: Sequence[dict] = ()) -> int:
+    """Write the run's trace as JSONL; returns a process exit code."""
+    from repro.obs.sinks import JsonlSink
+
+    try:
+        written = JsonlSink(path).write_run(registry, reports=reports)
+    except OSError as error:
+        print(f"repro: error: cannot write trace to {path}: {error}",
+              file=sys.stderr)
+        return 1
+    print(f"\nwrote {written} trace records to {path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.montecarlo import LRExperimentSetup, check_all_leaves
+    from repro.analysis.reporting import banner
+    from repro.mdp.expected_time import extremal_expected_time_rounds
+    from repro.obs.sinks import render_metric_tables, render_span_tree
+
+    with obs.recording() as registry:
+        with obs.span(
+            "stats.run", n=args.n, seed=args.seed, samples=args.samples
+        ):
+            setup = LRExperimentSetup.build(args.n)
+            reports = check_all_leaves(
+                setup, seed=args.seed, samples_per_pair=args.samples
+            )
+            with obs.span("stats.value_iteration", n=args.n):
+                worst_rounds = extremal_expected_time_rounds(
+                    setup.automaton,
+                    setup.view,
+                    lr.in_critical,
+                    lr.canonical_states(args.n)["one_trying"],
+                    lambda state: state.untimed(),
+                    maximise=True,
+                )
+    failures = sum(report.refuted for report in reports.values())
+    print(banner(f"Instrumented Lehmann-Rabin run, ring size {args.n}"))
+    print("\nspan tree")
+    print("---------")
+    print(render_span_tree(registry.tracer))
+    print()
+    print(render_metric_tables(registry.metrics))
+    print(f"\nworst-case expected rounds to C (round-synchronous): "
+          f"{worst_rounds:.4f}")
+    print(f"refuted statements: {failures}")
+    sink_code = _write_trace(
+        registry, args.trace_out,
+        reports=[report.to_dict() for report in reports.values()],
+    ) if args.trace_out else 0
+    return 1 if failures else sink_code
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.analysis.reporting import banner
+    from repro.obs.sinks import render_metric_tables, render_span_tree
+
+    parser = build_parser()
+    inner = parser.parse_args(args.rest)
+    if getattr(inner, "manages_tracing", False):
+        parser.error(
+            f"cannot trace {inner.command!r}: it manages instrumentation "
+            "itself"
+        )
+    with obs.recording() as registry:
+        code = inner.func(inner)
+    print()
+    print(banner(f"trace of 'repro {' '.join(args.rest)}'"))
+    print(render_span_tree(registry.tracer))
+    print()
+    print(render_metric_tables(registry.metrics))
+    trace_out = args.trace_out or getattr(inner, "trace_out", None)
+    sink_code = _write_trace(registry, trace_out) if trace_out else 0
+    return code or sink_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -320,6 +385,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    traceable = argparse.ArgumentParser(add_help=False)
+    traceable.add_argument(
+        "--trace-out", metavar="FILE.jsonl", default=None,
+        help="record spans and metrics to a JSONL trace file",
+    )
+
+    def add_command(name, **kwargs):
+        return sub.add_parser(name, parents=[traceable], **kwargs)
+
     def common(p, samples_default=80):
         p.add_argument("--n", type=int, default=3, help="ring size")
         p.add_argument("--seed", type=int, default=0, help="RNG seed")
@@ -328,47 +402,47 @@ def build_parser() -> argparse.ArgumentParser:
             help="Monte-Carlo samples per (adversary, start) pair",
         )
 
-    sub.add_parser("prove", help="print the Section 6.2 derivation")\
+    add_command("prove", help="print the Section 6.2 derivation")\
         .set_defaults(func=_cmd_prove)
 
-    p = sub.add_parser("verify", help="Monte-Carlo check of all statements")
+    p = add_command("verify", help="Monte-Carlo check of all statements")
     common(p)
     p.set_defaults(func=_cmd_verify)
 
-    p = sub.add_parser("exact", help="exact round-synchronous minima")
+    p = add_command("exact", help="exact round-synchronous minima")
     p.add_argument("--n", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--states", type=int, default=6,
                    help="sampled start states per region")
     p.set_defaults(func=_cmd_exact)
 
-    p = sub.add_parser("appendix", help="check the appendix lemmas exactly")
+    p = add_command("appendix", help="check the appendix lemmas exactly")
     p.add_argument("--n", type=int, default=3)
     p.set_defaults(func=_cmd_appendix)
 
-    p = sub.add_parser("expected-time", help="measured time-to-critical")
+    p = add_command("expected-time", help="measured time-to-critical")
     common(p)
     p.set_defaults(func=_cmd_expected_time)
 
-    p = sub.add_parser("sweep", help="ring-size and deadline ablations")
+    p = add_command("sweep", help="ring-size and deadline ablations")
     p.add_argument("--sizes", default="3,4,5")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--samples", type=int, default=40)
     p.set_defaults(func=_cmd_sweep)
 
-    p = sub.add_parser("election", help="the leader-election case study")
+    p = add_command("election", help="the leader-election case study")
     p.add_argument("--n", type=int, default=4)
     p.set_defaults(func=_cmd_election)
 
-    p = sub.add_parser("benor", help="the Ben-Or consensus case study")
+    p = add_command("benor", help="the Ben-Or consensus case study")
     p.add_argument("--n", type=int, default=3)
     p.set_defaults(func=_cmd_benor)
 
-    sub.add_parser(
+    add_command(
         "independence", help="Example 4.1 / Proposition 4.2, exactly"
     ).set_defaults(func=_cmd_independence)
 
-    p = sub.add_parser(
+    p = add_command(
         "exhaustive",
         help="leaf propositions over their entire regions (n = 3), "
         "optionally the composed statement over all T states",
@@ -378,7 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(about 40 seconds)")
     p.set_defaults(func=_cmd_exhaustive)
 
-    p = sub.add_parser(
+    p = add_command(
         "all", help="the fast exact suite: prove, exact, appendix, "
         "independence",
     )
@@ -386,6 +460,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--states", type=int, default=5)
     p.set_defaults(func=_cmd_all)
+
+    p = add_command(
+        "stats",
+        help="instrumented Lehmann-Rabin run: span tree and metric tables",
+    )
+    common(p, samples_default=40)
+    p.set_defaults(func=_cmd_stats, manages_tracing=True)
+
+    p = add_command(
+        "trace",
+        help="run another subcommand with instrumentation on and render "
+        "its span tree and metric tables",
+    )
+    p.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="command ...",
+        help="the subcommand (and its arguments) to trace",
+    )
+    p.set_defaults(func=_cmd_trace, manages_tracing=True)
 
     return parser
 
@@ -449,9 +541,21 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    ``--trace-out`` on an ordinary subcommand wraps it in a recording
+    registry and writes the JSONL trace afterwards; ``trace`` and
+    ``stats`` manage their own recording.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and not getattr(args, "manages_tracing", False):
+        from repro import obs
+
+        with obs.recording() as registry:
+            code = args.func(args)
+        return code or _write_trace(registry, trace_out)
     return args.func(args)
 
 

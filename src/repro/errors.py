@@ -69,3 +69,12 @@ class VerificationError(ReproError):
     Examples: a sampling plan with zero samples, or an exact checker
     asked to explore an unboundedly large state space.
     """
+
+
+class ObservabilityError(ReproError):
+    """Raised when the instrumentation layer is misused.
+
+    Examples: registering one metric name as both a counter and a
+    histogram, querying a percentile of an empty histogram, or a span
+    stack corrupted by mismatched enter/exit.
+    """

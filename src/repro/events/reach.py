@@ -15,7 +15,7 @@ adversary takes over at a state of ``U``.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, FrozenSet, Hashable, Optional, TypeVar, Union
+from typing import Callable, FrozenSet, Hashable, TypeVar, Union
 
 from repro.automaton.execution import ExecutionFragment
 from repro.events.schema import EventSchema, EventStatus

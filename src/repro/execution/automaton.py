@@ -27,6 +27,7 @@ from typing import (
     TypeVar,
 )
 
+from repro import obs
 from repro.adversary.base import Adversary
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
@@ -58,6 +59,7 @@ class ExecutionAutomaton(Generic[State]):
             ExecutionFragment[State],
             Optional[Tuple[Action, FiniteDistribution]],
         ] = {}
+        obs.incr("execution.automata_built")
 
     @property
     def automaton(self) -> ProbabilisticAutomaton[State]:
@@ -90,7 +92,9 @@ class ExecutionAutomaton(Generic[State]):
         step of ``M`` (Definition 2.3, condition 2).
         """
         if fragment in self._cache:
+            obs.incr("execution.step_cache_hits")
             return self._cache[fragment]
+        obs.incr("execution.step_cache_misses")
         chosen = self.corresponding_step(fragment)
         if chosen is None:
             lifted: Optional[Tuple[Action, FiniteDistribution]] = None

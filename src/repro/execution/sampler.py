@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Hashable, Optional, TypeVar
 
+from repro import obs
 from repro.adversary.base import Adversary
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
@@ -61,22 +62,43 @@ def sample_event(
     if max_steps < 0:
         raise VerificationError("max_steps must be nonnegative")
     fragment = start
+    result: Optional[SampleResult] = None
     for steps_taken in range(max_steps + 1):
         status = schema.classify(fragment)
         if status is EventStatus.ACCEPT:
-            return SampleResult(True, steps_taken, fragment)
+            result = SampleResult(True, steps_taken, fragment)
+            break
         if status is EventStatus.REJECT:
-            return SampleResult(False, steps_taken, fragment)
+            result = SampleResult(False, steps_taken, fragment)
+            break
         if steps_taken == max_steps:
             break
         chosen = adversary.checked_choose(automaton, fragment)
         if chosen is None:
-            return SampleResult(
+            result = SampleResult(
                 schema.decide_maximal(fragment), steps_taken, fragment
             )
+            break
         next_state = chosen.target.sample(rng)
         fragment = fragment.extend(chosen.action, next_state)
-    return SampleResult(None, max_steps, fragment)
+    if result is None:
+        result = SampleResult(None, max_steps, fragment)
+    if obs.enabled():
+        _record_event_sample(result)
+    return result
+
+
+def _record_event_sample(result: SampleResult) -> None:
+    """Metrics for one finished event sample (recording registries only)."""
+    obs.incr("sampler.samples")
+    obs.incr("sampler.steps", result.steps)
+    obs.observe("sampler.steps_per_sample", result.steps)
+    if result.truncated:
+        obs.incr("sampler.truncated")
+    elif result.verdict:
+        obs.incr("sampler.accepted")
+    else:
+        obs.incr("sampler.rejected")
 
 
 def sample_time_until(
@@ -99,17 +121,35 @@ def sample_time_until(
         raise VerificationError("max_steps must be nonnegative")
     origin = time_of(start.lstate)
     if any(target(state) for state in start.states):
+        if obs.enabled():
+            _record_time_sample(Fraction(0), 0)
         return Fraction(0)
     fragment = start
+    elapsed: Optional[Fraction] = None
+    steps_taken = 0
     for _ in range(max_steps):
         chosen = adversary.checked_choose(automaton, fragment)
         if chosen is None:
-            return None
+            break
         next_state = chosen.target.sample(rng)
         fragment = fragment.extend(chosen.action, next_state)
+        steps_taken += 1
         if target(next_state):
-            return time_of(next_state) - origin
-    return None
+            elapsed = time_of(next_state) - origin
+            break
+    if obs.enabled():
+        _record_time_sample(elapsed, steps_taken)
+    return elapsed
+
+
+def _record_time_sample(elapsed: Optional[Fraction], steps: int) -> None:
+    """Metrics for one time-to-target sample (recording registries only)."""
+    obs.incr("sampler.time_samples")
+    obs.incr("sampler.steps", steps)
+    if elapsed is None:
+        obs.incr("sampler.unreached")
+    else:
+        obs.observe("sampler.time_to_target", float(elapsed))
 
 
 def trim_fragment(fragment: ExecutionFragment[State]) -> ExecutionFragment[State]:

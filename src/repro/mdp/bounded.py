@@ -28,6 +28,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Callable, Dict, FrozenSet, Hashable, Optional, Tuple, TypeVar
 
+from repro import obs
 from repro.adversary.unit_time import ProcessView
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.signature import TIME_PASSAGE
@@ -113,7 +114,11 @@ def min_reach_probability_rounds(
         memo[key] = result
         return result
 
-    return value(start, frozenset(), rounds)
+    result = value(start, frozenset(), rounds)
+    if obs.enabled():
+        obs.incr("mdp.bounded_rounds.calls")
+        obs.incr("mdp.bounded_rounds.states_evaluated", len(memo))
+    return result
 
 
 def min_reach_over_starts(

@@ -26,12 +26,12 @@ from typing import (
     FrozenSet,
     Hashable,
     List,
-    Optional,
     Set,
     Tuple,
     TypeVar,
 )
 
+from repro import obs
 from repro.adversary.unit_time import ProcessView
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.signature import TIME_PASSAGE
@@ -65,7 +65,26 @@ def extremal_expected_time_rounds(
     can then starve the target, i.e. progress fails).
     """
     select = max if maximise else min
+    with obs.span("mdp.expected_time", maximise=maximise) as obs_span:
+        return _solve(
+            automaton, view, target, start, strip_time, select, tolerance,
+            max_iterations, max_nodes, divergence_bound, obs_span,
+        )
 
+
+def _solve(
+    automaton: ProbabilisticAutomaton[State],
+    view: ProcessView[State],
+    target: Callable[[State], bool],
+    start: State,
+    strip_time: Callable[[State], Hashable],
+    select: Callable,
+    tolerance: float,
+    max_iterations: int,
+    max_nodes: int,
+    divergence_bound: float,
+    obs_span,
+) -> float:
     # ------------------------------------------------------------------
     # Enumerate the reachable (untimed state, stepped) space and record
     # each node's move structure once; value iteration then just sweeps.
@@ -128,7 +147,9 @@ def extremal_expected_time_rounds(
     # ------------------------------------------------------------------
     # Value iteration from below.
     # ------------------------------------------------------------------
+    obs.gauge("mdp.expected_time.nodes", len(moves))
     values: Dict[Node, float] = {node: 0.0 for node in moves}
+    sweeps = 0
     for _ in range(max_iterations):
         delta = 0.0
         for node, node_moves in moves.items():
@@ -145,11 +166,17 @@ def extremal_expected_time_rounds(
             updated = select(candidates)
             delta = max(delta, abs(updated - values[node]))
             values[node] = updated
+        sweeps += 1
+        if obs.enabled():
+            obs.incr("mdp.expected_time.sweeps")
+            obs.incr("mdp.expected_time.states_touched", len(moves))
+            obs.observe("mdp.expected_time.residual", delta)
         if values[start_node] > divergence_bound:
             raise VerificationError(
                 "expected time diverges: some scheduler starves the target"
             )
         if delta < tolerance:
+            obs_span.annotate(sweeps=sweeps, value=values[start_node])
             return values[start_node]
     raise VerificationError(
         f"value iteration did not converge in {max_iterations} sweeps"

@@ -25,6 +25,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Callable, Dict, Hashable, Tuple, TypeVar
 
+from repro import obs
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.errors import VerificationError
 
@@ -76,7 +77,11 @@ def bounded_reachability(
         memo[key] = result
         return result
 
-    return value(start, steps)
+    result = value(start, steps)
+    if obs.enabled():
+        obs.incr("mdp.bounded.calls")
+        obs.incr("mdp.bounded.states_evaluated", len(memo))
+    return result
 
 
 def unbounded_reachability(
@@ -97,30 +102,41 @@ def unbounded_reachability(
     """
     from repro.automaton.reachability import reachable_states
 
-    states = reachable_states(automaton, max_states=1_000_000)
-    if start not in states:
-        raise VerificationError(f"start state {start!r} is not reachable")
-    select = min if minimise else max
-    values: Dict[State, float] = {
-        s: (1.0 if target(s) else 0.0) for s in states
-    }
-    for _ in range(iterations):
-        delta = 0.0
-        for state in states:
-            if target(state):
-                continue
-            enabled = automaton.transitions(state)
-            if not enabled:
-                continue
-            updated = select(
-                sum(
-                    float(weight) * values[successor]
-                    for successor, weight in step.target.items()
+    with obs.span(
+        "mdp.value_iteration", minimise=minimise, tolerance=tolerance
+    ) as span:
+        states = reachable_states(automaton, max_states=1_000_000)
+        if start not in states:
+            raise VerificationError(f"start state {start!r} is not reachable")
+        obs.gauge("mdp.value_iteration.states", len(states))
+        select = min if minimise else max
+        values: Dict[State, float] = {
+            s: (1.0 if target(s) else 0.0) for s in states
+        }
+        sweeps = 0
+        for _ in range(iterations):
+            delta = 0.0
+            for state in states:
+                if target(state):
+                    continue
+                enabled = automaton.transitions(state)
+                if not enabled:
+                    continue
+                updated = select(
+                    sum(
+                        float(weight) * values[successor]
+                        for successor, weight in step.target.items()
+                    )
+                    for step in enabled
                 )
-                for step in enabled
-            )
-            delta = max(delta, abs(updated - values[state]))
-            values[state] = updated
-        if delta < tolerance:
-            break
+                delta = max(delta, abs(updated - values[state]))
+                values[state] = updated
+            sweeps += 1
+            if obs.enabled():
+                obs.incr("mdp.value_iteration.sweeps")
+                obs.incr("mdp.value_iteration.states_touched", len(states))
+                obs.observe("mdp.value_iteration.residual", delta)
+            if delta < tolerance:
+                break
+        span.annotate(sweeps=sweeps, value=values[start])
     return values[start]

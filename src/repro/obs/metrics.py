@@ -1,0 +1,241 @@
+"""Counters, gauges, and histograms with summary statistics.
+
+Three instrument kinds, named by dotted lowercase strings
+(``layer.component.metric``, see ``docs/observability.md``):
+
+* :class:`Counter` — a monotone total (samples drawn, rules applied);
+* :class:`Gauge` — a last-write-wins value (states in a sweep);
+* :class:`Histogram` — a value distribution summarised as
+  count/mean/min/p50/p95/max (steps per sample, residual per sweep).
+
+A :class:`Metrics` registry hands out instruments by name, creating
+them on first use; one name is permanently bound to one kind.  The
+no-op twin :class:`NoopMetrics` returns shared instruments whose
+recording methods do nothing, so disabled call sites cost a method call
+and no allocation.
+
+Percentiles use the nearest-rank method on the sorted observations:
+``p`` maps to the value at one-based rank ``ceil(p/100 * count)``.
+Exact, simple, and correct for the modest sample counts the
+reproduction produces (it never interpolates values that were not
+observed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Union
+
+from repro.errors import ObservabilityError
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (nonnegative) to the total."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount!r})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Record the current value, replacing the previous one."""
+        self.value = value
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Observations are kept verbatim (the reproduction's workloads record
+    thousands of values, not millions), so every summary statistic is
+    exact rather than bucketed.
+    """
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        """The number of observations."""
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """The raw observations, in recording order when unsorted."""
+        return list(self._values)
+
+    def _ordered(self) -> List[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def percentile(self, p: float) -> float:
+        """The nearest-rank ``p``-th percentile, ``0 < p <= 100``."""
+        if not self._values:
+            raise ObservabilityError(
+                f"histogram {self.name!r} has no observations"
+            )
+        if not 0 < p <= 100:
+            raise ObservabilityError(f"percentile {p!r} outside (0, 100]")
+        ordered = self._ordered()
+        rank = math.ceil(p / 100 * len(ordered))
+        return ordered[rank - 1]
+
+    @property
+    def mean(self) -> float:
+        """The arithmetic mean of the observations."""
+        if not self._values:
+            raise ObservabilityError(
+                f"histogram {self.name!r} has no observations"
+            )
+        return sum(self._values) / len(self._values)
+
+    def summary(self) -> Dict[str, float]:
+        """count/mean/min/p50/p95/max as a plain dict (empty: count 0)."""
+        if not self._values:
+            return {"count": 0}
+        ordered = self._ordered()
+        return {
+            "count": len(ordered),
+            "mean": self.mean,
+            "min": ordered[0],
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": ordered[-1],
+        }
+
+
+class Metrics:
+    """A name-indexed registry of instruments, created on first use."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type) -> object:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name``."""
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name``."""
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name``."""
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        """All counters, keyed by name."""
+        return {
+            name: inst for name, inst in self._instruments.items()
+            if isinstance(inst, Counter)
+        }
+
+    @property
+    def gauges(self) -> Dict[str, Gauge]:
+        """All gauges, keyed by name."""
+        return {
+            name: inst for name, inst in self._instruments.items()
+            if isinstance(inst, Gauge)
+        }
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        """All histograms, keyed by name."""
+        return {
+            name: inst for name, inst in self._instruments.items()
+            if isinstance(inst, Histogram)
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instrument values as plain dicts (for sinks and tests)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class _NoopInstrument:
+    """Shared stand-in for every instrument kind when metrics are off."""
+
+    __slots__ = ()
+    name = "noop"
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+class NoopMetrics:
+    """A metrics registry that records nothing and allocates nothing."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NoopInstrument:
+        return NOOP_INSTRUMENT
+
+    def gauge(self, name: str) -> _NoopInstrument:
+        return NOOP_INSTRUMENT
+
+    def histogram(self, name: str) -> _NoopInstrument:
+        return NOOP_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NOOP_INSTRUMENT = _NoopInstrument()

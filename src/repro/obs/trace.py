@@ -1,0 +1,126 @@
+"""Hierarchical tracing: spans with wall-clock timings.
+
+A *span* is one timed region of work ("check statement A.11", "value
+iteration sweep") with free-form attributes and child spans.  A
+:class:`Tracer` maintains the current span stack so nested
+``with tracer.span(...)`` blocks build the tree; finished roots are kept
+for rendering and for the JSONL sink.
+
+The clock is injectable (``perf_counter`` by default) so tests can
+assert exact durations.  Nothing here imports the rest of ``repro`` —
+the observability layer sits below every other package.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+
+class Span:
+    """One timed region of work, with attributes and child spans.
+
+    ``duration`` is ``None`` while the span is still open and a float
+    number of seconds once it has finished.
+    """
+
+    __slots__ = ("name", "attributes", "started", "duration", "children")
+
+    def __init__(self, name: str, attributes: Dict[str, object], started: float):
+        self.name = name
+        self.attributes = attributes
+        self.started = started
+        self.duration: Optional[float] = None
+        self.children: List["Span"] = []
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach (or overwrite) attributes on an open or closed span."""
+        self.attributes.update(attributes)
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Yield this span and all descendants with their depths."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def __repr__(self) -> str:
+        timing = "open" if self.duration is None else f"{self.duration:.6f}s"
+        return f"Span({self.name!r}, {timing}, {len(self.children)} children)"
+
+
+class Tracer:
+    """Builds span trees from nested ``with span(...)`` blocks."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a child span of the current span (or a new root)."""
+        started = self._clock()
+        span = Span(name, dict(attributes), started)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.duration = self._clock() - started
+            popped = self._stack.pop()
+            if popped is not span:  # pragma: no cover - defensive
+                raise ObservabilityError("span stack corrupted")
+
+    def walk(self) -> Iterator[Tuple[Span, int]]:
+        """Yield every recorded span with its depth, roots first."""
+        for root in self.roots:
+            yield from root.walk()
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def annotate(self, **attributes: object) -> None:
+        pass
+
+
+class _NoopSpanContext:
+    """A reusable, stateless context manager yielding the no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+class NoopTracer:
+    """A tracer whose spans cost one attribute lookup and nothing else."""
+
+    __slots__ = ()
+    roots: List[Span] = []
+
+    def span(self, name: str, **attributes: object) -> _NoopSpanContext:
+        return NOOP_SPAN_CONTEXT
+
+    def walk(self) -> Iterator[Tuple[Span, int]]:
+        return iter(())
+
+
+NOOP_SPAN = _NoopSpan()
+NOOP_SPAN_CONTEXT = _NoopSpanContext()

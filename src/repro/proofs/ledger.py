@@ -14,9 +14,10 @@ every composition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ProofError
 from repro.proofs import rules
 from repro.proofs.statements import ArrowStatement, StateClass
@@ -212,6 +213,11 @@ class ProofLedger:
 
     def _append(self, entry: Derivation) -> StatementId:
         self._entries.append(entry)
+        if obs.enabled():
+            # "compose (Thm 3.4)" -> "compose"; "union with X" -> "union".
+            kind = entry.rule.split(None, 1)[0]
+            obs.incr("ledger.applications")
+            obs.incr(f"ledger.rule.{kind}")
         return len(self._entries) - 1
 
     def _entry(self, statement_id: StatementId) -> Derivation:

@@ -16,8 +16,6 @@ statement; the ledger records which rule produced which statement.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.errors import ProofError
 from repro.probability.space import as_fraction
 from repro.proofs.statements import ArrowStatement, StateClass

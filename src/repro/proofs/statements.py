@@ -17,7 +17,7 @@ the algebra the paper's Section 6.2 chain needs.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Dict, FrozenSet, Hashable, Optional, TypeVar
+from typing import Callable, Dict, FrozenSet, Hashable, TypeVar
 
 from repro.errors import ProofError
 from repro.probability.space import as_fraction

@@ -22,8 +22,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Hashable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Hashable, List, Sequence, Tuple, TypeVar
 
+from repro import obs
 from repro.adversary.base import Adversary
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
@@ -55,6 +56,17 @@ class PairCheck:
     def estimate(self) -> float:
         """Point estimate of the success probability for this pair."""
         return self.summary.estimate
+
+    def to_dict(self) -> dict:
+        """A stable, JSON-ready summary of this pair's outcome."""
+        return {
+            "adversary": self.adversary_name,
+            "start_state": repr(self.start_state),
+            "successes": self.summary.successes,
+            "trials": self.summary.trials,
+            "estimate": self.estimate,
+            "truncated": self.truncated,
+        }
 
 
 @dataclass(frozen=True)
@@ -111,6 +123,19 @@ class ArrowCheckReport:
             f"{worst.adversary_name} -- {verdict}"
         )
 
+    def to_dict(self) -> dict:
+        """A stable, JSON-ready summary for sinks and report writers."""
+        return {
+            "kind": "arrow_check",
+            "statement": repr(self.statement),
+            "claimed": float(self.statement.probability),
+            "confidence": self.confidence,
+            "min_estimate": self.min_estimate,
+            "refuted": self.refuted,
+            "supported": self.supported,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
 
 def check_arrow_by_sampling(
     automaton: ProbabilisticAutomaton[State],
@@ -137,40 +162,59 @@ def check_arrow_by_sampling(
         raise VerificationError("samples_per_pair must be positive")
 
     checks: List[PairCheck] = []
-    for name, adversary in adversaries:
-        for start in start_states:
-            if not statement.source.contains(start):
-                raise VerificationError(
-                    f"start state {start!r} is not in the statement's "
-                    f"source set {statement.source.name!r}"
+    with obs.span(
+        "verify.arrow_check",
+        statement=repr(statement),
+        adversaries=len(adversaries),
+        starts=len(start_states),
+        samples_per_pair=samples_per_pair,
+    ) as span:
+        for name, adversary in adversaries:
+            for start in start_states:
+                if not statement.source.contains(start):
+                    raise VerificationError(
+                        f"start state {start!r} is not in the statement's "
+                        f"source set {statement.source.name!r}"
+                    )
+                schema = ReachWithinTime(
+                    target=statement.target.contains,
+                    time_bound=statement.time_bound,
+                    time_of=time_of,
                 )
-            schema = ReachWithinTime(
-                target=statement.target.contains,
-                time_bound=statement.time_bound,
-                time_of=time_of,
-            )
-            fragment = ExecutionFragment.initial(start)
-            successes = 0
-            truncated = 0
-            for _ in range(samples_per_pair):
-                result = sample_event(
-                    automaton, adversary, fragment, schema, rng, max_steps
+                fragment = ExecutionFragment.initial(start)
+                successes = 0
+                truncated = 0
+                for _ in range(samples_per_pair):
+                    result = sample_event(
+                        automaton, adversary, fragment, schema, rng, max_steps
+                    )
+                    if result.truncated:
+                        truncated += 1
+                    elif result.verdict:
+                        successes += 1
+                checks.append(
+                    PairCheck(
+                        adversary_name=name,
+                        start_state=start,
+                        summary=BernoulliSummary(successes, samples_per_pair),
+                        truncated=truncated,
+                    )
                 )
-                if result.truncated:
-                    truncated += 1
-                elif result.verdict:
-                    successes += 1
-            checks.append(
-                PairCheck(
-                    adversary_name=name,
-                    start_state=start,
-                    summary=BernoulliSummary(successes, samples_per_pair),
-                    truncated=truncated,
-                )
-            )
-    return ArrowCheckReport(
-        statement=statement, checks=tuple(checks), confidence=confidence
-    )
+                if obs.enabled():
+                    obs.incr("verifier.pairs")
+                    obs.incr("verifier.samples", samples_per_pair)
+                    obs.incr("verifier.successes", successes)
+                    obs.incr("verifier.truncated", truncated)
+                    obs.observe(
+                        "verifier.pair_estimate", successes / samples_per_pair
+                    )
+        report = ArrowCheckReport(
+            statement=statement, checks=tuple(checks), confidence=confidence
+        )
+        span.annotate(
+            min_estimate=report.min_estimate, refuted=report.refuted
+        )
+    return report
 
 
 @dataclass(frozen=True)
@@ -211,6 +255,26 @@ class ExactArrowReport:
             for check in self.checks
         )
 
+    def to_dict(self) -> dict:
+        """A stable, JSON-ready summary for sinks and report writers."""
+        return {
+            "kind": "exact_arrow",
+            "statement": repr(self.statement),
+            "claimed": float(self.statement.probability),
+            "min_lower_bound": float(self.min_lower_bound),
+            "holds_for_family": self.holds_for_family,
+            "refuted": self.refuted,
+            "checks": [
+                {
+                    "adversary": check.adversary_name,
+                    "start_state": repr(check.start_state),
+                    "lower": float(check.bounds.lower),
+                    "upper": float(check.bounds.upper),
+                }
+                for check in self.checks
+            ],
+        }
+
 
 def check_arrow_exactly(
     automaton: ProbabilisticAutomaton[State],
@@ -231,25 +295,32 @@ def check_arrow_exactly(
     if not start_states:
         raise VerificationError("no start states supplied")
     checks: List[ExactPairCheck] = []
-    for name, adversary in adversaries:
-        for start in start_states:
-            if not statement.source.contains(start):
-                raise VerificationError(
-                    f"start state {start!r} is not in the statement's "
-                    f"source set {statement.source.name!r}"
+    with obs.span(
+        "verify.exact_arrow_check",
+        statement=repr(statement),
+        adversaries=len(adversaries),
+        starts=len(start_states),
+    ):
+        for name, adversary in adversaries:
+            for start in start_states:
+                if not statement.source.contains(start):
+                    raise VerificationError(
+                        f"start state {start!r} is not in the statement's "
+                        f"source set {statement.source.name!r}"
+                    )
+                schema = ReachWithinTime(
+                    target=statement.target.contains,
+                    time_bound=statement.time_bound,
+                    time_of=time_of,
                 )
-            schema = ReachWithinTime(
-                target=statement.target.contains,
-                time_bound=statement.time_bound,
-                time_of=time_of,
-            )
-            execution_automaton = ExecutionAutomaton(
-                automaton, adversary, ExecutionFragment.initial(start)
-            )
-            bounds = event_probability_bounds(
-                execution_automaton, schema, max_steps
-            )
-            checks.append(ExactPairCheck(name, start, bounds))
+                execution_automaton = ExecutionAutomaton(
+                    automaton, adversary, ExecutionFragment.initial(start)
+                )
+                bounds = event_probability_bounds(
+                    execution_automaton, schema, max_steps
+                )
+                checks.append(ExactPairCheck(name, start, bounds))
+                obs.incr("verifier.exact_pairs")
     return ExactArrowReport(statement=statement, checks=tuple(checks))
 
 
@@ -274,6 +345,19 @@ class TimeToTargetReport:
         if not self.times:
             raise VerificationError("no sample reached the target")
         return max(self.times)
+
+    def to_dict(self) -> dict:
+        """A stable, JSON-ready summary for sinks and report writers."""
+        reached = len(self.times)
+        return {
+            "kind": "time_to_target",
+            "adversary": self.adversary_name,
+            "samples": reached + self.unreached,
+            "reached": reached,
+            "unreached": self.unreached,
+            "mean": self.mean if self.times else None,
+            "max": float(self.maximum) if self.times else None,
+        }
 
 
 def measure_time_to_target(
@@ -300,21 +384,30 @@ def measure_time_to_target(
         raise VerificationError("samples must be positive")
     times: List[Fraction] = []
     unreached = 0
-    for index in range(samples):
-        start = start_states[index % len(start_states)]
-        elapsed = sample_time_until(
-            automaton,
-            adversary,
-            ExecutionFragment.initial(start),
-            target,
-            time_of,
-            rng,
-            max_steps,
+    with obs.span(
+        "verify.time_to_target", adversary=adversary_name, samples=samples
+    ) as span:
+        for index in range(samples):
+            start = start_states[index % len(start_states)]
+            elapsed = sample_time_until(
+                automaton,
+                adversary,
+                ExecutionFragment.initial(start),
+                target,
+                time_of,
+                rng,
+                max_steps,
+            )
+            if elapsed is None:
+                unreached += 1
+            else:
+                times.append(elapsed)
+        report = TimeToTargetReport(
+            adversary_name=adversary_name, times=tuple(times),
+            unreached=unreached,
         )
-        if elapsed is None:
-            unreached += 1
-        else:
-            times.append(elapsed)
-    return TimeToTargetReport(
-        adversary_name=adversary_name, times=tuple(times), unreached=unreached
-    )
+        span.annotate(
+            unreached=unreached,
+            mean=report.mean if times else None,
+        )
+    return report

@@ -13,7 +13,6 @@ from repro.adversary.deadline import (
 )
 from repro.algorithms import lehmann_rabin as lr
 from repro.automaton.execution import ExecutionFragment
-from repro.automaton.signature import TIME_PASSAGE
 from repro.errors import AdversaryError
 
 QUANTUM = Fraction(1, 4)

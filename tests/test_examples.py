@@ -8,7 +8,6 @@ process via runpy with its module namespace isolated.
 from __future__ import annotations
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -9,7 +9,6 @@ import pytest
 
 from repro.algorithms import lehmann_rabin as lr
 from repro.errors import VerificationError
-from repro.proofs.statements import ArrowStatement
 
 
 class TestLeafStatements:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.algorithms.lehmann_rabin.regions import (
     C_CLASS,
     F_CLASS,

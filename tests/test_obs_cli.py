@@ -1,0 +1,88 @@
+"""CLI-level tests for the instrumentation commands and flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.sinks import read_jsonl
+
+
+class TestParser:
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.n == 3 and args.samples == 40
+        assert args.trace_out is None
+
+    def test_trace_out_accepted_everywhere(self):
+        for command in ["prove", "verify", "appendix", "independence"]:
+            args = build_parser().parse_args(
+                [command, "--trace-out", "out.jsonl"]
+            )
+            assert args.trace_out == "out.jsonl"
+
+    def test_trace_collects_inner_command(self):
+        args = build_parser().parse_args(["trace", "prove"])
+        assert args.rest == ["prove"]
+
+
+class TestStats:
+    def test_stats_smoke_on_ring_of_3(self, capsys):
+        assert main(["stats", "--n", "3", "--samples", "4"]) == 0
+        out = capsys.readouterr().out
+        # Span tree with the experiment phases.
+        assert "stats.run" in out
+        assert "lr.check_leaf" in out
+        assert "mdp.expected_time" in out
+        # Metric tables: samples drawn, steps simulated, residuals.
+        assert "verifier.samples" in out
+        assert "sampler.steps" in out
+        assert "mdp.expected_time.residual" in out
+        assert "refuted statements: 0" in out
+
+    def test_stats_trace_out_writes_parseable_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "stats.jsonl"
+        assert main(
+            ["stats", "--n", "3", "--samples", "4",
+             "--trace-out", str(path)]
+        ) == 0
+        records = read_jsonl(path)
+        types = {record["type"] for record in records}
+        assert {"span", "counter", "histogram", "report"} <= types
+        reports = [r for r in records if r["type"] == "report"]
+        assert all(r["kind"] == "arrow_check" for r in reports)
+        assert all(not r["refuted"] for r in reports)
+
+
+class TestTrace:
+    def test_trace_wraps_another_command(self, capsys):
+        assert main(["trace", "prove"]) == 0
+        out = capsys.readouterr().out
+        # The inner command's own output is preserved...
+        assert "T --13-->_1/8 C" in out
+        # ...and the instrumentation report follows.
+        assert "trace of 'repro prove'" in out
+        assert "ledger.rule.compose" in out
+
+    def test_trace_rejects_tracing_trace(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "stats"])
+
+    def test_trace_out_flag_on_ordinary_command(self, tmp_path, capsys):
+        path = tmp_path / "prove.jsonl"
+        assert main(["prove", "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote" in out
+        records = read_jsonl(path)
+        counters = {
+            record["name"]: record["value"]
+            for record in records
+            if record["type"] == "counter"
+        }
+        assert counters["ledger.rule.assume"] == 5
+
+    def test_registry_restored_after_traced_run(self):
+        from repro import obs
+
+        main(["trace", "prove"])
+        assert not obs.enabled()

@@ -21,7 +21,6 @@ from repro.algorithms.ordered.automaton import (
     ordered_transitions,
 )
 from repro.automaton.execution import ExecutionFragment
-from repro.automaton.signature import TIME_PASSAGE
 from repro.errors import AutomatonError
 from repro.execution.sampler import sample_time_until
 

@@ -13,7 +13,6 @@ from repro.automaton.reachability import (
 from repro.automaton.signature import ActionSignature
 from repro.automaton.transition import Transition
 from repro.errors import VerificationError
-from repro.probability.space import FiniteDistribution
 
 
 def linear(n: int) -> ExplicitAutomaton[int]:

@@ -5,10 +5,8 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 
-import pytest
-
 from repro.adversary.search import HashedRandomRoundPolicy
-from repro.adversary.unit_time import FifoRoundPolicy, RoundBasedAdversary
+from repro.adversary.unit_time import RoundBasedAdversary
 from repro.algorithms import lehmann_rabin as lr
 from repro.automaton.execution import ExecutionFragment
 from repro.automaton.signature import ActionSignature

@@ -9,7 +9,6 @@ import pytest
 
 from repro.adversary.deterministic import FirstEnabledAdversary
 from repro.errors import VerificationError
-from repro.events.reach import step_counting_time
 from repro.proofs.statements import ArrowStatement, StateClass
 from repro.proofs.verifier import (
     check_arrow_by_sampling,

@@ -1,0 +1,135 @@
+"""Gated lint runner: best available checker wins.
+
+Preference order:
+
+1. ``ruff check`` (if importable or on PATH)
+2. ``python -m pyflakes`` (if importable)
+3. stdlib fallback: byte-compile everything (syntax errors) plus an
+   AST pass flagging unused imports — the pyflakes subset that matters
+   most for this codebase.
+
+The container deliberately ships no third-party linters, so the
+fallback is the common path; the runner upgrades itself automatically
+wherever ruff or pyflakes happen to exist.
+
+Usage: ``python tools/lint.py [paths...]`` (defaults to src tests
+benchmarks tools). Exits nonzero on findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import compileall
+import importlib.util
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
+
+
+def run_external(argv, paths):
+    result = subprocess.run([*argv, *paths])
+    return result.returncode
+
+
+def python_files(paths):
+    for path in paths:
+        path = Path(path)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+class ImportUsage(ast.NodeVisitor):
+    """Collects imported names and every name/attribute-root used."""
+
+    def __init__(self):
+        self.imports = {}  # name -> line
+        self.used = set()
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.imports[name] = node.lineno
+
+    def visit_ImportFrom(self, node):
+        if node.module == "__future__":
+            return  # compiler directives, not bindings
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = alias.asname or alias.name
+            self.imports[name] = node.lineno
+
+    def visit_Name(self, node):
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+    def visit_Attribute(self, node):
+        self.generic_visit(node)
+
+
+def unused_imports(path):
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return []  # compileall already reported it
+    usage = ImportUsage()
+    usage.visit(tree)
+    # Names in any string constant count as used: __all__ entries,
+    # string annotations, docstring cross-references.  Generous on
+    # purpose — a fallback linter must not produce false positives.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            usage.used.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", node.value))
+    return [
+        (line, name)
+        for name, line in sorted(usage.imports.items(), key=lambda kv: kv[1])
+        if name not in usage.used and not name.startswith("_")
+    ]
+
+
+def run_fallback(paths):
+    # Keep bytecode out of the tree: __pycache__ litter from a lint run
+    # should never show up in `git status`.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        sys.pycache_prefix = cache_dir
+        try:
+            ok = all(
+                compileall.compile_dir(p, quiet=1, force=True)
+                if Path(p).is_dir()
+                else compileall.compile_file(p, quiet=1, force=True)
+                for p in paths
+            )
+        finally:
+            sys.pycache_prefix = None
+    findings = 0
+    for path in python_files(paths):
+        for line, name in unused_imports(path):
+            print(f"{path}:{line}: unused import '{name}'")
+            findings += 1
+    if findings:
+        print(f"{findings} unused import(s)")
+    return 0 if ok and not findings else 1
+
+
+def main(argv=None):
+    paths = (argv if argv else list(sys.argv[1:])) or [
+        p for p in DEFAULT_PATHS if Path(p).exists()
+    ]
+    if shutil.which("ruff"):
+        return run_external(["ruff", "check"], paths)
+    if importlib.util.find_spec("pyflakes"):
+        return run_external([sys.executable, "-m", "pyflakes"], paths)
+    print("lint: no ruff/pyflakes; using stdlib fallback "
+          "(syntax + unused imports)")
+    return run_fallback(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
