@@ -35,6 +35,7 @@ def ring_size_sweep(
     seed: int = 0,
     samples_per_pair: int = 60,
     time_samples: int = 60,
+    workers: int = 1,
 ) -> List[ScalingRow]:
     """The composed statement and time-to-C across ring sizes.
 
@@ -53,9 +54,10 @@ def ring_size_sweep(
             seed=seed,
             samples_per_pair=samples_per_pair,
             random_starts=4,
+            workers=workers,
         )
         times = measure_lr_expected_time(
-            setup, seed=seed, samples=time_samples
+            setup, seed=seed, samples=time_samples, workers=workers
         )
         means = [r.mean for r in times.values() if r.times]
         maxima = [float(r.maximum) for r in times.values() if r.times]
@@ -86,6 +88,7 @@ def adversary_power_comparison(
     seed: int = 0,
     samples_per_pair: int = 100,
     time_samples: int = 100,
+    workers: int = 1,
 ) -> List[AdversaryPowerRow]:
     """Per-adversary success probability and time statistics.
 
@@ -98,14 +101,16 @@ def adversary_power_comparison(
     setup = LRExperimentSetup.build(n)
     report = check_lr_statement(
         final, setup, seed=seed, samples_per_pair=samples_per_pair,
-        random_starts=4,
+        random_starts=4, workers=workers,
     )
     per_adversary: Dict[str, List[float]] = {}
     for check in report.checks:
         per_adversary.setdefault(check.adversary_name, []).append(
             check.estimate
         )
-    times = measure_lr_expected_time(setup, seed=seed, samples=time_samples)
+    times = measure_lr_expected_time(
+        setup, seed=seed, samples=time_samples, workers=workers
+    )
     rows: List[AdversaryPowerRow] = []
     for name, estimates in sorted(per_adversary.items()):
         time_report = times[name]
@@ -135,6 +140,7 @@ def horizon_sweep(
     n: int = 3,
     seed: int = 0,
     samples_per_pair: int = 80,
+    workers: int = 1,
 ) -> List[HorizonRow]:
     """Success probability of ``T --t--> C`` as the deadline ``t`` varies.
 
@@ -152,7 +158,7 @@ def horizon_sweep(
         )
         report = check_lr_statement(
             statement, setup, seed=seed, samples_per_pair=samples_per_pair,
-            random_starts=4,
+            random_starts=4, workers=workers,
         )
         rows.append(
             HorizonRow(time_bound=bound, min_success_estimate=report.min_estimate)

@@ -17,6 +17,7 @@ from repro.adversary.base import Adversary
 from repro.algorithms import lehmann_rabin as lr
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.errors import VerificationError
+from repro.parallel.seeds import derive_seed
 from repro.proofs.statements import ArrowStatement
 from repro.proofs.verifier import (
     ArrowCheckReport,
@@ -96,19 +97,31 @@ def check_lr_statement(
     samples_per_pair: int = 120,
     random_starts: int = 6,
     max_steps: int = 400,
+    *,
+    workers: int = 1,
+    early_stop: bool = False,
 ) -> ArrowCheckReport:
-    """Monte-Carlo check of one arrow statement on a Lehmann-Rabin ring."""
-    rng = random.Random(seed)
-    starts = start_states_for(statement, setup, rng, random_starts)
+    """Monte-Carlo check of one arrow statement on a Lehmann-Rabin ring.
+
+    Start-state selection and pair sampling draw from *independent*
+    child seeds of ``seed``: changing ``random_starts`` only adds or
+    removes start states, it never perturbs the sample streams of the
+    pairs both configurations share — so configs are comparable and
+    the sequential and parallel backends agree.
+    """
+    starts_rng = random.Random(derive_seed(seed, "starts"))
+    starts = start_states_for(statement, setup, starts_rng, random_starts)
     return check_arrow_by_sampling(
         setup.automaton,
         statement,
         list(setup.adversaries),
         starts,
         lr.lr_time_of,
-        rng,
         samples_per_pair=samples_per_pair,
         max_steps=max_steps,
+        seed=derive_seed(seed, "pairs"),
+        workers=workers,
+        early_stop=early_stop,
     )
 
 
@@ -116,13 +129,18 @@ def check_all_leaves(
     setup: LRExperimentSetup,
     seed: int = 0,
     samples_per_pair: int = 120,
+    *,
+    workers: int = 1,
+    early_stop: bool = False,
 ) -> Dict[str, ArrowCheckReport]:
     """Check every Section 6.2 leaf statement; keyed by proposition name."""
     reports: Dict[str, ArrowCheckReport] = {}
     for name, statement in lr.leaf_statements().items():
         with obs.span("lr.check_leaf", proposition=name):
             reports[name] = check_lr_statement(
-                statement, setup, seed=seed, samples_per_pair=samples_per_pair
+                statement, setup, seed=seed,
+                samples_per_pair=samples_per_pair, workers=workers,
+                early_stop=early_stop,
             )
     return reports
 
@@ -132,15 +150,19 @@ def measure_lr_expected_time(
     seed: int = 0,
     samples: int = 150,
     max_steps: int = 30_000,
+    *,
+    workers: int = 1,
 ) -> Dict[str, TimeToTargetReport]:
     """Measure time-to-critical from ``T`` states under every adversary.
 
     The paper's bound: expected time at most 63 for every Unit-Time
-    adversary.  Reports per-adversary sample means and maxima.
+    adversary.  Reports per-adversary sample means and maxima.  As in
+    :func:`check_lr_statement`, start selection and each adversary's
+    time sampling use independent child seeds of ``seed``.
     """
-    rng = random.Random(seed)
+    starts_rng = random.Random(derive_seed(seed, "starts"))
     final = lr.leaf_statements()["A.3"]  # source class T
-    starts = start_states_for(final, setup, rng, random_count=6)
+    starts = start_states_for(final, setup, starts_rng, random_count=6)
     reports: Dict[str, TimeToTargetReport] = {}
     with obs.span("lr.expected_time", n=setup.n, samples=samples):
         for name, adversary in setup.adversaries:
@@ -151,8 +173,9 @@ def measure_lr_expected_time(
                 starts,
                 lr.in_critical,
                 lr.lr_time_of,
-                rng,
                 samples=samples,
                 max_steps=max_steps,
+                seed=derive_seed(seed, "time", name),
+                workers=workers,
             )
     return reports

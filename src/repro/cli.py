@@ -6,6 +6,10 @@ plain-text report:
 * ``prove``          — the Section 6.2 ledger derivation and bounds;
 * ``verify``         — Monte-Carlo checks of the leaf and composed
   statements under the hostile adversary family;
+* ``check``          — Monte-Carlo check of one named statement, with a
+  canonical JSON report (``--json``) for byte-identity comparisons;
+* ``chain``          — the composed ``T --13-->_1/8 C`` chain: its
+  ledger derivation plus a Monte-Carlo check of the final statement;
 * ``exact``          — exact worst-case minima over the
   round-synchronous Unit-Time subclass;
 * ``appendix``       — the appendix lemmas, exactly;
@@ -21,7 +25,10 @@ plain-text report:
   and render its span tree and metric tables afterwards.
 
 Every subcommand accepts ``--trace-out FILE.jsonl`` to record spans and
-metrics to a JSONL trace file (see ``docs/observability.md``).
+metrics to a JSONL trace file (see ``docs/observability.md``).  The
+sampling subcommands accept ``--workers N`` to fan (adversary, start
+state) pair checks out over a process pool; reports are bit-identical
+for every worker count (see ``docs/parallel.md``).
 """
 
 from __future__ import annotations
@@ -57,7 +64,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     setup = LRExperimentSetup.build(args.n)
     print(banner(f"Monte-Carlo verification, ring size {args.n}"))
     reports = check_all_leaves(
-        setup, seed=args.seed, samples_per_pair=args.samples
+        setup, seed=args.seed, samples_per_pair=args.samples,
+        workers=args.workers,
     )
     rows = []
     failures = 0
@@ -67,13 +75,81 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     chain = lr.lehmann_rabin_proof()
     final = check_lr_statement(
         chain.final_statement, setup, seed=args.seed,
-        samples_per_pair=args.samples,
+        samples_per_pair=args.samples, workers=args.workers,
     )
     failures += final.refuted
     rows.append(arrow_report_row("composed", final))
     print(format_table(("claim", "statement", "worst estimate", "verdict"),
                        rows))
     return 1 if failures else 0
+
+
+def _resolve_statement(prop: str):
+    """The arrow statement named ``prop`` ('composed' or a leaf name).
+
+    Returns ``None`` when the name is unknown (the caller reports the
+    available choices).
+    """
+    from repro.algorithms import lehmann_rabin as lr
+
+    if prop == "composed":
+        return lr.lehmann_rabin_proof().final_statement
+    return lr.leaf_statements().get(prop)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.montecarlo import LRExperimentSetup, check_lr_statement
+    from repro.analysis.reporting import arrow_report_row, banner, format_table
+
+    statement = _resolve_statement(args.prop)
+    if statement is None:
+        choices = ", ".join(["composed", *sorted(lr.leaf_statements())])
+        print(
+            f"repro: error: unknown proposition {args.prop!r} "
+            f"(choices: {choices})",
+            file=sys.stderr,
+        )
+        return 2
+    setup = LRExperimentSetup.build(args.n)
+    report = check_lr_statement(
+        statement, setup, seed=args.seed, samples_per_pair=args.samples,
+        workers=args.workers, early_stop=args.early_stop,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(banner(
+            f"Monte-Carlo check of {args.prop}, ring size {args.n}"
+        ))
+        print(format_table(
+            ("claim", "statement", "worst estimate", "verdict"),
+            [arrow_report_row(args.prop, report)],
+        ))
+        print()
+        print(report.summary_line())
+    return 1 if report.refuted else 0
+
+
+def _cmd_chain(args: argparse.Namespace) -> int:
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.montecarlo import LRExperimentSetup, check_lr_statement
+    from repro.analysis.reporting import banner
+
+    chain = lr.lehmann_rabin_proof()
+    setup = LRExperimentSetup.build(args.n)
+    print(banner(f"The composed chain, ring size {args.n}"))
+    print(chain.ledger.explain(chain.final_id))
+    print()
+    report = check_lr_statement(
+        chain.final_statement, setup, seed=args.seed,
+        samples_per_pair=args.samples, workers=args.workers,
+        early_stop=args.early_stop,
+    )
+    print(report.summary_line())
+    return 1 if report.refuted else 0
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:
@@ -181,7 +257,7 @@ def _cmd_expected_time(args: argparse.Namespace) -> int:
     print(banner(f"Time to the critical region, ring size {args.n} "
                  f"(bound: {lr.expected_time_bound()})"))
     reports = measure_lr_expected_time(
-        setup, seed=args.seed, samples=args.samples
+        setup, seed=args.seed, samples=args.samples, workers=args.workers
     )
     rows = []
     failures = 0
@@ -203,7 +279,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(banner("Ring-size sweep"))
     rows = ring_size_sweep(
         sizes=sizes, seed=args.seed, samples_per_pair=args.samples,
-        time_samples=args.samples,
+        time_samples=args.samples, workers=args.workers,
     )
     print(format_table(
         ("n", "min P[T -13-> C]", "claimed", "worst mean time"),
@@ -215,7 +291,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ))
     print()
     print(banner("Deadline sweep (n = 3)"))
-    hrows = horizon_sweep(seed=args.seed, samples_per_pair=args.samples)
+    hrows = horizon_sweep(
+        seed=args.seed, samples_per_pair=args.samples, workers=args.workers
+    )
     print(format_table(
         ("deadline", "min P[T -t-> C]"),
         [(r.time_bound, f"{r.min_success_estimate:.3f}") for r in hrows],
@@ -322,7 +400,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ):
             setup = LRExperimentSetup.build(args.n)
             reports = check_all_leaves(
-                setup, seed=args.seed, samples_per_pair=args.samples
+                setup, seed=args.seed, samples_per_pair=args.samples,
+                workers=args.workers,
             )
             with obs.span("stats.value_iteration", n=args.n):
                 worst_rounds = extremal_expected_time_rounds(
@@ -401,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--samples", type=int, default=samples_default,
             help="Monte-Carlo samples per (adversary, start) pair",
         )
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="sampling worker processes (1 = sequential; results "
+                 "are identical for every count)",
+        )
 
     add_command("prove", help="print the Section 6.2 derivation")\
         .set_defaults(func=_cmd_prove)
@@ -408,6 +492,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_command("verify", help="Monte-Carlo check of all statements")
     common(p)
     p.set_defaults(func=_cmd_verify)
+
+    p = add_command(
+        "check", help="Monte-Carlo check of one statement (see --prop)"
+    )
+    common(p)
+    p.add_argument(
+        "--prop", default="composed",
+        help="leaf proposition name (e.g. A.14) or 'composed'",
+    )
+    p.add_argument(
+        "--early-stop", action="store_true", dest="early_stop",
+        help="stop a pair early once its confidence bounds decide it",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the full report as canonical JSON",
+    )
+    p.set_defaults(func=_cmd_check)
+
+    p = add_command(
+        "chain", help="derive and check the composed T --13-->_1/8 C chain"
+    )
+    common(p)
+    p.add_argument(
+        "--early-stop", action="store_true", dest="early_stop",
+        help="stop a pair early once its confidence bounds decide it",
+    )
+    p.set_defaults(func=_cmd_chain)
 
     p = add_command("exact", help="exact round-synchronous minima")
     p.add_argument("--n", type=int, default=3)
@@ -428,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", default="3,4,5")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--samples", type=int, default=40)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_sweep)
 
     p = add_command("election", help="the leader-election case study")

@@ -1,0 +1,63 @@
+"""Parallel Monte-Carlo verification backend.
+
+The paper's arrow statements quantify over every adversary and start
+state, so sampling checks factor into independent pair tasks.  This
+package fans those tasks out across a fork-based worker pool while
+keeping results *bit-identical* to a sequential run:
+
+* :mod:`repro.parallel.seeds`   — stable per-task seed derivation;
+* :mod:`repro.parallel.backend` — pair / time-to-target task
+  definitions, chunked sampling, Clopper-Pearson early stop;
+* :mod:`repro.parallel.pool`    — the fork pool, ordered results;
+* :mod:`repro.parallel.merge`   — worker metrics back into the parent
+  registry.
+
+See ``docs/parallel.md`` for the seed-derivation scheme, the worker
+model, and the early-stop soundness argument.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.backend import (
+    DEFAULT_CHUNK_SIZE,
+    ArrowPairContext,
+    PairOutcome,
+    PairTask,
+    TimeStartContext,
+    TimeStartOutcome,
+    TimeStartTask,
+    execute_pair,
+    execute_time_start,
+    occurrence_indices,
+    pair_decided,
+)
+from repro.parallel.merge import merge_metrics_snapshot, metrics_snapshot
+from repro.parallel.pool import (
+    available_cpus,
+    fork_available,
+    resolve_workers,
+    run_tasks,
+)
+from repro.parallel.seeds import derive_rng, derive_seed
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ArrowPairContext",
+    "PairOutcome",
+    "PairTask",
+    "TimeStartContext",
+    "TimeStartOutcome",
+    "TimeStartTask",
+    "available_cpus",
+    "derive_rng",
+    "derive_seed",
+    "execute_pair",
+    "execute_time_start",
+    "fork_available",
+    "merge_metrics_snapshot",
+    "metrics_snapshot",
+    "occurrence_indices",
+    "pair_decided",
+    "resolve_workers",
+    "run_tasks",
+]

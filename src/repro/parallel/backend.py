@@ -1,0 +1,231 @@
+"""Task definitions for parallel Monte-Carlo verification.
+
+An arrow statement ``U --t-->_p U'`` quantifies over every adversary in
+a schema and every start state in ``U`` (Definition 3.1), so a sampling
+check factors into independent (adversary, start state) pair tasks; an
+expected-time measurement factors into independent per-start tasks.
+This module defines those tasks as plain data plus pure execution
+functions, suitable for :func:`repro.parallel.pool.run_tasks` — heavy
+objects travel in the (fork-inherited) context, tiny descriptors and
+plain-data outcomes cross the process boundary.
+
+Each pair is sampled in chunks from its own derived RNG stream.  With
+``early_stop`` enabled, sampling halts once the pair's exact
+Clopper-Pearson bounds already decide it against the claimed
+probability at the requested confidence — the recorded summary then
+still produces the same supported/refuted classification the full
+sample budget would have recorded *for that bound* (the decision is
+re-derived from the recorded counts, never stored separately; see
+``docs/parallel.md`` for the soundness argument).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Hashable, List, Sequence, Tuple, TypeVar
+
+from repro import obs
+from repro.adversary.base import Adversary
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.events.reach import ReachWithinTime
+from repro.execution.sampler import sample_event, sample_time_until
+from repro.probability.stats import (
+    BernoulliSummary,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+)
+
+State = TypeVar("State", bound=Hashable)
+
+DEFAULT_CHUNK_SIZE = 32
+
+
+# ----------------------------------------------------------------------
+# Arrow-statement pair checks
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrowPairContext:
+    """Everything every pair task needs; inherited by workers via fork."""
+
+    automaton: ProbabilisticAutomaton
+    adversaries: Tuple[Tuple[str, Adversary], ...]
+    start_states: Tuple[object, ...]
+    target: Callable[[object], bool]
+    time_bound: object
+    time_of: Callable[[object], Fraction]
+    samples_per_pair: int
+    max_steps: int
+    claimed: float
+    confidence: float
+    early_stop: bool
+    chunk_size: int
+
+
+@dataclass(frozen=True)
+class PairTask:
+    """One (adversary, start state) unit of sampling work."""
+
+    index: int
+    adversary_index: int
+    start_index: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """Plain-data result of one pair task (picklable)."""
+
+    index: int
+    successes: int
+    trials: int
+    truncated: int
+
+
+def pair_decided(
+    successes: int, trials: int, claimed: float, confidence: float
+) -> bool:
+    """True when the recorded counts already classify the pair.
+
+    Either the exact lower confidence bound certifies the claimed
+    probability (the pair supports the statement) or the exact upper
+    bound falls below it (the pair refutes it); more samples can only
+    re-derive a classification the report would already print.
+    """
+    summary = BernoulliSummary(successes, trials)
+    if clopper_pearson_lower(summary, confidence) >= claimed:
+        return True
+    return clopper_pearson_upper(summary, confidence) < claimed
+
+
+def execute_pair(context: ArrowPairContext, task: PairTask) -> PairOutcome:
+    """Sample one pair from its own seeded stream, chunked.
+
+    Deterministic in (context, task) alone: the same derived seed
+    yields the same outcome whether this runs inline, or in any worker
+    of any pool size.
+    """
+    _, adversary = context.adversaries[task.adversary_index]
+    start = context.start_states[task.start_index]
+    schema = ReachWithinTime(
+        target=context.target,
+        time_bound=context.time_bound,
+        time_of=context.time_of,
+    )
+    fragment = ExecutionFragment.initial(start)
+    rng = random.Random(task.seed)
+    chunk_size = (
+        context.chunk_size if context.early_stop else context.samples_per_pair
+    )
+    successes = 0
+    truncated = 0
+    trials = 0
+    while trials < context.samples_per_pair:
+        for _ in range(min(chunk_size, context.samples_per_pair - trials)):
+            result = sample_event(
+                context.automaton, adversary, fragment, schema, rng,
+                context.max_steps,
+            )
+            trials += 1
+            if result.truncated:
+                truncated += 1
+            elif result.verdict:
+                successes += 1
+        if context.early_stop and pair_decided(
+            successes, trials, context.claimed, context.confidence
+        ):
+            break
+    if obs.enabled():
+        obs.incr("verifier.pairs")
+        obs.incr("verifier.samples", trials)
+        obs.incr("verifier.successes", successes)
+        obs.incr("verifier.truncated", truncated)
+        obs.observe("verifier.pair_estimate", successes / trials)
+    return PairOutcome(
+        index=task.index, successes=successes, trials=trials,
+        truncated=truncated,
+    )
+
+
+# ----------------------------------------------------------------------
+# Time-to-target per-start tasks
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimeStartContext:
+    """Shared context for per-start time-to-target tasks."""
+
+    automaton: ProbabilisticAutomaton
+    adversary: Adversary
+    start_states: Tuple[object, ...]
+    target: Callable[[object], bool]
+    time_of: Callable[[object], Fraction]
+    samples_per_start: int
+    max_steps: int
+
+
+@dataclass(frozen=True)
+class TimeStartTask:
+    """All the replicates of one start state."""
+
+    index: int
+    start_index: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class TimeStartOutcome:
+    """Reached times (in replicate order) and unreached count."""
+
+    index: int
+    times: Tuple[Fraction, ...]
+    unreached: int
+
+
+def execute_time_start(
+    context: TimeStartContext, task: TimeStartTask
+) -> TimeStartOutcome:
+    """Sample every replicate of one start state from its own stream."""
+    start = context.start_states[task.start_index]
+    rng = random.Random(task.seed)
+    times: List[Fraction] = []
+    unreached = 0
+    for _ in range(context.samples_per_start):
+        elapsed = sample_time_until(
+            context.automaton,
+            context.adversary,
+            ExecutionFragment.initial(start),
+            context.target,
+            context.time_of,
+            rng,
+            context.max_steps,
+        )
+        if elapsed is None:
+            unreached += 1
+        else:
+            times.append(elapsed)
+    return TimeStartOutcome(
+        index=task.index, times=tuple(times), unreached=unreached
+    )
+
+
+def occurrence_indices(keys: Sequence[object]) -> List[int]:
+    """The occurrence index of each key among its equals, in order.
+
+    Seed derivation includes this index so duplicate (adversary, start)
+    pairs still draw independent streams, while *unrelated* additions
+    to the family never shift an existing pair's stream (a global
+    enumeration index would).
+    """
+    seen: dict = {}
+    indices: List[int] = []
+    for key in keys:
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        indices.append(occurrence)
+    return indices

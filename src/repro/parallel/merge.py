@@ -1,0 +1,65 @@
+"""Shipping worker-side metrics back to the parent registry.
+
+Worker processes record into their own fresh registries (the parent's
+registry, inherited through ``fork``, is replaced on entry so nothing
+is double-counted).  When a task finishes, its metrics are reduced to
+a plain, picklable snapshot; the parent merges snapshots in task order,
+so the merged registry is identical no matter how the pool scheduled
+the work:
+
+* counters   — summed;
+* gauges     — last-write-wins in task order;
+* histograms — raw observations re-observed (summaries stay exact).
+
+Spans are deliberately *not* shipped: the samplers record no spans, and
+worker wall-clock would be nondeterministic noise in the parent's span
+tree.  The parent's own ``verify.*`` spans still bracket the pool run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.obs.metrics import Metrics
+
+Number = Union[int, float]
+
+MetricsSnapshot = Dict[str, Dict[str, object]]
+
+
+def metrics_snapshot(metrics: Metrics) -> MetricsSnapshot:
+    """Reduce a registry's metrics to a plain picklable dict.
+
+    Histograms keep their raw observations (not just summaries) so the
+    parent's merged percentiles are exact, matching a sequential run.
+    """
+    return {
+        "counters": {
+            name: counter.value
+            for name, counter in metrics.counters.items()
+        },
+        "gauges": {
+            name: gauge.value for name, gauge in metrics.gauges.items()
+        },
+        "histograms": {
+            name: histogram.values
+            for name, histogram in metrics.histograms.items()
+        },
+    }
+
+
+def merge_metrics_snapshot(
+    metrics: Metrics, snapshot: MetricsSnapshot
+) -> None:
+    """Merge one worker snapshot into ``metrics`` (names sorted)."""
+    counters: Dict[str, Number] = snapshot.get("counters", {})
+    for name in sorted(counters):
+        metrics.counter(name).inc(counters[name])
+    gauges: Dict[str, Number] = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        metrics.gauge(name).set(gauges[name])
+    histograms: Dict[str, List[float]] = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        histogram = metrics.histogram(name)
+        for value in histograms[name]:
+            histogram.observe(value)

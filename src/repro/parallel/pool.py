@@ -1,0 +1,122 @@
+"""A fork-based worker pool for deterministic sampling tasks.
+
+The heavy objects a task needs — automata, adversary families, state
+predicates — are closures and are not picklable.  On platforms with the
+``fork`` start method (Linux, the only place parallelism matters here)
+they do not need to be: the pool stashes an execution context in a
+module global *before* forking, and every worker inherits it through
+the copied address space.  Only the small task descriptors (index +
+derived seed) and the plain-data results cross the process boundary.
+
+Determinism does not depend on scheduling: ``run_tasks`` returns
+results in task order (``Pool.map`` preserves it), and each task's RNG
+stream is a pure function of its derived seed
+(:mod:`repro.parallel.seeds`), so ``workers=1`` and ``workers=N``
+produce identical results.  Where ``fork`` is unavailable the pool
+degrades to sequential execution — same results, no speedup.
+
+When the parent has a recording registry installed, each worker records
+into a fresh registry of its own and returns a metrics snapshot; the
+parent merges snapshots in task order (:mod:`repro.parallel.merge`), so
+``repro stats`` counts every sample exactly once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro import obs
+from repro.errors import VerificationError
+from repro.parallel.merge import (
+    MetricsSnapshot,
+    merge_metrics_snapshot,
+    metrics_snapshot,
+)
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+# (execute, context, capture_obs) — set in the parent immediately before
+# forking, inherited by every worker, cleared when the pool is done.
+_WORKER_STATE: Optional[Tuple[Callable, object, bool]] = None
+
+
+def available_cpus() -> int:
+    """The CPUs usable for worker processes (at least 1)."""
+    return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Validate and normalise a worker count.
+
+    ``None`` means one worker per available CPU.  On platforms without
+    ``fork`` every count collapses to 1: sampling results are identical
+    by construction, only the speedup is lost.
+    """
+    if workers is None:
+        workers = available_cpus()
+    if workers < 1:
+        raise VerificationError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and not fork_available():
+        return 1
+    return workers
+
+
+def _worker_invoke(task):
+    """Run one task inside a worker process.
+
+    Installs a fresh recording registry when the parent asked for
+    metrics capture, so the worker's copy of the parent registry
+    (inherited via fork) never accumulates counts that would be lost.
+    """
+    execute, context, capture = _WORKER_STATE
+    if capture:
+        with obs.recording() as registry:
+            result = execute(context, task)
+        return result, metrics_snapshot(registry.metrics)
+    return execute(context, task), None
+
+
+def run_tasks(
+    execute: Callable[[object, Task], Result],
+    context: object,
+    tasks: Sequence[Task],
+    workers: int = 1,
+) -> List[Result]:
+    """Execute every task and return results in task order.
+
+    ``execute(context, task)`` must depend only on its arguments (plus
+    read-only globals) and return picklable plain data.  With one
+    worker — or one task — everything runs inline in the parent, where
+    metrics flow into the active registry directly; with more, tasks
+    fan out over a forked pool and worker metrics are merged back in
+    task order.
+    """
+    global _WORKER_STATE
+    workers = resolve_workers(workers)
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        return [execute(context, task) for task in tasks]
+    mp_context = multiprocessing.get_context("fork")
+    _WORKER_STATE = (execute, context, obs.enabled())
+    try:
+        with mp_context.Pool(processes=min(workers, len(tasks))) as pool:
+            paired: List[Tuple[Result, Optional[MetricsSnapshot]]] = (
+                pool.map(_worker_invoke, tasks)
+            )
+    finally:
+        _WORKER_STATE = None
+    results: List[Result] = []
+    metrics = obs.get_registry().metrics if obs.enabled() else None
+    for result, snapshot in paired:
+        if snapshot is not None and metrics is not None:
+            merge_metrics_snapshot(metrics, snapshot)
+        results.append(result)
+    return results

@@ -26,6 +26,7 @@ from repro.proofs.verifier import (
     ExactArrowReport,
     ExactPairCheck,
     PairCheck,
+    StartTimeCount,
     TimeToTargetReport,
     check_arrow_by_sampling,
     check_arrow_exactly,
@@ -42,6 +43,7 @@ __all__ = [
     "InclusionRegistry",
     "PairCheck",
     "ProofLedger",
+    "StartTimeCount",
     "lehmann_rabin_inclusions",
     "RetryBranch",
     "RetryRecursion",

@@ -15,14 +15,30 @@ from the hostile side:
 Both return a report whose ``worst`` entry is the empirically most
 damaging pair; a statement is *refuted* when some pair's exact upper
 confidence bound falls below the claimed probability.
+
+Sampling checks quantify over independent pairs, so they parallelise:
+``workers > 1`` fans pairs out over :mod:`repro.parallel`'s fork pool.
+Every pair draws from its own deterministically derived seed
+(``root seed + adversary name + start repr + occurrence index``), so
+reports are bit-identical for ``workers=1`` and ``workers=N`` and
+independent of scheduling order (see ``docs/parallel.md``).
 """
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Hashable, List, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro import obs
 from repro.adversary.base import Adversary
@@ -32,7 +48,18 @@ from repro.errors import VerificationError
 from repro.events.reach import ReachWithinTime
 from repro.execution.automaton import ExecutionAutomaton
 from repro.execution.measure import EventBounds, event_probability_bounds
-from repro.execution.sampler import sample_event
+from repro.parallel.backend import (
+    DEFAULT_CHUNK_SIZE,
+    ArrowPairContext,
+    PairTask,
+    TimeStartContext,
+    TimeStartTask,
+    execute_pair,
+    execute_time_start,
+    occurrence_indices,
+)
+from repro.parallel.pool import run_tasks
+from repro.parallel.seeds import derive_seed
 from repro.probability.stats import (
     BernoulliSummary,
     clopper_pearson_lower,
@@ -79,8 +106,16 @@ class ArrowCheckReport:
 
     @property
     def worst(self) -> PairCheck:
-        """The pair with the lowest estimated success probability."""
-        return min(self.checks, key=lambda c: c.estimate)
+        """The pair with the lowest estimated success probability.
+
+        Estimate ties break on (adversary name, start repr), not list
+        position, so the reported worst pair — and every summary line
+        built from it — is stable across backends and pair orderings.
+        """
+        return min(
+            self.checks,
+            key=lambda c: (c.estimate, c.adversary_name, repr(c.start_state)),
+        )
 
     @property
     def min_estimate(self) -> float:
@@ -137,22 +172,53 @@ class ArrowCheckReport:
         }
 
 
+def _resolve_root_seed(
+    rng: Optional[random.Random], seed: Optional[int]
+) -> int:
+    """The root seed all per-task streams derive from.
+
+    An explicit ``seed`` wins; otherwise one 64-bit draw from ``rng``
+    becomes the root, so legacy rng-passing callers stay deterministic
+    in the rng's state.
+    """
+    if seed is not None:
+        return int(seed)
+    if rng is None:
+        raise VerificationError("supply an rng or an explicit seed")
+    return rng.getrandbits(64)
+
+
 def check_arrow_by_sampling(
     automaton: ProbabilisticAutomaton[State],
     statement: ArrowStatement,
     adversaries: Sequence[Tuple[str, Adversary[State]]],
     start_states: Sequence[State],
     time_of: Callable[[State], Fraction],
-    rng: random.Random,
+    rng: Optional[random.Random] = None,
     samples_per_pair: int = 200,
     max_steps: int = 2_000,
     confidence: float = 0.99,
+    *,
+    seed: Optional[int] = None,
+    workers: int = 1,
+    early_stop: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> ArrowCheckReport:
     """Monte-Carlo check of ``statement`` over an adversary family.
 
     Every start state must lie in the statement's source set (checked).
     Truncated runs count as failures, keeping the estimates sound as
     lower bounds on the true success probability.
+
+    Each (adversary, start state) pair samples from its own stream,
+    seeded by a stable hash of the root seed (``seed``, or one draw
+    from ``rng``) and the pair's identity — so the report is
+    bit-identical for any ``workers`` count, and adding pairs never
+    perturbs existing ones.  With ``early_stop``, a pair stops sampling
+    (in ``chunk_size`` increments, ``samples_per_pair`` remaining the
+    cap) once its Clopper-Pearson bounds already classify it against
+    the claimed probability; ``BernoulliSummary.trials`` records the
+    samples actually drawn.
     """
     if not adversaries:
         raise VerificationError("no adversaries supplied")
@@ -160,56 +226,67 @@ def check_arrow_by_sampling(
         raise VerificationError("no start states supplied")
     if samples_per_pair <= 0:
         raise VerificationError("samples_per_pair must be positive")
+    if chunk_size <= 0:
+        raise VerificationError("chunk_size must be positive")
 
-    checks: List[PairCheck] = []
+    root_seed = _resolve_root_seed(rng, seed)
+    pairs: List[Tuple[str, State]] = []
+    for name, _ in adversaries:
+        for start in start_states:
+            if not statement.source.contains(start):
+                raise VerificationError(
+                    f"start state {start!r} is not in the statement's "
+                    f"source set {statement.source.name!r}"
+                )
+            pairs.append((name, start))
+    occurrences = occurrence_indices(
+        [(name, repr(start)) for name, start in pairs]
+    )
+    tasks = [
+        PairTask(
+            index=index,
+            adversary_index=index // len(start_states),
+            start_index=index % len(start_states),
+            seed=derive_seed(root_seed, name, repr(start), occurrence),
+        )
+        for index, ((name, start), occurrence) in enumerate(
+            zip(pairs, occurrences)
+        )
+    ]
+    context = ArrowPairContext(
+        automaton=automaton,
+        adversaries=tuple(adversaries),
+        start_states=tuple(start_states),
+        target=statement.target.contains,
+        time_bound=statement.time_bound,
+        time_of=time_of,
+        samples_per_pair=samples_per_pair,
+        max_steps=max_steps,
+        claimed=float(statement.probability),
+        confidence=confidence,
+        early_stop=early_stop,
+        chunk_size=chunk_size,
+    )
     with obs.span(
         "verify.arrow_check",
         statement=repr(statement),
         adversaries=len(adversaries),
         starts=len(start_states),
         samples_per_pair=samples_per_pair,
+        workers=workers,
     ) as span:
-        for name, adversary in adversaries:
-            for start in start_states:
-                if not statement.source.contains(start):
-                    raise VerificationError(
-                        f"start state {start!r} is not in the statement's "
-                        f"source set {statement.source.name!r}"
-                    )
-                schema = ReachWithinTime(
-                    target=statement.target.contains,
-                    time_bound=statement.time_bound,
-                    time_of=time_of,
-                )
-                fragment = ExecutionFragment.initial(start)
-                successes = 0
-                truncated = 0
-                for _ in range(samples_per_pair):
-                    result = sample_event(
-                        automaton, adversary, fragment, schema, rng, max_steps
-                    )
-                    if result.truncated:
-                        truncated += 1
-                    elif result.verdict:
-                        successes += 1
-                checks.append(
-                    PairCheck(
-                        adversary_name=name,
-                        start_state=start,
-                        summary=BernoulliSummary(successes, samples_per_pair),
-                        truncated=truncated,
-                    )
-                )
-                if obs.enabled():
-                    obs.incr("verifier.pairs")
-                    obs.incr("verifier.samples", samples_per_pair)
-                    obs.incr("verifier.successes", successes)
-                    obs.incr("verifier.truncated", truncated)
-                    obs.observe(
-                        "verifier.pair_estimate", successes / samples_per_pair
-                    )
+        outcomes = run_tasks(execute_pair, context, tasks, workers)
+        checks = tuple(
+            PairCheck(
+                adversary_name=name,
+                start_state=start,
+                summary=BernoulliSummary(outcome.successes, outcome.trials),
+                truncated=outcome.truncated,
+            )
+            for (name, start), outcome in zip(pairs, outcomes)
+        )
         report = ArrowCheckReport(
-            statement=statement, checks=tuple(checks), confidence=confidence
+            statement=statement, checks=checks, confidence=confidence
         )
         span.annotate(
             min_estimate=report.min_estimate, refuted=report.refuted
@@ -325,12 +402,31 @@ def check_arrow_exactly(
 
 
 @dataclass(frozen=True)
+class StartTimeCount:
+    """Per-start sample accounting for a time-to-target measurement."""
+
+    start_state: object
+    samples: int
+    reached: int
+
+    def to_dict(self) -> dict:
+        """A stable, JSON-ready summary of this start's share."""
+        return {
+            "start_state": repr(self.start_state),
+            "samples": self.samples,
+            "reached": self.reached,
+            "unreached": self.samples - self.reached,
+        }
+
+
+@dataclass(frozen=True)
 class TimeToTargetReport:
     """Sampled time-to-target statistics for one adversary."""
 
     adversary_name: str
     times: Tuple[Fraction, ...]
     unreached: int
+    per_start: Tuple[StartTimeCount, ...] = field(default=())
 
     @property
     def mean(self) -> float:
@@ -357,6 +453,7 @@ class TimeToTargetReport:
             "unreached": self.unreached,
             "mean": self.mean if self.times else None,
             "max": float(self.maximum) if self.times else None,
+            "per_start": [count.to_dict() for count in self.per_start],
         }
 
 
@@ -367,44 +464,80 @@ def measure_time_to_target(
     start_states: Sequence[State],
     target: Callable[[State], bool],
     time_of: Callable[[State], Fraction],
-    rng: random.Random,
+    rng: Optional[random.Random] = None,
     samples: int = 200,
     max_steps: int = 20_000,
+    *,
+    seed: Optional[int] = None,
+    workers: int = 1,
 ) -> TimeToTargetReport:
     """Sample the time until ``target`` holds, for expected-time claims.
+
+    Every start state receives the *same* number of runs —
+    ``ceil(samples / len(start_states))`` — so no start is silently
+    over-weighted in the mean when ``samples`` is not a multiple of the
+    start count (``samples`` is a floor on the total; the per-start
+    share is reported in ``to_dict()['per_start']``).  Each start
+    samples from its own derived stream, so reports are bit-identical
+    for any ``workers`` count.
 
     Runs that never reach the target within the step budget are counted
     in ``unreached`` and excluded from the mean — report both; a nonzero
     ``unreached`` under a Unit-Time adversary signals either a too-small
     budget or a genuine liveness problem.
     """
-    from repro.execution.sampler import sample_time_until
-
     if samples <= 0:
         raise VerificationError("samples must be positive")
-    times: List[Fraction] = []
-    unreached = 0
+    if not start_states:
+        raise VerificationError("no start states supplied")
+    root_seed = _resolve_root_seed(rng, seed)
+    samples_per_start = math.ceil(samples / len(start_states))
+    occurrences = occurrence_indices(
+        [repr(start) for start in start_states]
+    )
+    tasks = [
+        TimeStartTask(
+            index=index,
+            start_index=index,
+            seed=derive_seed(
+                root_seed, adversary_name, repr(start), occurrence
+            ),
+        )
+        for index, (start, occurrence) in enumerate(
+            zip(start_states, occurrences)
+        )
+    ]
+    context = TimeStartContext(
+        automaton=automaton,
+        adversary=adversary,
+        start_states=tuple(start_states),
+        target=target,
+        time_of=time_of,
+        samples_per_start=samples_per_start,
+        max_steps=max_steps,
+    )
+    total = samples_per_start * len(start_states)
     with obs.span(
-        "verify.time_to_target", adversary=adversary_name, samples=samples
+        "verify.time_to_target", adversary=adversary_name, samples=total,
+        workers=workers,
     ) as span:
-        for index in range(samples):
-            start = start_states[index % len(start_states)]
-            elapsed = sample_time_until(
-                automaton,
-                adversary,
-                ExecutionFragment.initial(start),
-                target,
-                time_of,
-                rng,
-                max_steps,
+        outcomes = run_tasks(execute_time_start, context, tasks, workers)
+        times: List[Fraction] = []
+        per_start: List[StartTimeCount] = []
+        unreached = 0
+        for start, outcome in zip(start_states, outcomes):
+            times.extend(outcome.times)
+            unreached += outcome.unreached
+            per_start.append(
+                StartTimeCount(
+                    start_state=start,
+                    samples=samples_per_start,
+                    reached=len(outcome.times),
+                )
             )
-            if elapsed is None:
-                unreached += 1
-            else:
-                times.append(elapsed)
         report = TimeToTargetReport(
             adversary_name=adversary_name, times=tuple(times),
-            unreached=unreached,
+            unreached=unreached, per_start=tuple(per_start),
         )
         span.annotate(
             unreached=unreached,

@@ -19,6 +19,12 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["verify"])
         assert args.n == 3 and args.seed == 0 and args.samples == 80
+        assert args.workers == 1
+
+    def test_workers_flag(self):
+        args = build_parser().parse_args(["check", "--workers", "4"])
+        assert args.workers == 4 and args.prop == "composed"
+        assert not args.early_stop and not args.json
 
     def test_overrides(self):
         args = build_parser().parse_args(
@@ -38,6 +44,31 @@ class TestCommands:
         assert main(["verify", "--samples", "6"]) == 0
         out = capsys.readouterr().out
         assert "Prop A.11" in out
+        assert "REFUTED" not in out
+
+    def test_check_leaf(self, capsys):
+        assert main(["check", "--prop", "A.14", "--samples", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "A.14" in out and "REFUTED" not in out
+
+    def test_check_unknown_prop(self, capsys):
+        assert main(["check", "--prop", "A.99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown proposition" in err
+
+    def test_check_json_identical_across_workers(self, capsys):
+        argv = ["check", "--samples", "5", "--seed", "3", "--json"]
+        assert main([*argv, "--workers", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main([*argv, "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert sequential == parallel
+        assert '"kind": "arrow_check"' in sequential
+
+    def test_chain(self, capsys):
+        assert main(["chain", "--samples", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "T --13-->_1/8 C" in out
         assert "REFUTED" not in out
 
     def test_exact_small(self, capsys):
