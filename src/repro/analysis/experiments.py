@@ -9,9 +9,10 @@ worst-case probabilities and times indeed do not degrade with ``n``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.algorithms import lehmann_rabin as lr
+from repro.parallel.pool import RunPolicy
 from repro.analysis.montecarlo import (
     LRExperimentSetup,
     check_lr_statement,
@@ -36,6 +37,7 @@ def ring_size_sweep(
     samples_per_pair: int = 60,
     time_samples: int = 60,
     workers: int = 1,
+    policy: Optional[RunPolicy] = None,
 ) -> List[ScalingRow]:
     """The composed statement and time-to-C across ring sizes.
 
@@ -55,9 +57,11 @@ def ring_size_sweep(
             samples_per_pair=samples_per_pair,
             random_starts=4,
             workers=workers,
+            policy=policy,
         )
         times = measure_lr_expected_time(
-            setup, seed=seed, samples=time_samples, workers=workers
+            setup, seed=seed, samples=time_samples, workers=workers,
+            policy=policy,
         )
         means = [r.mean for r in times.values() if r.times]
         maxima = [float(r.maximum) for r in times.values() if r.times]
@@ -89,6 +93,7 @@ def adversary_power_comparison(
     samples_per_pair: int = 100,
     time_samples: int = 100,
     workers: int = 1,
+    policy: Optional[RunPolicy] = None,
 ) -> List[AdversaryPowerRow]:
     """Per-adversary success probability and time statistics.
 
@@ -101,7 +106,7 @@ def adversary_power_comparison(
     setup = LRExperimentSetup.build(n)
     report = check_lr_statement(
         final, setup, seed=seed, samples_per_pair=samples_per_pair,
-        random_starts=4, workers=workers,
+        random_starts=4, workers=workers, policy=policy,
     )
     per_adversary: Dict[str, List[float]] = {}
     for check in report.checks:
@@ -109,7 +114,8 @@ def adversary_power_comparison(
             check.estimate
         )
     times = measure_lr_expected_time(
-        setup, seed=seed, samples=time_samples, workers=workers
+        setup, seed=seed, samples=time_samples, workers=workers,
+        policy=policy,
     )
     rows: List[AdversaryPowerRow] = []
     for name, estimates in sorted(per_adversary.items()):
@@ -141,6 +147,7 @@ def horizon_sweep(
     seed: int = 0,
     samples_per_pair: int = 80,
     workers: int = 1,
+    policy: Optional[RunPolicy] = None,
 ) -> List[HorizonRow]:
     """Success probability of ``T --t--> C`` as the deadline ``t`` varies.
 
@@ -158,7 +165,7 @@ def horizon_sweep(
         )
         report = check_lr_statement(
             statement, setup, seed=seed, samples_per_pair=samples_per_pair,
-            random_starts=4, workers=workers,
+            random_starts=4, workers=workers, policy=policy,
         )
         rows.append(
             HorizonRow(time_bound=bound, min_success_estimate=report.min_estimate)

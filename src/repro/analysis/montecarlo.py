@@ -17,6 +17,7 @@ from repro.adversary.base import Adversary
 from repro.algorithms import lehmann_rabin as lr
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.errors import VerificationError
+from repro.parallel.pool import RunPolicy
 from repro.parallel.seeds import derive_seed
 from repro.proofs.statements import ArrowStatement
 from repro.proofs.verifier import (
@@ -100,6 +101,7 @@ def check_lr_statement(
     *,
     workers: int = 1,
     early_stop: bool = False,
+    policy: Optional[RunPolicy] = None,
 ) -> ArrowCheckReport:
     """Monte-Carlo check of one arrow statement on a Lehmann-Rabin ring.
 
@@ -108,6 +110,10 @@ def check_lr_statement(
     removes start states, it never perturbs the sample streams of the
     pairs both configurations share — so configs are comparable and
     the sequential and parallel backends agree.
+
+    ``policy`` (timeouts, retries, checkpoint/resume, fault injection)
+    hardens the run without changing the report — see
+    ``docs/robustness.md``.
     """
     starts_rng = random.Random(derive_seed(seed, "starts"))
     starts = start_states_for(statement, setup, starts_rng, random_starts)
@@ -122,6 +128,7 @@ def check_lr_statement(
         seed=derive_seed(seed, "pairs"),
         workers=workers,
         early_stop=early_stop,
+        policy=policy,
     )
 
 
@@ -132,6 +139,7 @@ def check_all_leaves(
     *,
     workers: int = 1,
     early_stop: bool = False,
+    policy: Optional[RunPolicy] = None,
 ) -> Dict[str, ArrowCheckReport]:
     """Check every Section 6.2 leaf statement; keyed by proposition name."""
     reports: Dict[str, ArrowCheckReport] = {}
@@ -140,7 +148,7 @@ def check_all_leaves(
             reports[name] = check_lr_statement(
                 statement, setup, seed=seed,
                 samples_per_pair=samples_per_pair, workers=workers,
-                early_stop=early_stop,
+                early_stop=early_stop, policy=policy,
             )
     return reports
 
@@ -152,6 +160,7 @@ def measure_lr_expected_time(
     max_steps: int = 30_000,
     *,
     workers: int = 1,
+    policy: Optional[RunPolicy] = None,
 ) -> Dict[str, TimeToTargetReport]:
     """Measure time-to-critical from ``T`` states under every adversary.
 
@@ -177,5 +186,6 @@ def measure_lr_expected_time(
                 max_steps=max_steps,
                 seed=derive_seed(seed, "time", name),
                 workers=workers,
+                policy=policy,
             )
     return reports

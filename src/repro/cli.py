@@ -28,7 +28,12 @@ Every subcommand accepts ``--trace-out FILE.jsonl`` to record spans and
 metrics to a JSONL trace file (see ``docs/observability.md``).  The
 sampling subcommands accept ``--workers N`` to fan (adversary, start
 state) pair checks out over a process pool; reports are bit-identical
-for every worker count (see ``docs/parallel.md``).
+for every worker count (see ``docs/parallel.md``).  They also accept
+the fault-tolerance flags ``--timeout``, ``--retries``,
+``--checkpoint FILE``, ``--resume``, and ``--inject-faults SPEC``
+(crash-safe pooling, checkpoint/resume, and deterministic chaos
+testing — see ``docs/robustness.md``); none of them changes a report's
+bytes.
 """
 
 from __future__ import annotations
@@ -36,7 +41,44 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from contextlib import nullcontext
 from typing import Optional, Sequence
+
+# Retries a pooled task gets by default before its failure aborts the
+# run: survives transient worker losses at zero cost on healthy runs.
+DEFAULT_RETRIES = 2
+
+
+def _build_policy(args: argparse.Namespace):
+    """The fault-tolerance policy described by the CLI flags.
+
+    Raises :class:`~repro.errors.VerificationError` for contradictory
+    flags (``--resume`` without ``--checkpoint``, hang injection
+    without ``--timeout``, malformed ``--inject-faults`` specs).
+    """
+    from repro.parallel import Checkpoint, FaultPlan, RunPolicy
+
+    policy = RunPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        faults=(
+            FaultPlan.parse(args.inject_faults)
+            if args.inject_faults else None
+        ),
+        checkpoint=(
+            Checkpoint(args.checkpoint) if args.checkpoint else None
+        ),
+        resume=args.resume,
+    )
+    policy.validate()
+    return policy
+
+
+def _checkpoint_scope(policy):
+    """Context manager closing the policy's checkpoint, if any."""
+    if policy.checkpoint is not None:
+        return policy.checkpoint
+    return nullcontext()
 
 
 def _cmd_prove(args: argparse.Namespace) -> int:
@@ -61,22 +103,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     )
     from repro.analysis.reporting import arrow_report_row, banner, format_table
 
+    policy = _build_policy(args)
     setup = LRExperimentSetup.build(args.n)
     print(banner(f"Monte-Carlo verification, ring size {args.n}"))
-    reports = check_all_leaves(
-        setup, seed=args.seed, samples_per_pair=args.samples,
-        workers=args.workers,
-    )
-    rows = []
-    failures = 0
-    for name, report in sorted(reports.items()):
-        failures += report.refuted
-        rows.append(arrow_report_row(f"Prop {name}", report))
-    chain = lr.lehmann_rabin_proof()
-    final = check_lr_statement(
-        chain.final_statement, setup, seed=args.seed,
-        samples_per_pair=args.samples, workers=args.workers,
-    )
+    with _checkpoint_scope(policy):
+        reports = check_all_leaves(
+            setup, seed=args.seed, samples_per_pair=args.samples,
+            workers=args.workers, policy=policy,
+        )
+        rows = []
+        failures = 0
+        for name, report in sorted(reports.items()):
+            failures += report.refuted
+            rows.append(arrow_report_row(f"Prop {name}", report))
+        chain = lr.lehmann_rabin_proof()
+        final = check_lr_statement(
+            chain.final_statement, setup, seed=args.seed,
+            samples_per_pair=args.samples, workers=args.workers,
+            policy=policy,
+        )
     failures += final.refuted
     rows.append(arrow_report_row("composed", final))
     print(format_table(("claim", "statement", "worst estimate", "verdict"),
@@ -113,11 +158,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    policy = _build_policy(args)
     setup = LRExperimentSetup.build(args.n)
-    report = check_lr_statement(
-        statement, setup, seed=args.seed, samples_per_pair=args.samples,
-        workers=args.workers, early_stop=args.early_stop,
-    )
+    with _checkpoint_scope(policy):
+        report = check_lr_statement(
+            statement, setup, seed=args.seed, samples_per_pair=args.samples,
+            workers=args.workers, early_stop=args.early_stop, policy=policy,
+        )
     if args.json:
         print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
     else:
@@ -143,11 +190,13 @@ def _cmd_chain(args: argparse.Namespace) -> int:
     print(banner(f"The composed chain, ring size {args.n}"))
     print(chain.ledger.explain(chain.final_id))
     print()
-    report = check_lr_statement(
-        chain.final_statement, setup, seed=args.seed,
-        samples_per_pair=args.samples, workers=args.workers,
-        early_stop=args.early_stop,
-    )
+    policy = _build_policy(args)
+    with _checkpoint_scope(policy):
+        report = check_lr_statement(
+            chain.final_statement, setup, seed=args.seed,
+            samples_per_pair=args.samples, workers=args.workers,
+            early_stop=args.early_stop, policy=policy,
+        )
     print(report.summary_line())
     return 1 if report.refuted else 0
 
@@ -256,9 +305,12 @@ def _cmd_expected_time(args: argparse.Namespace) -> int:
     setup = LRExperimentSetup.build(args.n)
     print(banner(f"Time to the critical region, ring size {args.n} "
                  f"(bound: {lr.expected_time_bound()})"))
-    reports = measure_lr_expected_time(
-        setup, seed=args.seed, samples=args.samples, workers=args.workers
-    )
+    policy = _build_policy(args)
+    with _checkpoint_scope(policy):
+        reports = measure_lr_expected_time(
+            setup, seed=args.seed, samples=args.samples,
+            workers=args.workers, policy=policy,
+        )
     rows = []
     failures = 0
     for name, report in sorted(reports.items()):
@@ -275,12 +327,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import horizon_sweep, ring_size_sweep
     from repro.analysis.reporting import banner, format_table
 
+    policy = _build_policy(args)
     sizes = tuple(int(s) for s in args.sizes.split(","))
     print(banner("Ring-size sweep"))
-    rows = ring_size_sweep(
-        sizes=sizes, seed=args.seed, samples_per_pair=args.samples,
-        time_samples=args.samples, workers=args.workers,
-    )
+    with _checkpoint_scope(policy):
+        rows = ring_size_sweep(
+            sizes=sizes, seed=args.seed, samples_per_pair=args.samples,
+            time_samples=args.samples, workers=args.workers, policy=policy,
+        )
     print(format_table(
         ("n", "min P[T -13-> C]", "claimed", "worst mean time"),
         [
@@ -291,9 +345,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ))
     print()
     print(banner("Deadline sweep (n = 3)"))
-    hrows = horizon_sweep(
-        seed=args.seed, samples_per_pair=args.samples, workers=args.workers
-    )
+    with _checkpoint_scope(policy):
+        hrows = horizon_sweep(
+            seed=args.seed, samples_per_pair=args.samples,
+            workers=args.workers, policy=policy,
+        )
     print(format_table(
         ("deadline", "min P[T -t-> C]"),
         [(r.time_bound, f"{r.min_success_estimate:.3f}") for r in hrows],
@@ -394,14 +450,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.mdp.expected_time import extremal_expected_time_rounds
     from repro.obs.sinks import render_metric_tables, render_span_tree
 
-    with obs.recording() as registry:
+    policy = _build_policy(args)
+    with obs.recording() as registry, _checkpoint_scope(policy):
         with obs.span(
             "stats.run", n=args.n, seed=args.seed, samples=args.samples
         ):
             setup = LRExperimentSetup.build(args.n)
             reports = check_all_leaves(
                 setup, seed=args.seed, samples_per_pair=args.samples,
-                workers=args.workers,
+                workers=args.workers, policy=policy,
             )
             with obs.span("stats.value_iteration", n=args.n):
                 worst_rounds = extremal_expected_time_rounds(
@@ -473,6 +530,35 @@ def build_parser() -> argparse.ArgumentParser:
     def add_command(name, **kwargs):
         return sub.add_parser(name, parents=[traceable], **kwargs)
 
+    def robust(p):
+        """Fault-tolerance flags shared by the sampling subcommands."""
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-task wall-clock timeout; hung workers are "
+                 "terminated and the task is retried",
+        )
+        p.add_argument(
+            "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
+            help="retries per task after a worker crash, timeout, or "
+                 "corrupted result (default: %(default)s)",
+        )
+        p.add_argument(
+            "--checkpoint", metavar="FILE.jsonl", default=None,
+            help="append completed task results to a crash-safe JSONL "
+                 "checkpoint",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="skip tasks already recorded in --checkpoint; the "
+                 "resumed report is bit-identical to an uninterrupted run",
+        )
+        p.add_argument(
+            "--inject-faults", metavar="SPEC", default=None,
+            help="deterministically inject worker failures, e.g. "
+                 "'crash=0.1,hang=0.05,corrupt=0.02,seed=7' "
+                 "(see docs/robustness.md)",
+        )
+
     def common(p, samples_default=80):
         p.add_argument("--n", type=int, default=3, help="ring size")
         p.add_argument("--seed", type=int, default=0, help="RNG seed")
@@ -485,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="sampling worker processes (1 = sequential; results "
                  "are identical for every count)",
         )
+        robust(p)
 
     add_command("prove", help="print the Section 6.2 derivation")\
         .set_defaults(func=_cmd_prove)
@@ -541,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--samples", type=int, default=40)
     p.add_argument("--workers", type=int, default=1)
+    robust(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = add_command("election", help="the leader-election case study")
@@ -658,18 +746,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     ``--trace-out`` on an ordinary subcommand wraps it in a recording
     registry and writes the JSONL trace afterwards; ``trace`` and
-    ``stats`` manage their own recording.
+    ``stats`` manage their own recording.  A pooled run that exhausts
+    its fault-tolerance budget exits with status 3 (completed work is
+    already checkpointed when ``--checkpoint`` was given).
     """
+    from repro.errors import CheckpointError, PoolFaultError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_out = getattr(args, "trace_out", None)
-    if trace_out and not getattr(args, "manages_tracing", False):
-        from repro import obs
+    try:
+        if trace_out and not getattr(args, "manages_tracing", False):
+            from repro import obs
 
-        with obs.recording() as registry:
-            code = args.func(args)
-        return code or _write_trace(registry, trace_out)
-    return args.func(args)
+            with obs.recording() as registry:
+                code = args.func(args)
+            return code or _write_trace(registry, trace_out)
+        return args.func(args)
+    except (PoolFaultError, CheckpointError) as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        if getattr(args, "checkpoint", None) and not isinstance(
+            error, CheckpointError
+        ):
+            print(
+                "repro: completed tasks were checkpointed; rerun with "
+                "--resume to pick up where this run stopped",
+                file=sys.stderr,
+            )
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -78,3 +78,61 @@ class ObservabilityError(ReproError):
     histogram, querying a percentile of an empty histogram, or a span
     stack corrupted by mismatched enter/exit.
     """
+
+
+class PoolFaultError(ReproError):
+    """Base class for worker-pool execution failures.
+
+    Raised by :mod:`repro.parallel.pool` when a pooled run cannot
+    complete: a worker process died, a task overran its wall-clock
+    budget, or a result failed its integrity check — and the per-task
+    retry budget is exhausted.  Results already completed are merged
+    and checkpointed before the error propagates, so a rerun with
+    ``--resume`` loses no work.
+    """
+
+
+class WorkerCrashError(PoolFaultError):
+    """Raised when a worker process dies without delivering a result.
+
+    Examples: a worker killed by the OOM killer, a segfault in an
+    extension, or an injected crash from the fault harness — observed
+    by the parent as a nonzero exit status with no result on the pipe.
+    """
+
+
+class TaskTimeoutError(PoolFaultError):
+    """Raised when a task exceeds its per-task wall-clock timeout.
+
+    The parent terminates the hung worker and retries the task on a
+    fresh process; this error propagates only once the retry budget is
+    exhausted.
+    """
+
+
+class ResultCorruptionError(PoolFaultError):
+    """Raised when a worker's result fails its integrity digest.
+
+    Every pooled result travels with a SHA-256 digest computed in the
+    worker; a mismatch on the parent side means the payload was
+    corrupted in transit (or by the fault harness) and must not enter
+    the report.
+    """
+
+
+class TaskExecutionError(PoolFaultError):
+    """Raised when the task function itself raised inside a worker.
+
+    Unlike a crash or timeout this is deterministic — retrying would
+    fail identically — so it aborts the run immediately, after merging
+    the metrics of tasks that did complete.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint file cannot be read or written.
+
+    Examples: an unreadable checkpoint path, an append failing
+    mid-run, or a stored record whose payload does not decode into the
+    expected task result shape.
+    """

@@ -5,15 +5,23 @@ state, so sampling checks factor into independent pair tasks.  This
 package fans those tasks out across a fork-based worker pool while
 keeping results *bit-identical* to a sequential run:
 
-* :mod:`repro.parallel.seeds`   — stable per-task seed derivation;
-* :mod:`repro.parallel.backend` — pair / time-to-target task
-  definitions, chunked sampling, Clopper-Pearson early stop;
-* :mod:`repro.parallel.pool`    — the fork pool, ordered results;
-* :mod:`repro.parallel.merge`   — worker metrics back into the parent
-  registry.
+* :mod:`repro.parallel.seeds`      — stable per-task seed derivation;
+* :mod:`repro.parallel.backend`    — pair / time-to-target task
+  definitions, chunked sampling, Clopper-Pearson early stop, and the
+  checkpoint codecs;
+* :mod:`repro.parallel.pool`       — the fault-tolerant fork pool:
+  crash detection, per-task timeouts, retries with backoff, and
+  graceful degradation to inline execution;
+* :mod:`repro.parallel.checkpoint` — crash-safe JSONL checkpoints and
+  ``--resume`` support;
+* :mod:`repro.parallel.faults`     — deterministic fault injection
+  (crashes, hangs, corrupted results) for testing the recovery paths;
+* :mod:`repro.parallel.merge`      — worker metrics back into the
+  parent registry.
 
-See ``docs/parallel.md`` for the seed-derivation scheme, the worker
-model, and the early-stop soundness argument.
+See ``docs/parallel.md`` for the seed-derivation scheme and worker
+model, and ``docs/robustness.md`` for the failure model, checkpoint
+format, and fault-injection spec grammar.
 """
 
 from __future__ import annotations
@@ -26,13 +34,20 @@ from repro.parallel.backend import (
     TimeStartContext,
     TimeStartOutcome,
     TimeStartTask,
+    decode_pair_outcome,
+    decode_time_outcome,
+    encode_pair_outcome,
+    encode_time_outcome,
     execute_pair,
     execute_time_start,
     occurrence_indices,
     pair_decided,
 )
+from repro.parallel.checkpoint import Checkpoint
+from repro.parallel.faults import FaultPlan
 from repro.parallel.merge import merge_metrics_snapshot, metrics_snapshot
 from repro.parallel.pool import (
+    RunPolicy,
     available_cpus,
     fork_available,
     resolve_workers,
@@ -43,14 +58,21 @@ from repro.parallel.seeds import derive_rng, derive_seed
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "ArrowPairContext",
+    "Checkpoint",
+    "FaultPlan",
     "PairOutcome",
     "PairTask",
+    "RunPolicy",
     "TimeStartContext",
     "TimeStartOutcome",
     "TimeStartTask",
     "available_cpus",
+    "decode_pair_outcome",
+    "decode_time_outcome",
     "derive_rng",
     "derive_seed",
+    "encode_pair_outcome",
+    "encode_time_outcome",
     "execute_pair",
     "execute_time_start",
     "fork_available",

@@ -28,6 +28,7 @@ from typing import Callable, Hashable, List, Sequence, Tuple, TypeVar
 
 from repro import obs
 from repro.adversary.base import Adversary
+from repro.errors import CheckpointError
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
 from repro.events.reach import ReachWithinTime
@@ -212,6 +213,73 @@ def execute_time_start(
     return TimeStartOutcome(
         index=task.index, times=tuple(times), unreached=unreached
     )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint codecs
+# ----------------------------------------------------------------------
+
+
+def encode_pair_outcome(outcome: PairOutcome) -> dict:
+    """A :class:`PairOutcome` as checkpoint JSON (index omitted).
+
+    The task's position in the current run is *not* stored: a resumed
+    run may enumerate tasks differently (say, a different number of
+    random start states), and the seed — not the position — is the
+    task's identity.  ``decode_pair_outcome`` re-attaches the current
+    run's index.
+    """
+    return {
+        "successes": outcome.successes,
+        "trials": outcome.trials,
+        "truncated": outcome.truncated,
+    }
+
+
+def decode_pair_outcome(record: dict, task: PairTask) -> PairOutcome:
+    """Rebuild a :class:`PairOutcome` from its checkpoint record."""
+    try:
+        return PairOutcome(
+            index=task.index,
+            successes=int(record["successes"]),
+            trials=int(record["trials"]),
+            truncated=int(record["truncated"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint record for task seed {task.seed} does not "
+            f"decode into a pair outcome: {error}"
+        ) from error
+
+
+def encode_time_outcome(outcome: TimeStartOutcome) -> dict:
+    """A :class:`TimeStartOutcome` as checkpoint JSON.
+
+    Times are exact rationals; ``str(Fraction)`` round-trips them
+    losslessly (``"7/2"`` / ``"3"``), keeping resumed reports
+    bit-identical to uninterrupted ones.
+    """
+    return {
+        "times": [str(elapsed) for elapsed in outcome.times],
+        "unreached": outcome.unreached,
+    }
+
+
+def decode_time_outcome(
+    record: dict, task: TimeStartTask
+) -> TimeStartOutcome:
+    """Rebuild a :class:`TimeStartOutcome` from its checkpoint record."""
+    try:
+        return TimeStartOutcome(
+            index=task.index,
+            times=tuple(Fraction(elapsed) for elapsed in record["times"]),
+            unreached=int(record["unreached"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint record for task seed {task.seed} does not "
+            f"decode into a time-to-target outcome: {error}"
+        ) from error
 
 
 def occurrence_indices(keys: Sequence[object]) -> List[int]:

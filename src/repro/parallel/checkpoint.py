@@ -1,0 +1,154 @@
+"""Crash-safe JSONL checkpoints for long verification runs.
+
+A long Monte-Carlo run is a bag of independent tasks, each a pure
+function of its derived seed (:mod:`repro.parallel.seeds`).  That
+purity makes checkpointing trivial to get *right*: persisting a task's
+plain-data outcome keyed by its seed is enough to skip it on resume,
+and the resumed report is bit-identical to an uninterrupted run because
+the outcome would have been recomputed identically anyway.
+
+Format — one JSON object per line, appended as tasks complete::
+
+    {"result": {...}, "scope": "<run fingerprint>", "seed": 1234}
+
+* ``seed``   — the task's 64-bit derived seed, its identity;
+* ``scope``  — a fingerprint of everything else the outcome depends on
+  (statement, sample budget, step cap, confidence, early-stop config).
+  Two tasks may share a seed across *different* statements (the seed
+  hashes the pair identity, not the target), so results are only
+  reused within a matching scope; one checkpoint file can therefore
+  serve a whole multi-statement ``verify`` run.
+* ``result`` — the encoded outcome (see the codecs in
+  :mod:`repro.parallel.backend`).
+
+Each record is written in a single ``write`` of one ``\\n``-terminated
+line and flushed, so a record is either fully present or entirely
+absent.  A process killed mid-append leaves at most one truncated final
+line; :meth:`Checkpoint.load` drops undecodable lines (counting them in
+``dropped``) instead of failing, so a crash never poisons the work
+already saved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, TextIO, Tuple
+
+from repro import obs
+from repro.errors import CheckpointError
+
+_RecordKey = Tuple[str, int]
+
+
+class Checkpoint:
+    """An append-only JSONL store of completed task results.
+
+    One instance serves a whole run: experiment runners append every
+    completed task through it, and ``--resume`` loads it once up front.
+    Opening is lazy — a checkpoint that is never appended to and never
+    loaded touches the filesystem not at all.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.dropped = 0
+        self._records: Dict[_RecordKey, dict] = {}
+        self._loaded = False
+        self._handle: Optional[TextIO] = None
+
+    def load(self) -> "Checkpoint":
+        """Read every intact record from disk (idempotent).
+
+        Undecodable or malformed lines — the truncated tail of a killed
+        run — are dropped and counted in ``dropped``, never fatal.  A
+        missing file is an empty checkpoint.  Unreadable files raise
+        :class:`~repro.errors.CheckpointError`.
+        """
+        if self._loaded:
+            return self
+        self._loaded = True
+        if not os.path.exists(self.path):
+            return self
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {error}"
+            ) from error
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.dropped += 1
+                continue
+            if not self._well_formed(record):
+                self.dropped += 1
+                continue
+            self._records[(record["scope"], int(record["seed"]))] = (
+                record["result"]
+            )
+        if self.dropped:
+            obs.incr("checkpoint.records_dropped", self.dropped)
+        return self
+
+    @staticmethod
+    def _well_formed(record: object) -> bool:
+        return (
+            isinstance(record, dict)
+            and isinstance(record.get("scope"), str)
+            and isinstance(record.get("seed"), int)
+            and isinstance(record.get("result"), dict)
+        )
+
+    def __len__(self) -> int:
+        self.load()
+        return len(self._records)
+
+    def completed(self, scope: str) -> Dict[int, dict]:
+        """Stored results for one scope, keyed by task seed."""
+        self.load()
+        return {
+            seed: result
+            for (record_scope, seed), result in self._records.items()
+            if record_scope == scope
+        }
+
+    def append(self, scope: str, seed: int, result: dict) -> None:
+        """Persist one completed task's encoded result.
+
+        The record is serialised to a single line, written in one call,
+        and flushed — an interruption between appends never leaves a
+        partial record, and one mid-append truncates only the final
+        line (which :meth:`load` tolerates).
+        """
+        line = json.dumps(
+            {"scope": scope, "seed": int(seed), "result": result},
+            sort_keys=True,
+        )
+        try:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        except (OSError, ValueError) as error:
+            raise CheckpointError(
+                f"cannot append to checkpoint {self.path}: {error}"
+            ) from error
+        self._records[(scope, int(seed))] = result
+        obs.incr("checkpoint.tasks_recorded")
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily if appended again)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

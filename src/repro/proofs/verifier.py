@@ -54,11 +54,15 @@ from repro.parallel.backend import (
     PairTask,
     TimeStartContext,
     TimeStartTask,
+    decode_pair_outcome,
+    decode_time_outcome,
+    encode_pair_outcome,
+    encode_time_outcome,
     execute_pair,
     execute_time_start,
     occurrence_indices,
 )
-from repro.parallel.pool import run_tasks
+from repro.parallel.pool import RunPolicy, run_tasks
 from repro.parallel.seeds import derive_seed
 from repro.probability.stats import (
     BernoulliSummary,
@@ -203,6 +207,7 @@ def check_arrow_by_sampling(
     workers: int = 1,
     early_stop: bool = False,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    policy: Optional[RunPolicy] = None,
 ) -> ArrowCheckReport:
     """Monte-Carlo check of ``statement`` over an adversary family.
 
@@ -219,6 +224,11 @@ def check_arrow_by_sampling(
     cap) once its Clopper-Pearson bounds already classify it against
     the claimed probability; ``BernoulliSummary.trials`` records the
     samples actually drawn.
+
+    ``policy`` configures the fault-tolerant runtime (per-task
+    timeouts, retries, checkpoint/resume, fault injection); since a
+    pair's outcome is a pure function of its derived seed, none of it
+    changes the report (see ``docs/robustness.md``).
     """
     if not adversaries:
         raise VerificationError("no adversaries supplied")
@@ -267,6 +277,12 @@ def check_arrow_by_sampling(
         early_stop=early_stop,
         chunk_size=chunk_size,
     )
+    # Everything (besides the task seed) a pair's outcome depends on;
+    # checkpointed results are only reused within a matching scope.
+    scope = (
+        f"arrow|{statement!r}|spp={samples_per_pair}|steps={max_steps}"
+        f"|conf={confidence}|early={int(early_stop)}|chunk={chunk_size}"
+    )
     with obs.span(
         "verify.arrow_check",
         statement=repr(statement),
@@ -275,7 +291,11 @@ def check_arrow_by_sampling(
         samples_per_pair=samples_per_pair,
         workers=workers,
     ) as span:
-        outcomes = run_tasks(execute_pair, context, tasks, workers)
+        outcomes = run_tasks(
+            execute_pair, context, tasks, workers,
+            policy=policy, scope=scope,
+            encode=encode_pair_outcome, decode=decode_pair_outcome,
+        )
         checks = tuple(
             PairCheck(
                 adversary_name=name,
@@ -470,6 +490,7 @@ def measure_time_to_target(
     *,
     seed: Optional[int] = None,
     workers: int = 1,
+    policy: Optional[RunPolicy] = None,
 ) -> TimeToTargetReport:
     """Sample the time until ``target`` holds, for expected-time claims.
 
@@ -517,11 +538,18 @@ def measure_time_to_target(
         max_steps=max_steps,
     )
     total = samples_per_start * len(start_states)
+    scope = (
+        f"time|{adversary_name}|sps={samples_per_start}|steps={max_steps}"
+    )
     with obs.span(
         "verify.time_to_target", adversary=adversary_name, samples=total,
         workers=workers,
     ) as span:
-        outcomes = run_tasks(execute_time_start, context, tasks, workers)
+        outcomes = run_tasks(
+            execute_time_start, context, tasks, workers,
+            policy=policy, scope=scope,
+            encode=encode_time_outcome, decode=decode_time_outcome,
+        )
         times: List[Fraction] = []
         per_start: List[StartTimeCount] = []
         unreached = 0

@@ -12,6 +12,13 @@ The container deliberately ships no third-party linters, so the
 fallback is the common path; the runner upgrades itself automatically
 wherever ruff or pyflakes happen to exist.
 
+Independently of which checker wins, an AST pass over ``src/`` forbids
+silent error swallowing: bare ``except:`` and ``except Exception:``
+(or ``except BaseException:``) with a body that only passes.  The
+fault-tolerant pool runtime leans on exceptions for crash, timeout,
+and corruption recovery — a swallowed error there turns a recoverable
+fault into silent data loss.
+
 Usage: ``python tools/lint.py [paths...]`` (defaults to src tests
 benchmarks tools). Exits nonzero on findings.
 """
@@ -94,6 +101,65 @@ def unused_imports(path):
     ]
 
 
+def _is_src_path(path):
+    return "src" in Path(path).parts
+
+
+def _swallows_everything(handler):
+    """True for ``except:`` / ``except Exception:`` / ``except BaseException:``."""
+    if handler.type is None:
+        return True
+    node = handler.type
+    return isinstance(node, ast.Name) and node.id in ("Exception", "BaseException")
+
+
+def _body_only_passes(body):
+    """True when the handler does nothing: pass / ... / bare strings."""
+    def inert(stmt):
+        if isinstance(stmt, ast.Pass):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+    return all(inert(stmt) for stmt in body)
+
+
+def banned_handlers(path):
+    """Silent error swallowing under ``src/``: findings as (line, message)."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return []  # the active checker reports it
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(
+                (node.lineno, "bare 'except:' — name the exceptions")
+            )
+        elif _swallows_everything(node) and _body_only_passes(node.body):
+            findings.append(
+                (node.lineno,
+                 "'except Exception: pass' swallows errors silently — "
+                 "handle or re-raise")
+            )
+    return findings
+
+
+def run_ban_check(paths):
+    """Always-on pass: forbid silent error swallowing in ``src/``."""
+    findings = 0
+    for path in python_files(paths):
+        if not _is_src_path(path):
+            continue
+        for line, message in banned_handlers(path):
+            print(f"{path}:{line}: {message}")
+            findings += 1
+    if findings:
+        print(f"{findings} banned exception handler(s)")
+    return 0 if not findings else 1
+
+
 def run_fallback(paths):
     # Keep bytecode out of the tree: __pycache__ litter from a lint run
     # should never show up in `git status`.
@@ -122,13 +188,14 @@ def main(argv=None):
     paths = (argv if argv else list(sys.argv[1:])) or [
         p for p in DEFAULT_PATHS if Path(p).exists()
     ]
+    banned = run_ban_check(paths)
     if shutil.which("ruff"):
-        return run_external(["ruff", "check"], paths)
+        return run_external(["ruff", "check"], paths) or banned
     if importlib.util.find_spec("pyflakes"):
-        return run_external([sys.executable, "-m", "pyflakes"], paths)
+        return run_external([sys.executable, "-m", "pyflakes"], paths) or banned
     print("lint: no ruff/pyflakes; using stdlib fallback "
           "(syntax + unused imports)")
-    return run_fallback(paths)
+    return run_fallback(paths) or banned
 
 
 if __name__ == "__main__":
