@@ -179,6 +179,48 @@ class AdversarySchema(Generic[State]):
                 f"adversary {adversary!r} is not a member of schema {self.name!r}"
             )
 
+    def spot_check_closure(
+        self,
+        adversary: Adversary[State],
+        fragment: ExecutionFragment[State],
+        rng,
+        probes: int = 1,
+    ) -> None:
+        """Probe this schema's execution-closure claim (Definition 3.3).
+
+        For ``probes`` seeded choices of a nonempty prefix of
+        ``fragment``, shifts ``adversary`` by the prefix and asserts
+        the shift is still a member by this schema's own ``contains``
+        test.  Raises :class:`~repro.errors.ExecutionClosureError` on
+        the first failure.  (The defining equation
+        ``A'(alpha') = A(alpha ^ alpha')`` holds by construction for
+        the :func:`shift` wrapper, so membership is the only claim
+        left to test.)
+
+        A passing check is evidence, not proof — the quantifiers in
+        Definition 3.3 range over all members and all fragments.  A
+        *failing* check is a definite counterexample: this schema is
+        not execution closed, and Theorem 3.4 compositions proved
+        against it are unsound.
+        """
+        from repro.errors import ExecutionClosureError
+
+        if not self.execution_closed or len(fragment) == 0:
+            return
+        for _ in range(probes):
+            cut = rng.randint(1, len(fragment))
+            prefix = fragment.prefix_of_length(cut)
+            shifted = shift(adversary, prefix)
+            if not self.contains(shifted):
+                raise ExecutionClosureError(
+                    f"schema {self.name!r} claims execution_closed=True but "
+                    f"rejects the shift of {adversary!r} by a sampled "
+                    f"{cut}-step prefix",
+                    state=prefix.lstate,
+                    prefix=prefix,
+                    site=f"closure:{self.name}",
+                )
+
     def with_generators(
         self, generators: Iterable[Adversary[State]]
     ) -> "AdversarySchema[State]":

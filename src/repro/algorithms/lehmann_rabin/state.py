@@ -137,6 +137,16 @@ class LRState:
         if len(self.processes) < 2:
             raise AutomatonError("the ring needs at least two processes")
 
+    def __hash__(self) -> int:
+        # States are hashed constantly (transition memos, visited sets,
+        # guard checks); the dataclass-generated hash rebuilds the field
+        # tuple every call, so cache it on first use.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.processes, self.resources, self.time))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @property
     def n(self) -> int:
         """The number of processes (and resources) in the ring."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.algorithms import lehmann_rabin as lr
+from repro.contracts import GuardConfig
 from repro.parallel.pool import RunPolicy
 from repro.analysis.montecarlo import (
     LRExperimentSetup,
@@ -38,6 +39,7 @@ def ring_size_sweep(
     time_samples: int = 60,
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
+    guards: Optional[GuardConfig] = None,
 ) -> List[ScalingRow]:
     """The composed statement and time-to-C across ring sizes.
 
@@ -58,10 +60,11 @@ def ring_size_sweep(
             random_starts=4,
             workers=workers,
             policy=policy,
+            guards=guards,
         )
         times = measure_lr_expected_time(
             setup, seed=seed, samples=time_samples, workers=workers,
-            policy=policy,
+            policy=policy, guards=guards,
         )
         means = [r.mean for r in times.values() if r.times]
         maxima = [float(r.maximum) for r in times.values() if r.times]
@@ -94,6 +97,7 @@ def adversary_power_comparison(
     time_samples: int = 100,
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
+    guards: Optional[GuardConfig] = None,
 ) -> List[AdversaryPowerRow]:
     """Per-adversary success probability and time statistics.
 
@@ -106,7 +110,7 @@ def adversary_power_comparison(
     setup = LRExperimentSetup.build(n)
     report = check_lr_statement(
         final, setup, seed=seed, samples_per_pair=samples_per_pair,
-        random_starts=4, workers=workers, policy=policy,
+        random_starts=4, workers=workers, policy=policy, guards=guards,
     )
     per_adversary: Dict[str, List[float]] = {}
     for check in report.checks:
@@ -115,7 +119,7 @@ def adversary_power_comparison(
         )
     times = measure_lr_expected_time(
         setup, seed=seed, samples=time_samples, workers=workers,
-        policy=policy,
+        policy=policy, guards=guards,
     )
     rows: List[AdversaryPowerRow] = []
     for name, estimates in sorted(per_adversary.items()):
@@ -148,6 +152,7 @@ def horizon_sweep(
     samples_per_pair: int = 80,
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
+    guards: Optional[GuardConfig] = None,
 ) -> List[HorizonRow]:
     """Success probability of ``T --t--> C`` as the deadline ``t`` varies.
 
@@ -165,7 +170,7 @@ def horizon_sweep(
         )
         report = check_lr_statement(
             statement, setup, seed=seed, samples_per_pair=samples_per_pair,
-            random_starts=4, workers=workers, policy=policy,
+            random_starts=4, workers=workers, policy=policy, guards=guards,
         )
         rows.append(
             HorizonRow(time_bound=bound, min_success_estimate=report.min_estimate)

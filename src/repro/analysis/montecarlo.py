@@ -13,9 +13,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.adversary.base import Adversary
+from repro.adversary.base import Adversary, AdversarySchema
+from repro.adversary.unit_time import unit_time_schema
 from repro.algorithms import lehmann_rabin as lr
 from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.contracts import GuardConfig
 from repro.errors import VerificationError
 from repro.parallel.pool import RunPolicy
 from repro.parallel.seeds import derive_seed
@@ -36,6 +38,9 @@ class LRExperimentSetup:
     automaton: ProbabilisticAutomaton[lr.LRState]
     view: lr.LRProcessView
     adversaries: Tuple[Tuple[str, Adversary[lr.LRState]], ...]
+    #: The schema the family is declared to range over; the guard layer
+    #: checks membership and probes execution closure against it.
+    schema: Optional[AdversarySchema] = None
 
     @classmethod
     def build(
@@ -56,6 +61,7 @@ class LRExperimentSetup:
                         view, max_rounds=max_rounds, random_seeds=random_seeds
                     )
                 ),
+                schema=unit_time_schema(view),
             )
 
 
@@ -102,6 +108,7 @@ def check_lr_statement(
     workers: int = 1,
     early_stop: bool = False,
     policy: Optional[RunPolicy] = None,
+    guards: Optional[GuardConfig] = None,
 ) -> ArrowCheckReport:
     """Monte-Carlo check of one arrow statement on a Lehmann-Rabin ring.
 
@@ -113,7 +120,9 @@ def check_lr_statement(
 
     ``policy`` (timeouts, retries, checkpoint/resume, fault injection)
     hardens the run without changing the report — see
-    ``docs/robustness.md``.
+    ``docs/robustness.md``.  ``guards`` selects the contract-check mode
+    (``docs/contracts.md``); the setup's declared schema backs the
+    membership and execution-closure checks.
     """
     starts_rng = random.Random(derive_seed(seed, "starts"))
     starts = start_states_for(statement, setup, starts_rng, random_starts)
@@ -129,6 +138,8 @@ def check_lr_statement(
         workers=workers,
         early_stop=early_stop,
         policy=policy,
+        schema=setup.schema,
+        guards=guards,
     )
 
 
@@ -140,6 +151,7 @@ def check_all_leaves(
     workers: int = 1,
     early_stop: bool = False,
     policy: Optional[RunPolicy] = None,
+    guards: Optional[GuardConfig] = None,
 ) -> Dict[str, ArrowCheckReport]:
     """Check every Section 6.2 leaf statement; keyed by proposition name."""
     reports: Dict[str, ArrowCheckReport] = {}
@@ -148,7 +160,7 @@ def check_all_leaves(
             reports[name] = check_lr_statement(
                 statement, setup, seed=seed,
                 samples_per_pair=samples_per_pair, workers=workers,
-                early_stop=early_stop, policy=policy,
+                early_stop=early_stop, policy=policy, guards=guards,
             )
     return reports
 
@@ -161,6 +173,7 @@ def measure_lr_expected_time(
     *,
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
+    guards: Optional[GuardConfig] = None,
 ) -> Dict[str, TimeToTargetReport]:
     """Measure time-to-critical from ``T`` states under every adversary.
 
@@ -187,5 +200,7 @@ def measure_lr_expected_time(
                 seed=derive_seed(seed, "time", name),
                 workers=workers,
                 policy=policy,
+                schema=setup.schema,
+                guards=guards,
             )
     return reports

@@ -49,12 +49,17 @@ def arrow_report_row(name: str, report) -> tuple:
     sync with what trace sinks serialize.
     """
     data = report.to_dict()
-    return (
-        name,
-        data["statement"],
-        f"{data['min_estimate']:.3f}",
-        "REFUTED" if data["refuted"] else "ok",
-    )
+    if data["min_estimate"] is None:
+        estimate = "n/a"
+    else:
+        estimate = f"{data['min_estimate']:.3f}"
+    if data["refuted"]:
+        verdict = "REFUTED"
+    elif data.get("quarantined"):
+        verdict = "QUARANTINED"
+    else:
+        verdict = "ok"
+    return (name, data["statement"], estimate, verdict)
 
 
 def time_report_row(name: str, report) -> tuple:

@@ -87,33 +87,51 @@ class ProbabilisticAutomaton(Generic[State], abc.ABC):
         """The steps enabled in ``state`` with the given label."""
         return tuple(t for t in self.transitions(state) if t.action == action)
 
-    def is_fully_probabilistic(self, horizon: int = 10_000) -> bool:
-        """Check Definition 2.1's *fully probabilistic* condition.
+    def fully_probabilistic_status(self, horizon: int = 10_000) -> str:
+        """Definition 2.1's *fully probabilistic* condition, tri-state.
 
-        An automaton is fully probabilistic when it has a unique start
-        state and at most one step enabled from each state.  The check
-        explores states reachable within ``horizon`` expansions; on an
-        explicit automaton that covers everything, while on a functional
-        automaton it is a bounded best effort (an unbounded state space
-        cannot be checked exhaustively).
+        Returns ``"yes"`` when the automaton has a unique start state
+        and every state reachable from it — *all* of them explored —
+        has at most one enabled step; ``"no"`` on a definite
+        counterexample (multiple start states, or a reachable state
+        with several steps); and ``"unknown"`` when ``horizon``
+        expansions ran out before the frontier did, in which case no
+        definite answer exists.  Explicit automata always resolve to a
+        definite answer when ``horizon`` covers their state count;
+        functional automata over unbounded spaces typically end
+        ``"unknown"``.
         """
         if len(self.start_states) != 1:
-            return False
+            return "no"
         frontier: List[State] = [self.start_states[0]]
         visited: Set[State] = set(frontier)
         expansions = 0
-        while frontier and expansions < horizon:
+        while frontier:
+            if expansions >= horizon:
+                return "unknown"
             state = frontier.pop()
             expansions += 1
             steps = self.transitions(state)
             if len(steps) > 1:
-                return False
+                return "no"
             for step in steps:
                 for target in step.target.support:
                     if target not in visited:
                         visited.add(target)
                         frontier.append(target)
-        return True
+        return "yes"
+
+    def is_fully_probabilistic(self, horizon: int = 10_000) -> bool:
+        """True only on a definite ``"yes"``.
+
+        Historically this method conflated "explored everything, saw no
+        branching" with "ran out of horizon before seeing branching".
+        It now delegates to :meth:`fully_probabilistic_status`, and an
+        ``"unknown"`` answer is reported as ``False`` — use the
+        tri-state method (or ``repro audit``) when the distinction
+        matters.
+        """
+        return self.fully_probabilistic_status(horizon) == "yes"
 
     def validate_state(self, state: State) -> None:
         """Hook for representation-specific sanity checks (no-op here)."""

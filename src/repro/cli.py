@@ -21,6 +21,8 @@ plain-text report:
 * ``stats``          — an instrumented Lehmann-Rabin run: span tree and
   metric tables (samples drawn, steps simulated, value-iteration
   residuals);
+* ``audit``          — static well-formedness audit of the
+  Lehmann-Rabin automaton (Definition 2.1 obligations);
 * ``trace``          — run any other subcommand with instrumentation on
   and render its span tree and metric tables afterwards.
 
@@ -33,7 +35,11 @@ the fault-tolerance flags ``--timeout``, ``--retries``,
 ``--checkpoint FILE``, ``--resume``, and ``--inject-faults SPEC``
 (crash-safe pooling, checkpoint/resume, and deterministic chaos
 testing — see ``docs/robustness.md``); none of them changes a report's
-bytes.
+bytes.  ``--guards {off,warn,strict}`` and ``--fuel SPEC`` select the
+model-contract enforcement mode (Definitions 2.1/2.2/3.3) and
+per-execution budgets; on healthy models ``warn`` output is
+byte-identical to ``off`` for every worker count, and strict-mode
+violations exit with the dedicated status 4 (see ``docs/contracts.md``).
 """
 
 from __future__ import annotations
@@ -47,6 +53,23 @@ from typing import Optional, Sequence
 # Retries a pooled task gets by default before its failure aborts the
 # run: survives transient worker losses at zero cost on healthy runs.
 DEFAULT_RETRIES = 2
+
+# Exit status for model-contract violations: a strict-mode guard
+# raised, or a run completed with quarantined (adversary, start) pairs.
+# Distinct from 1 (statement refuted) so callers can tell "the model is
+# broken" from "the claim is false".
+EXIT_CONTRACT = 4
+
+EXIT_STATUS_EPILOG = """\
+exit status:
+  0  success: every checked claim held
+  1  a checked claim was refuted (or a measured bound failed)
+  2  usage error (unknown flags or propositions, contradictory flags)
+  3  pooled run exhausted its fault-tolerance budget, or a checkpoint
+     file was unusable
+  4  model-contract violation: a --guards strict check failed, the
+     audit found findings, or pairs were quarantined (docs/contracts.md)
+"""
 
 
 def _build_policy(args: argparse.Namespace):
@@ -81,6 +104,33 @@ def _checkpoint_scope(policy):
     return nullcontext()
 
 
+def _build_guards(args: argparse.Namespace):
+    """The contract-guard configuration described by the CLI flags.
+
+    Raises :class:`~repro.errors.VerificationError` for contradictory
+    flags (``--fuel`` with ``--guards off``, malformed fuel specs).
+    Resets the once-per-site warning dedup so repeated in-process
+    invocations (tests, ``trace``) warn afresh.
+    """
+    from repro import contracts
+
+    contracts.reset_warnings()
+    config = contracts.GuardConfig.from_flags(
+        getattr(args, "guards", "off"), getattr(args, "fuel", None)
+    )
+    config.validate()
+    return config
+
+
+def _quarantine_lines(*reports) -> list:
+    """Human-readable skip lines for every quarantined pair."""
+    lines = []
+    for report in reports:
+        for pair in getattr(report, "quarantined", ()):
+            lines.append(f"repro: {pair.describe()}")
+    return lines
+
+
 def _cmd_prove(args: argparse.Namespace) -> int:
     from repro.algorithms import lehmann_rabin as lr
     from repro.analysis.reporting import banner
@@ -104,12 +154,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import arrow_report_row, banner, format_table
 
     policy = _build_policy(args)
+    guards = _build_guards(args)
     setup = LRExperimentSetup.build(args.n)
     print(banner(f"Monte-Carlo verification, ring size {args.n}"))
     with _checkpoint_scope(policy):
         reports = check_all_leaves(
             setup, seed=args.seed, samples_per_pair=args.samples,
-            workers=args.workers, policy=policy,
+            workers=args.workers, policy=policy, guards=guards,
         )
         rows = []
         failures = 0
@@ -120,13 +171,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         final = check_lr_statement(
             chain.final_statement, setup, seed=args.seed,
             samples_per_pair=args.samples, workers=args.workers,
-            policy=policy,
+            policy=policy, guards=guards,
         )
     failures += final.refuted
     rows.append(arrow_report_row("composed", final))
     print(format_table(("claim", "statement", "worst estimate", "verdict"),
                        rows))
-    return 1 if failures else 0
+    skips = _quarantine_lines(final, *reports.values())
+    if skips:
+        print()
+        print("\n".join(skips))
+    if failures:
+        return 1
+    return EXIT_CONTRACT if skips else 0
 
 
 def _resolve_statement(prop: str):
@@ -159,11 +216,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
         return 2
     policy = _build_policy(args)
+    guards = _build_guards(args)
     setup = LRExperimentSetup.build(args.n)
     with _checkpoint_scope(policy):
         report = check_lr_statement(
             statement, setup, seed=args.seed, samples_per_pair=args.samples,
             workers=args.workers, early_stop=args.early_stop, policy=policy,
+            guards=guards,
         )
     if args.json:
         print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
@@ -177,7 +236,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         ))
         print()
         print(report.summary_line())
-    return 1 if report.refuted else 0
+        skips = _quarantine_lines(report)
+        if skips:
+            print("\n".join(skips))
+    if report.refuted:
+        return 1
+    return EXIT_CONTRACT if report.quarantined else 0
 
 
 def _cmd_chain(args: argparse.Namespace) -> int:
@@ -191,14 +255,20 @@ def _cmd_chain(args: argparse.Namespace) -> int:
     print(chain.ledger.explain(chain.final_id))
     print()
     policy = _build_policy(args)
+    guards = _build_guards(args)
     with _checkpoint_scope(policy):
         report = check_lr_statement(
             chain.final_statement, setup, seed=args.seed,
             samples_per_pair=args.samples, workers=args.workers,
-            early_stop=args.early_stop, policy=policy,
+            early_stop=args.early_stop, policy=policy, guards=guards,
         )
     print(report.summary_line())
-    return 1 if report.refuted else 0
+    skips = _quarantine_lines(report)
+    if skips:
+        print("\n".join(skips))
+    if report.refuted:
+        return 1
+    return EXIT_CONTRACT if report.quarantined else 0
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:
@@ -306,21 +376,37 @@ def _cmd_expected_time(args: argparse.Namespace) -> int:
     print(banner(f"Time to the critical region, ring size {args.n} "
                  f"(bound: {lr.expected_time_bound()})"))
     policy = _build_policy(args)
+    guards = _build_guards(args)
     with _checkpoint_scope(policy):
         reports = measure_lr_expected_time(
             setup, seed=args.seed, samples=args.samples,
-            workers=args.workers, policy=policy,
+            workers=args.workers, policy=policy, guards=guards,
         )
     rows = []
     failures = 0
+    quarantined = 0
     for name, report in sorted(reports.items()):
+        quarantined += len(report.quarantined)
+        if not report.times:
+            # Every start was quarantined (or nothing reached the
+            # target): there is no mean to compare against the bound.
+            verdict = "QUARANTINED" if report.quarantined else "FAILS"
+            failures += verdict == "FAILS"
+            rows.append(time_report_row(name, report) + (verdict,))
+            continue
         ok = report.unreached == 0 and report.mean <= 63.0
         failures += not ok
         rows.append(time_report_row(name, report) + ("ok" if ok else "FAILS",))
     print(format_table(
         ("adversary", "mean", "max", "unreached", "verdict"), rows
     ))
-    return 1 if failures else 0
+    skips = _quarantine_lines(*reports.values())
+    if skips:
+        print()
+        print("\n".join(skips))
+    if failures:
+        return 1
+    return EXIT_CONTRACT if quarantined else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -328,12 +414,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import banner, format_table
 
     policy = _build_policy(args)
+    guards = _build_guards(args)
     sizes = tuple(int(s) for s in args.sizes.split(","))
     print(banner("Ring-size sweep"))
     with _checkpoint_scope(policy):
         rows = ring_size_sweep(
             sizes=sizes, seed=args.seed, samples_per_pair=args.samples,
             time_samples=args.samples, workers=args.workers, policy=policy,
+            guards=guards,
         )
     print(format_table(
         ("n", "min P[T -13-> C]", "claimed", "worst mean time"),
@@ -348,7 +436,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     with _checkpoint_scope(policy):
         hrows = horizon_sweep(
             seed=args.seed, samples_per_pair=args.samples,
-            workers=args.workers, policy=policy,
+            workers=args.workers, policy=policy, guards=guards,
         )
     print(format_table(
         ("deadline", "min P[T -t-> C]"),
@@ -451,6 +539,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.sinks import render_metric_tables, render_span_tree
 
     policy = _build_policy(args)
+    guards = _build_guards(args)
     with obs.recording() as registry, _checkpoint_scope(policy):
         with obs.span(
             "stats.run", n=args.n, seed=args.seed, samples=args.samples
@@ -458,7 +547,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             setup = LRExperimentSetup.build(args.n)
             reports = check_all_leaves(
                 setup, seed=args.seed, samples_per_pair=args.samples,
-                workers=args.workers, policy=policy,
+                workers=args.workers, policy=policy, guards=guards,
             )
             with obs.span("stats.value_iteration", n=args.n):
                 worst_rounds = extremal_expected_time_rounds(
@@ -479,11 +568,47 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"\nworst-case expected rounds to C (round-synchronous): "
           f"{worst_rounds:.4f}")
     print(f"refuted statements: {failures}")
+    skips = _quarantine_lines(*reports.values())
+    if skips:
+        print()
+        print("\n".join(skips))
     sink_code = _write_trace(
         registry, args.trace_out,
         reports=[report.to_dict() for report in reports.values()],
     ) if args.trace_out else 0
-    return 1 if failures else sink_code
+    if failures:
+        return 1
+    return EXIT_CONTRACT if skips else sink_code
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.reporting import banner
+    from repro.contracts import audit_automaton
+
+    automaton = lr.lehmann_rabin_automaton(args.n)
+    report = audit_automaton(automaton, horizon=args.horizon)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(banner(
+            f"Definition 2.1 audit of the Lehmann-Rabin automaton, "
+            f"ring size {args.n}"
+        ))
+        print(report.summary_line())
+        for finding in report.findings:
+            print(f"  {finding.describe()}")
+        if report.findings_dropped:
+            print(f"  ... and {report.findings_dropped} more finding(s)")
+        if report.exhausted:
+            print(
+                "note: the reachable-state walk hit the horizon "
+                f"({args.horizon} states); raise --horizon for full "
+                "coverage"
+            )
+    return 0 if report.ok else EXIT_CONTRACT
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -518,6 +643,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of Lynch/Saias/Segala, 'Proving Time Bounds "
             "for Randomized Distributed Algorithms' (PODC 1994)."
         ),
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -557,6 +684,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="deterministically inject worker failures, e.g. "
                  "'crash=0.1,hang=0.05,corrupt=0.02,seed=7' "
                  "(see docs/robustness.md)",
+        )
+        p.add_argument(
+            "--guards", choices=("off", "warn", "strict"), default="warn",
+            help="model-contract enforcement: 'off' skips all checks, "
+                 "'warn' reports violations once per site on stderr, "
+                 "'strict' quarantines the offending (adversary, start) "
+                 "pair and exits with status 4 (default: %(default)s; "
+                 "see docs/contracts.md)",
+        )
+        p.add_argument(
+            "--fuel", metavar="SPEC", default=None,
+            help="per-execution budget surfacing nontermination, e.g. "
+                 "'5000' (steps) or 'steps=5000,seconds=2.5'; requires "
+                 "--guards warn or strict",
         )
 
     def common(p, samples_default=80):
@@ -663,6 +804,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_all)
 
     p = add_command(
+        "audit",
+        help="static Definition 2.1 audit of the Lehmann-Rabin automaton",
+    )
+    p.add_argument("--n", type=int, default=3, help="ring size")
+    p.add_argument(
+        "--horizon", type=int, default=2000,
+        help="cap on reachable states to expand before reporting "
+             "'unknown' (default: %(default)s)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the full audit report as canonical JSON",
+    )
+    p.set_defaults(func=_cmd_audit)
+
+    p = add_command(
         "stats",
         help="instrumented Lehmann-Rabin run: span tree and metric tables",
     )
@@ -748,9 +905,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     registry and writes the JSONL trace afterwards; ``trace`` and
     ``stats`` manage their own recording.  A pooled run that exhausts
     its fault-tolerance budget exits with status 3 (completed work is
-    already checkpointed when ``--checkpoint`` was given).
+    already checkpointed when ``--checkpoint`` was given); a
+    model-contract violation that escapes quarantine (strict guards on
+    a non-pooled code path) exits with status 4.
     """
-    from repro.errors import CheckpointError, PoolFaultError
+    from repro.errors import CheckpointError, ContractViolation, PoolFaultError
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -763,6 +922,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 code = args.func(args)
             return code or _write_trace(registry, trace_out)
         return args.func(args)
+    except ContractViolation as error:
+        print(f"repro: contract violation: {error}", file=sys.stderr)
+        return EXIT_CONTRACT
     except (PoolFaultError, CheckpointError) as error:
         print(f"repro: error: {error}", file=sys.stderr)
         if getattr(args, "checkpoint", None) and not isinstance(

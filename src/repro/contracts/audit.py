@@ -1,0 +1,206 @@
+"""Static well-formedness audit of a probabilistic automaton.
+
+:func:`audit_automaton` walks the states reachable from ``start(M)``
+within a horizon and checks, for every enabled step, the Definition 2.1
+obligations: the target is a probability space summing exactly to 1 as
+``Fraction``s, the action belongs to the signature, the source matches
+the state queried, and every state in the support passes
+``validate_state``.  Start states are validated too.  Findings are
+collected (never raised), so one broken transition does not hide the
+rest — the CLI surface is ``repro audit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Set, Tuple
+
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.errors import ReproError
+from repro.probability.space import as_fraction
+
+#: Findings beyond this count are dropped (the report records how many).
+MAX_FINDINGS = 100
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One well-formedness defect, anchored to a state and action."""
+
+    kind: str  # "start" | "state" | "signature" | "source" | "distribution" | "transitions"
+    state: Optional[str]
+    action: Optional[str]
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "state": self.state,
+            "action": self.action,
+            "message": self.message,
+        }
+
+    def describe(self) -> str:
+        where = self.state if self.state is not None else "<start>"
+        label = f" / {self.action}" if self.action is not None else ""
+        return f"[{self.kind}] {where}{label}: {self.message}"
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The outcome of one automaton audit."""
+
+    findings: Tuple[AuditFinding, ...]
+    states_visited: int
+    transitions_checked: int
+    #: True when the horizon ran out before the reachable frontier did.
+    exhausted: bool
+    #: Tri-state "yes" / "no" / "unknown" from
+    #: :meth:`ProbabilisticAutomaton.fully_probabilistic_status`.
+    fully_probabilistic: str
+    #: Findings beyond :data:`MAX_FINDINGS` that were dropped.
+    findings_dropped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no defect was found (exhaustion is not a defect)."""
+        return not self.findings and self.findings_dropped == 0
+
+    def summary_line(self) -> str:
+        coverage = "horizon exhausted" if self.exhausted else "reachable set covered"
+        verdict = "ok" if self.ok else f"{len(self.findings)} finding(s)"
+        if self.findings_dropped:
+            verdict += f" (+{self.findings_dropped} dropped)"
+        return (
+            f"audit: {verdict}; {self.states_visited} states, "
+            f"{self.transitions_checked} transitions ({coverage}); "
+            f"fully probabilistic: {self.fully_probabilistic}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "findings_dropped": self.findings_dropped,
+            "states_visited": self.states_visited,
+            "transitions_checked": self.transitions_checked,
+            "exhausted": self.exhausted,
+            "fully_probabilistic": self.fully_probabilistic,
+        }
+
+
+@dataclass
+class _Collector:
+    findings: List[AuditFinding] = field(default_factory=list)
+    dropped: int = 0
+
+    def add(self, kind, state, action, message) -> None:
+        if len(self.findings) >= MAX_FINDINGS:
+            self.dropped += 1
+            return
+        self.findings.append(
+            AuditFinding(
+                kind=kind,
+                state=None if state is None else repr(state),
+                action=None if action is None else repr(action),
+                message=message,
+            )
+        )
+
+
+def audit_automaton(
+    automaton: ProbabilisticAutomaton, horizon: int = 5_000
+) -> AuditReport:
+    """Audit every state reachable within ``horizon`` expansions."""
+    out = _Collector()
+    signature = automaton.signature
+
+    for start in automaton.start_states:
+        try:
+            automaton.validate_state(start)
+        except ReproError as exc:
+            out.add("start", start, None, f"start state fails validate_state: {exc}")
+
+    frontier: List[object] = list(reversed(automaton.start_states))
+    visited: Set[object] = set(automaton.start_states)
+    expansions = 0
+    transitions_checked = 0
+    while frontier and expansions < horizon:
+        state = frontier.pop()
+        expansions += 1
+        try:
+            steps = automaton.transitions(state)
+        except ReproError as exc:
+            out.add("transitions", state, None, f"transitions() raised: {exc}")
+            continue
+        for step in steps:
+            transitions_checked += 1
+            if step.source != state:
+                out.add(
+                    "source",
+                    state,
+                    step.action,
+                    f"step source {step.source!r} does not match the queried state",
+                )
+            if step.action not in signature:
+                out.add(
+                    "signature",
+                    state,
+                    step.action,
+                    "action is not in the automaton's signature",
+                )
+            _audit_distribution(out, state, step, automaton, frontier, visited)
+
+    return AuditReport(
+        findings=tuple(out.findings),
+        states_visited=expansions,
+        transitions_checked=transitions_checked,
+        exhausted=bool(frontier),
+        fully_probabilistic=automaton.fully_probabilistic_status(horizon),
+        findings_dropped=out.dropped,
+    )
+
+
+def _audit_distribution(out, state, step, automaton, frontier, visited) -> None:
+    try:
+        total = Fraction(0)
+        points = 0
+        for target, weight in step.target.items():
+            points += 1
+            w = as_fraction(weight)
+            if w <= 0:
+                out.add(
+                    "distribution",
+                    state,
+                    step.action,
+                    f"weight {w} of target {target!r} is not positive",
+                )
+            total += w
+            try:
+                automaton.validate_state(target)
+            except ReproError as exc:
+                out.add(
+                    "state",
+                    target,
+                    step.action,
+                    f"reachable state fails validate_state: {exc}",
+                )
+            if target not in visited:
+                visited.add(target)
+                frontier.append(target)
+        if points == 0 or total != 1:
+            out.add(
+                "distribution",
+                state,
+                step.action,
+                f"target distribution sums to {total} over {points} point(s); "
+                "Definition 2.1 requires exactly 1",
+            )
+    except (ReproError, TypeError, ValueError) as exc:
+        out.add(
+            "distribution",
+            state,
+            step.action,
+            f"target is not a probability space: {exc}",
+        )

@@ -1,0 +1,74 @@
+"""Per-execution fuel: step and wall-clock budgets for one sample.
+
+One :class:`Fuel` is created per sampled execution and ticked once per
+scheduled step.  Exhaustion is a :class:`~repro.errors.FuelExhaustedError`
+carrying the execution prefix as a minimal repro: in strict mode it
+raises (and the backend quarantines the pair); in warn mode the sampler
+stops extending the execution and reports it truncated, exactly as if
+``max_steps`` had been hit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.contracts.config import GuardConfig
+from repro.contracts.guards import fragment_prefix_repr, report_violation
+from repro.errors import FuelExhaustedError
+
+#: How many ticks between wall-clock reads (monotonic() is cheap but
+#: not free; step-dominated loops should not pay it every iteration).
+_CLOCK_STRIDE = 16
+
+
+class Fuel:
+    """Mutable budget for a single execution."""
+
+    __slots__ = ("steps", "used", "deadline", "seconds")
+
+    def __init__(self, steps: Optional[int], seconds: Optional[float]):
+        self.steps = steps
+        self.seconds = seconds
+        self.used = 0
+        self.deadline = None if seconds is None else time.monotonic() + seconds
+
+    def spend(self, config: GuardConfig, fragment, adversary_name: str = "") -> bool:
+        """Account one step; True while budget remains.
+
+        On exhaustion, reports a :class:`FuelExhaustedError` (raising
+        in strict mode) and returns False so warn-mode callers stop
+        extending this execution.
+        """
+        self.used += 1
+        if self.steps is not None and self.used > self.steps:
+            detail = f"step budget of {self.steps} exhausted"
+        elif (
+            self.deadline is not None
+            and self.used % _CLOCK_STRIDE == 0
+            and time.monotonic() > self.deadline
+        ):
+            detail = (
+                f"wall-clock budget of {self.seconds}s exhausted after "
+                f"{self.used} steps"
+            )
+        else:
+            return True
+        report_violation(
+            config,
+            FuelExhaustedError(
+                f"execution fuel exhausted: {detail}",
+                state=fragment.lstate,
+                prefix=fragment_prefix_repr(fragment),
+                site=f"fuel:{adversary_name}",
+            ),
+        )
+        return False
+
+
+def fuel_for(config: GuardConfig) -> Optional[Fuel]:
+    """A fresh :class:`Fuel` for one execution, or ``None`` if the
+    config carries no budget (or is not checking at all)."""
+    if not config.checking or not config.fuelled:
+        return None
+    return Fuel(config.fuel_steps, config.fuel_seconds)

@@ -1,0 +1,37 @@
+"""Quarantine records: what a run skipped, and why.
+
+When strict guards trip inside one (adversary, start) task, the backend
+converts the :class:`~repro.errors.ContractViolation` into a
+:class:`QuarantinedPair` instead of aborting the whole run.  Reports
+carry these records alongside their healthy checks so the caller knows
+exactly what was skipped; the CLI exits with the dedicated contract
+status (4) whenever a report carries any.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuarantinedPair:
+    """One skipped (adversary, start) task."""
+
+    adversary_name: str
+    start_state: str  # repr of the start state (kept picklable/JSON-able)
+    kind: str  # ContractViolation kind: distribution/adversary/closure/fuel/contract
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"quarantined {self.adversary_name} from {self.start_state}: "
+            f"{self.kind}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "adversary": self.adversary_name,
+            "start": self.start_state,
+            "kind": self.kind,
+            "message": self.message,
+        }

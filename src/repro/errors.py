@@ -136,3 +136,99 @@ class CheckpointError(ReproError):
     mid-run, or a stored record whose payload does not decode into the
     expected task result shape.
     """
+
+
+class ContractViolation(ReproError):
+    """A model broke a semantic contract of the paper's definitions.
+
+    Raised (``strict``) or counted (``warn``) by the guard layer in
+    :mod:`repro.contracts` when user-supplied model code violates
+    Definition 2.1 (ill-formed probability space), Definition 2.2 (an
+    adversary scheduling a non-enabled step), or Definition 3.3 (a
+    schema falsely claiming execution closure) — or runs away entirely
+    (fuel exhaustion).  Carries the offending ``state``, ``action``,
+    and execution-fragment ``prefix`` as a minimal repro; ``site`` is
+    the deduplication key for once-per-site warnings.
+    """
+
+    #: Short classification used for ``contracts.<kind>`` counters and
+    #: quarantine records; subclasses override.
+    kind = "contract"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        state: object = None,
+        action: object = None,
+        prefix: object = None,
+        site: str = "",
+    ):
+        details = []
+        if state is not None:
+            details.append(f"state={state!r}")
+        if action is not None:
+            details.append(f"action={action!r}")
+        if prefix is not None:
+            details.append(f"prefix={prefix}")
+        full = message if not details else f"{message} [{', '.join(details)}]"
+        super().__init__(full)
+        self.state = state
+        self.action = action
+        self.prefix = prefix
+        self.site = site or full
+
+    def to_dict(self) -> dict:
+        """A stable, JSON-ready record of this violation."""
+        return {
+            "kind": type(self).kind,
+            "message": str(self),
+            "state": repr(self.state) if self.state is not None else None,
+            "action": repr(self.action) if self.action is not None else None,
+        }
+
+
+class DistributionError(ContractViolation, ProbabilityError):
+    """A transition target is not a probability space (Definition 2.1).
+
+    Examples: weights that do not sum exactly to one as ``Fraction``s,
+    a nonpositive weight, or an empty support — smuggled past the
+    :class:`~repro.probability.space.FiniteDistribution` constructor by
+    a duck-typed or mutated distribution object.
+    """
+
+    kind = "distribution"
+
+
+class AdversaryContractError(ContractViolation, AdversaryError):
+    """An adversary broke its Definition 2.2 contract at runtime.
+
+    Examples: returning a step whose source is not the fragment's last
+    state, a step not enabled there, or an adversary outside the schema
+    the run declared.
+    """
+
+    kind = "adversary"
+
+
+class ExecutionClosureError(ContractViolation, AdversaryError):
+    """A schema's execution-closure claim failed a spot check.
+
+    Definition 3.3 is the side condition Theorem 3.4 rests on: the
+    guard layer shifts a schema member by a sampled fragment and checks
+    the shift stays inside the schema.  A failure means composed
+    statements proved against this schema are unsound.
+    """
+
+    kind = "closure"
+
+
+class FuelExhaustedError(ContractViolation):
+    """One execution exceeded its step or wall-clock fuel budget.
+
+    Surfaces a nonterminating (or absurdly slow) adversary or automaton
+    as a structured violation, with the fragment prefix as a minimal
+    repro, instead of an indefinite hang.
+    """
+
+    kind = "fuel"

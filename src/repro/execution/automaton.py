@@ -33,6 +33,8 @@ from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
 from repro.automaton.signature import Action
 from repro.automaton.transition import Transition
+from repro.contracts import GuardConfig
+from repro.contracts.guards import check_chosen_step
 from repro.probability.space import FiniteDistribution
 
 State = TypeVar("State", bound=Hashable)
@@ -51,10 +53,16 @@ class ExecutionAutomaton(Generic[State]):
         automaton: ProbabilisticAutomaton[State],
         adversary: Adversary[State],
         start: ExecutionFragment[State],
+        guards: Optional[GuardConfig] = None,
     ):
         self._automaton = automaton
         self._adversary = adversary
         self._start = start
+        # With no explicit config the historical behaviour is kept:
+        # checked_choose validates the adversary contract (and raises a
+        # plain AdversaryError).  A GuardConfig reroutes validation
+        # through the contracts layer instead.
+        self._guards = guards
         self._cache: Dict[
             ExecutionFragment[State],
             Optional[Tuple[Action, FiniteDistribution]],
@@ -80,7 +88,22 @@ class ExecutionAutomaton(Generic[State]):
         self, fragment: ExecutionFragment[State]
     ) -> Optional[Transition[State]]:
         """The step of ``M`` the adversary schedules after ``fragment``."""
-        return self._adversary.checked_choose(self._automaton, fragment)
+        if self._guards is None:
+            return self._adversary.checked_choose(self._automaton, fragment)
+        chosen = self._adversary.choose(self._automaton, fragment)
+        if obs.enabled():
+            obs.incr("adversary.decisions")
+            if chosen is None:
+                obs.incr("adversary.halts")
+        if chosen is not None and self._guards.checking:
+            check_chosen_step(
+                self._guards,
+                self._automaton,
+                fragment,
+                chosen,
+                getattr(self._adversary, "name", ""),
+            )
+        return chosen
 
     def step(
         self, fragment: ExecutionFragment[State]

@@ -14,10 +14,13 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Hashable, Optional, TypeVar
 
-from repro import obs
+from repro import contracts, obs
 from repro.adversary.base import Adversary
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
+from repro.contracts import GuardConfig
+from repro.contracts.fuel import fuel_for
+from repro.contracts.guards import check_chosen_step
 from repro.errors import VerificationError
 from repro.events.schema import EventSchema, EventStatus
 
@@ -51,6 +54,8 @@ def sample_event(
     schema: EventSchema[State],
     rng: random.Random,
     max_steps: int = 10_000,
+    *,
+    guards: Optional[GuardConfig] = None,
 ) -> SampleResult:
     """Sample one execution of ``H(M, A, start)`` until the event decides.
 
@@ -58,9 +63,19 @@ def sample_event(
     ACCEPT or REJECT, when the adversary halts (then
     ``decide_maximal`` settles the verdict), or after ``max_steps``
     steps (verdict ``None``).
+
+    ``guards`` selects the contract-check mode (default: the installed
+    :func:`repro.contracts.active` config, normally off).  Guard checks
+    never consume ``rng``, so enabling them does not perturb the sample
+    stream; in warn mode a fuel exhaustion truncates the sample exactly
+    like hitting ``max_steps``.
     """
     if max_steps < 0:
         raise VerificationError("max_steps must be nonnegative")
+    config = guards if guards is not None else contracts.active()
+    checking = config.checking
+    fuel = fuel_for(config)
+    adversary_name = getattr(adversary, "name", "")
     fragment = start
     result: Optional[SampleResult] = None
     for steps_taken in range(max_steps + 1):
@@ -73,12 +88,21 @@ def sample_event(
             break
         if steps_taken == max_steps:
             break
-        chosen = adversary.checked_choose(automaton, fragment)
+        chosen = adversary.choose(automaton, fragment)
+        if obs.enabled():
+            obs.incr("adversary.decisions")
+            if chosen is None:
+                obs.incr("adversary.halts")
         if chosen is None:
             result = SampleResult(
                 schema.decide_maximal(fragment), steps_taken, fragment
             )
             break
+        if checking:
+            check_chosen_step(config, automaton, fragment, chosen, adversary_name)
+            if fuel is not None and not fuel.spend(config, fragment, adversary_name):
+                result = SampleResult(None, steps_taken, fragment)
+                break
         next_state = chosen.target.sample(rng)
         fragment = fragment.extend(chosen.action, next_state)
     if result is None:
@@ -109,16 +133,23 @@ def sample_time_until(
     time_of: Callable[[State], Fraction],
     rng: random.Random,
     max_steps: int = 10_000,
+    *,
+    guards: Optional[GuardConfig] = None,
 ) -> Optional[Fraction]:
     """The elapsed time until ``target`` first holds along one sample.
 
     Returns ``None`` when the target was not reached within the step
     budget (or before the adversary halted).  Elapsed time is measured
     from the start fragment's last state — the moment the adversary
-    takes over, matching Definition 3.1's clock.
+    takes over, matching Definition 3.1's clock.  ``guards`` behaves as
+    in :func:`sample_event`.
     """
     if max_steps < 0:
         raise VerificationError("max_steps must be nonnegative")
+    config = guards if guards is not None else contracts.active()
+    checking = config.checking
+    fuel = fuel_for(config)
+    adversary_name = getattr(adversary, "name", "")
     origin = time_of(start.lstate)
     if any(target(state) for state in start.states):
         if obs.enabled():
@@ -128,9 +159,17 @@ def sample_time_until(
     elapsed: Optional[Fraction] = None
     steps_taken = 0
     for _ in range(max_steps):
-        chosen = adversary.checked_choose(automaton, fragment)
+        chosen = adversary.choose(automaton, fragment)
+        if obs.enabled():
+            obs.incr("adversary.decisions")
+            if chosen is None:
+                obs.incr("adversary.halts")
         if chosen is None:
             break
+        if checking:
+            check_chosen_step(config, automaton, fragment, chosen, adversary_name)
+            if fuel is not None and not fuel.spend(config, fragment, adversary_name):
+                break
         next_state = chosen.target.sample(rng)
         fragment = fragment.extend(chosen.action, next_state)
         steps_taken += 1

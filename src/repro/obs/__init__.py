@@ -29,6 +29,14 @@ Typical consumer::
 Naming convention for metrics: dotted lowercase
 ``layer.component.metric`` (``sampler.steps``, ``mdp.value_iteration.
 residual``); see ``docs/observability.md``.
+
+The contract-guard layer (``docs/contracts.md``) reports through the
+``contracts.*`` counters: ``contracts.violations`` (every detected
+violation) plus one per-kind counter (``contracts.distribution``,
+``contracts.adversary``, ``contracts.closure``, ``contracts.fuel``)
+and ``contracts.quarantined`` (pairs a strict run skipped).  They are
+incremented only when a violation is actually detected, so healthy
+runs render identical metric tables whatever the guard mode.
 """
 
 from __future__ import annotations

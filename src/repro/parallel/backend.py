@@ -24,15 +24,22 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Hashable, List, Sequence, Tuple, TypeVar
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro import obs
 from repro.adversary.base import Adversary
-from repro.errors import CheckpointError
+from repro.contracts import OFF_CONFIG, GuardConfig
+from repro.contracts.guards import (
+    check_schema_membership,
+    describe_violation,
+    spot_check_closure,
+)
+from repro.errors import CheckpointError, ContractViolation
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
 from repro.events.reach import ReachWithinTime
 from repro.execution.sampler import sample_event, sample_time_until
+from repro.parallel.seeds import derive_rng
 from repro.probability.stats import (
     BernoulliSummary,
     clopper_pearson_lower,
@@ -65,6 +72,12 @@ class ArrowPairContext:
     confidence: float
     early_stop: bool
     chunk_size: int
+    #: The schema the adversaries are declared to range over; used by the
+    #: guard layer for membership and execution-closure spot checks.
+    schema: object = None
+    #: Contract-check settings.  Part of the fork-inherited context, so
+    #: pooled workers enforce identically to ``workers=1``.
+    guards: GuardConfig = OFF_CONFIG
 
 
 @dataclass(frozen=True)
@@ -79,12 +92,19 @@ class PairTask:
 
 @dataclass(frozen=True)
 class PairOutcome:
-    """Plain-data result of one pair task (picklable)."""
+    """Plain-data result of one pair task (picklable).
+
+    ``violation`` is ``None`` for a healthy pair; a quarantined pair
+    carries the ``(kind, message)`` of the strict-mode
+    :class:`~repro.errors.ContractViolation` that poisoned it, and its
+    counts are all zero.
+    """
 
     index: int
     successes: int
     trials: int
     truncated: int
+    violation: Optional[Tuple[str, str]] = None
 
 
 def pair_decided(
@@ -108,9 +128,14 @@ def execute_pair(context: ArrowPairContext, task: PairTask) -> PairOutcome:
 
     Deterministic in (context, task) alone: the same derived seed
     yields the same outcome whether this runs inline, or in any worker
-    of any pool size.
+    of any pool size.  Guard checks draw from a separately derived
+    ``"contracts"`` stream, never from the pair's sample stream, so
+    warn-mode results are byte-identical to guards-off on healthy
+    models.  A strict-mode :class:`~repro.errors.ContractViolation` is
+    caught here and returned as a quarantined outcome — one poisoned
+    pair must degrade, not abort the whole run.
     """
-    _, adversary = context.adversaries[task.adversary_index]
+    adversary_name, adversary = context.adversaries[task.adversary_index]
     start = context.start_states[task.start_index]
     schema = ReachWithinTime(
         target=context.target,
@@ -122,24 +147,49 @@ def execute_pair(context: ArrowPairContext, task: PairTask) -> PairOutcome:
     chunk_size = (
         context.chunk_size if context.early_stop else context.samples_per_pair
     )
+    guards = context.guards
+    checking = guards.checking
+    closure_pending = checking and context.schema is not None
     successes = 0
     truncated = 0
     trials = 0
-    while trials < context.samples_per_pair:
-        for _ in range(min(chunk_size, context.samples_per_pair - trials)):
-            result = sample_event(
-                context.automaton, adversary, fragment, schema, rng,
-                context.max_steps,
+    try:
+        if checking:
+            check_schema_membership(
+                guards, context.schema, adversary, adversary_name
             )
-            trials += 1
-            if result.truncated:
-                truncated += 1
-            elif result.verdict:
-                successes += 1
-        if context.early_stop and pair_decided(
-            successes, trials, context.claimed, context.confidence
-        ):
-            break
+        while trials < context.samples_per_pair:
+            for _ in range(min(chunk_size, context.samples_per_pair - trials)):
+                result = sample_event(
+                    context.automaton, adversary, fragment, schema, rng,
+                    context.max_steps, guards=guards,
+                )
+                if closure_pending:
+                    closure_pending = False
+                    spot_check_closure(
+                        guards,
+                        context.schema,
+                        adversary,
+                        result.final,
+                        derive_rng(task.seed, "contracts"),
+                        adversary_name,
+                    )
+                trials += 1
+                if result.truncated:
+                    truncated += 1
+                elif result.verdict:
+                    successes += 1
+            if context.early_stop and pair_decided(
+                successes, trials, context.claimed, context.confidence
+            ):
+                break
+    except ContractViolation as violation:
+        if obs.enabled():
+            obs.incr("contracts.quarantined")
+        return PairOutcome(
+            index=task.index, successes=0, trials=0, truncated=0,
+            violation=describe_violation(violation),
+        )
     if obs.enabled():
         obs.incr("verifier.pairs")
         obs.incr("verifier.samples", trials)
@@ -168,6 +218,9 @@ class TimeStartContext:
     time_of: Callable[[object], Fraction]
     samples_per_start: int
     max_steps: int
+    adversary_name: str = ""
+    schema: object = None
+    guards: GuardConfig = OFF_CONFIG
 
 
 @dataclass(frozen=True)
@@ -181,38 +234,97 @@ class TimeStartTask:
 
 @dataclass(frozen=True)
 class TimeStartOutcome:
-    """Reached times (in replicate order) and unreached count."""
+    """Reached times (in replicate order) and unreached count.
+
+    ``violation`` marks a quarantined start, as in :class:`PairOutcome`.
+    """
 
     index: int
     times: Tuple[Fraction, ...]
     unreached: int
+    violation: Optional[Tuple[str, str]] = None
 
 
 def execute_time_start(
     context: TimeStartContext, task: TimeStartTask
 ) -> TimeStartOutcome:
-    """Sample every replicate of one start state from its own stream."""
+    """Sample every replicate of one start state from its own stream.
+
+    Guard semantics match :func:`execute_pair`: checks draw no
+    randomness from the sample stream, and a strict violation
+    quarantines this start instead of aborting the run.
+    """
     start = context.start_states[task.start_index]
     rng = random.Random(task.seed)
+    guards = context.guards
+    closure_pending = guards.checking and context.schema is not None
     times: List[Fraction] = []
     unreached = 0
-    for _ in range(context.samples_per_start):
-        elapsed = sample_time_until(
-            context.automaton,
-            context.adversary,
-            ExecutionFragment.initial(start),
-            context.target,
-            context.time_of,
-            rng,
-            context.max_steps,
+    try:
+        if guards.checking:
+            check_schema_membership(
+                guards, context.schema, context.adversary,
+                context.adversary_name,
+            )
+        for _ in range(context.samples_per_start):
+            fragment = ExecutionFragment.initial(start)
+            elapsed = sample_time_until(
+                context.automaton,
+                context.adversary,
+                fragment,
+                context.target,
+                context.time_of,
+                rng,
+                context.max_steps,
+                guards=guards,
+            )
+            if closure_pending:
+                closure_pending = False
+                # sample_time_until does not return its final fragment;
+                # probe closure on a short prefix resampled from the
+                # dedicated contracts stream instead.
+                probe = _closure_probe_fragment(context, start, task.seed)
+                spot_check_closure(
+                    guards,
+                    context.schema,
+                    context.adversary,
+                    probe,
+                    derive_rng(task.seed, "contracts", "cut"),
+                    context.adversary_name,
+                )
+            if elapsed is None:
+                unreached += 1
+            else:
+                times.append(elapsed)
+    except ContractViolation as violation:
+        if obs.enabled():
+            obs.incr("contracts.quarantined")
+        return TimeStartOutcome(
+            index=task.index, times=(), unreached=0,
+            violation=describe_violation(violation),
         )
-        if elapsed is None:
-            unreached += 1
-        else:
-            times.append(elapsed)
     return TimeStartOutcome(
         index=task.index, times=tuple(times), unreached=unreached
     )
+
+
+def _closure_probe_fragment(
+    context: TimeStartContext, start, seed: int, probe_steps: int = 8
+):
+    """A short execution sampled from the dedicated contracts stream.
+
+    Used only to feed the execution-closure spot check; consuming the
+    separate ``"contracts"`` stream keeps the measured times identical
+    across guard modes.
+    """
+    rng = derive_rng(seed, "contracts", "walk")
+    fragment = ExecutionFragment.initial(start)
+    for _ in range(probe_steps):
+        chosen = context.adversary.choose(context.automaton, fragment)
+        if chosen is None:
+            break
+        fragment = fragment.extend(chosen.action, chosen.target.sample(rng))
+    return fragment
 
 
 # ----------------------------------------------------------------------
@@ -229,11 +341,14 @@ def encode_pair_outcome(outcome: PairOutcome) -> dict:
     task's identity.  ``decode_pair_outcome`` re-attaches the current
     run's index.
     """
-    return {
+    record = {
         "successes": outcome.successes,
         "trials": outcome.trials,
         "truncated": outcome.truncated,
     }
+    if outcome.violation is not None:
+        record["violation"] = list(outcome.violation)
+    return record
 
 
 def decode_pair_outcome(record: dict, task: PairTask) -> PairOutcome:
@@ -244,6 +359,7 @@ def decode_pair_outcome(record: dict, task: PairTask) -> PairOutcome:
             successes=int(record["successes"]),
             trials=int(record["trials"]),
             truncated=int(record["truncated"]),
+            violation=_decode_violation(record.get("violation")),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise CheckpointError(
@@ -259,10 +375,13 @@ def encode_time_outcome(outcome: TimeStartOutcome) -> dict:
     losslessly (``"7/2"`` / ``"3"``), keeping resumed reports
     bit-identical to uninterrupted ones.
     """
-    return {
+    record = {
         "times": [str(elapsed) for elapsed in outcome.times],
         "unreached": outcome.unreached,
     }
+    if outcome.violation is not None:
+        record["violation"] = list(outcome.violation)
+    return record
 
 
 def decode_time_outcome(
@@ -274,12 +393,28 @@ def decode_time_outcome(
             index=task.index,
             times=tuple(Fraction(elapsed) for elapsed in record["times"]),
             unreached=int(record["unreached"]),
+            violation=_decode_violation(record.get("violation")),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise CheckpointError(
             f"checkpoint record for task seed {task.seed} does not "
             f"decode into a time-to-target outcome: {error}"
         ) from error
+
+
+def _decode_violation(raw) -> Optional[Tuple[str, str]]:
+    """Decode an optional ``[kind, message]`` checkpoint field."""
+    if raw is None:
+        return None
+    if (
+        not isinstance(raw, (list, tuple))
+        or len(raw) != 2
+        or not all(isinstance(part, str) for part in raw)
+    ):
+        raise CheckpointError(
+            f"checkpoint violation field does not decode: {raw!r}"
+        )
+    return (raw[0], raw[1])
 
 
 def occurrence_indices(keys: Sequence[object]) -> List[int]:

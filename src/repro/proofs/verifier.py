@@ -40,10 +40,11 @@ from typing import (
     TypeVar,
 )
 
-from repro import obs
-from repro.adversary.base import Adversary
+from repro import contracts, obs
+from repro.adversary.base import Adversary, AdversarySchema
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
+from repro.contracts import GuardConfig, QuarantinedPair
 from repro.errors import VerificationError
 from repro.events.reach import ReachWithinTime
 from repro.execution.automaton import ExecutionAutomaton
@@ -102,11 +103,18 @@ class PairCheck:
 
 @dataclass(frozen=True)
 class ArrowCheckReport:
-    """The aggregated verdict of a sampling check."""
+    """The aggregated verdict of a sampling check.
+
+    ``quarantined`` lists the (adversary, start) pairs a strict-guard
+    run skipped because model code broke a contract mid-pair; their
+    counts never enter the statistics, and a report with any
+    quarantined pair cannot claim ``supported``.
+    """
 
     statement: ArrowStatement
     checks: Tuple[PairCheck, ...]
     confidence: float
+    quarantined: Tuple[QuarantinedPair, ...] = field(default=())
 
     @property
     def worst(self) -> PairCheck:
@@ -116,6 +124,10 @@ class ArrowCheckReport:
         position, so the reported worst pair — and every summary line
         built from it — is stable across backends and pair orderings.
         """
+        if not self.checks:
+            raise VerificationError(
+                "no healthy pairs to rank: every pair was quarantined"
+            )
         return min(
             self.checks,
             key=lambda c: (c.estimate, c.adversary_name, repr(c.start_state)),
@@ -123,7 +135,10 @@ class ArrowCheckReport:
 
     @property
     def min_estimate(self) -> float:
-        """The lowest success-probability estimate across pairs."""
+        """The lowest success-probability estimate across healthy pairs
+        (NaN when every pair was quarantined)."""
+        if not self.checks:
+            return float("nan")
         return self.worst.estimate
 
     @property
@@ -142,7 +157,13 @@ class ArrowCheckReport:
 
     @property
     def supported(self) -> bool:
-        """True when every pair's lower confidence bound meets ``p``."""
+        """True when every pair's lower confidence bound meets ``p``.
+
+        Quarantined pairs produced no evidence, so any quarantine
+        forfeits support.
+        """
+        if not self.checks or self.quarantined:
+            return False
         claimed = float(self.statement.probability)
         return all(
             clopper_pearson_lower(check.summary, self.confidence) >= claimed
@@ -151,16 +172,24 @@ class ArrowCheckReport:
 
     def summary_line(self) -> str:
         """A one-line human-readable digest for reports."""
+        if not self.checks:
+            return (
+                f"{self.statement!r}: no healthy pairs "
+                f"({len(self.quarantined)} quarantined)"
+            )
         worst = self.worst
         verdict = (
             "REFUTED" if self.refuted else
             ("supported" if self.supported else "consistent")
         )
-        return (
+        line = (
             f"{self.statement!r}: min estimate {self.min_estimate:.4f} "
             f"(claimed >= {float(self.statement.probability):.4f}) under "
             f"{worst.adversary_name} -- {verdict}"
         )
+        if self.quarantined:
+            line += f" [{len(self.quarantined)} pair(s) quarantined]"
+        return line
 
     def to_dict(self) -> dict:
         """A stable, JSON-ready summary for sinks and report writers."""
@@ -169,11 +198,27 @@ class ArrowCheckReport:
             "statement": repr(self.statement),
             "claimed": float(self.statement.probability),
             "confidence": self.confidence,
-            "min_estimate": self.min_estimate,
+            "min_estimate": self.min_estimate if self.checks else None,
             "refuted": self.refuted,
             "supported": self.supported,
             "checks": [check.to_dict() for check in self.checks],
+            "quarantined": [q.to_dict() for q in self.quarantined],
         }
+
+
+def _guard_scope_suffix(config: GuardConfig) -> str:
+    """The checkpoint-scope marker for outcome-affecting guard settings.
+
+    Off and warn (without fuel) produce identical outcomes, so they
+    share the unmarked scope; strict mode can quarantine pairs and fuel
+    budgets can truncate samples, so either segregates its checkpoints.
+    """
+    if not config.strict and not config.fuelled:
+        return ""
+    return (
+        f"|guards={config.mode}"
+        f"|fuel={config.fuel_steps},{config.fuel_seconds}"
+    )
 
 
 def _resolve_root_seed(
@@ -208,6 +253,8 @@ def check_arrow_by_sampling(
     early_stop: bool = False,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     policy: Optional[RunPolicy] = None,
+    schema: Optional[AdversarySchema] = None,
+    guards: Optional[GuardConfig] = None,
 ) -> ArrowCheckReport:
     """Monte-Carlo check of ``statement`` over an adversary family.
 
@@ -229,6 +276,15 @@ def check_arrow_by_sampling(
     timeouts, retries, checkpoint/resume, fault injection); since a
     pair's outcome is a pure function of its derived seed, none of it
     changes the report (see ``docs/robustness.md``).
+
+    ``guards`` selects the contract-check mode (default: the installed
+    :func:`repro.contracts.active` config) and ``schema`` names the
+    adversary schema the family is declared to range over, enabling
+    membership and execution-closure spot checks.  Guard checks consume
+    no sample randomness, so warn-mode reports are byte-identical to
+    guards-off on healthy models; in strict mode a violating pair is
+    quarantined (reported in ``report.quarantined``) while the rest of
+    the run completes (see ``docs/contracts.md``).
     """
     if not adversaries:
         raise VerificationError("no adversaries supplied")
@@ -239,6 +295,8 @@ def check_arrow_by_sampling(
     if chunk_size <= 0:
         raise VerificationError("chunk_size must be positive")
 
+    guard_config = guards if guards is not None else contracts.active()
+    guard_config.validate()
     root_seed = _resolve_root_seed(rng, seed)
     pairs: List[Tuple[str, State]] = []
     for name, _ in adversaries:
@@ -276,13 +334,19 @@ def check_arrow_by_sampling(
         confidence=confidence,
         early_stop=early_stop,
         chunk_size=chunk_size,
+        schema=schema,
+        guards=guard_config,
     )
     # Everything (besides the task seed) a pair's outcome depends on;
     # checkpointed results are only reused within a matching scope.
+    # Off and warn produce identical outcomes (guard checks never touch
+    # the sample streams), so they share a scope; strict can quarantine,
+    # so its checkpoints are segregated.
     scope = (
         f"arrow|{statement!r}|spp={samples_per_pair}|steps={max_steps}"
         f"|conf={confidence}|early={int(early_stop)}|chunk={chunk_size}"
     )
+    scope += _guard_scope_suffix(guard_config)
     with obs.span(
         "verify.arrow_check",
         statement=repr(statement),
@@ -296,20 +360,38 @@ def check_arrow_by_sampling(
             policy=policy, scope=scope,
             encode=encode_pair_outcome, decode=decode_pair_outcome,
         )
-        checks = tuple(
-            PairCheck(
-                adversary_name=name,
-                start_state=start,
-                summary=BernoulliSummary(outcome.successes, outcome.trials),
-                truncated=outcome.truncated,
-            )
-            for (name, start), outcome in zip(pairs, outcomes)
-        )
+        checks: List[PairCheck] = []
+        quarantined: List[QuarantinedPair] = []
+        for (name, start), outcome in zip(pairs, outcomes):
+            if outcome.violation is not None:
+                kind, message = outcome.violation
+                quarantined.append(
+                    QuarantinedPair(
+                        adversary_name=name,
+                        start_state=repr(start),
+                        kind=kind,
+                        message=message,
+                    )
+                )
+            else:
+                checks.append(
+                    PairCheck(
+                        adversary_name=name,
+                        start_state=start,
+                        summary=BernoulliSummary(
+                            outcome.successes, outcome.trials
+                        ),
+                        truncated=outcome.truncated,
+                    )
+                )
         report = ArrowCheckReport(
-            statement=statement, checks=checks, confidence=confidence
+            statement=statement, checks=tuple(checks), confidence=confidence,
+            quarantined=tuple(quarantined),
         )
         span.annotate(
-            min_estimate=report.min_estimate, refuted=report.refuted
+            min_estimate=report.min_estimate if checks else None,
+            refuted=report.refuted,
+            quarantined=len(quarantined),
         )
     return report
 
@@ -380,12 +462,16 @@ def check_arrow_exactly(
     start_states: Sequence[State],
     time_of: Callable[[State], Fraction],
     max_steps: int = 60,
+    *,
+    guards: Optional[GuardConfig] = None,
 ) -> ExactArrowReport:
     """Exact check of ``statement`` over an adversary family.
 
     Exponential in ``max_steps`` in the worst case; intended for short
     horizons (the per-phase arrows of the Lehmann-Rabin proof) and for
-    small explicit automata in tests.
+    small explicit automata in tests.  ``guards`` reroutes adversary
+    validation through the contracts layer; with the default ``None``
+    the historical ``checked_choose`` behaviour is kept.
     """
     if not adversaries:
         raise VerificationError("no adversaries supplied")
@@ -411,7 +497,8 @@ def check_arrow_exactly(
                     time_of=time_of,
                 )
                 execution_automaton = ExecutionAutomaton(
-                    automaton, adversary, ExecutionFragment.initial(start)
+                    automaton, adversary, ExecutionFragment.initial(start),
+                    guards=guards,
                 )
                 bounds = event_probability_bounds(
                     execution_automaton, schema, max_steps
@@ -447,6 +534,9 @@ class TimeToTargetReport:
     times: Tuple[Fraction, ...]
     unreached: int
     per_start: Tuple[StartTimeCount, ...] = field(default=())
+    #: Starts a strict-guard run skipped; their replicates are excluded
+    #: from ``times``/``unreached`` and from the per-start table.
+    quarantined: Tuple[QuarantinedPair, ...] = field(default=())
 
     @property
     def mean(self) -> float:
@@ -474,6 +564,7 @@ class TimeToTargetReport:
             "mean": self.mean if self.times else None,
             "max": float(self.maximum) if self.times else None,
             "per_start": [count.to_dict() for count in self.per_start],
+            "quarantined": [q.to_dict() for q in self.quarantined],
         }
 
 
@@ -491,6 +582,8 @@ def measure_time_to_target(
     seed: Optional[int] = None,
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
+    schema: Optional[AdversarySchema] = None,
+    guards: Optional[GuardConfig] = None,
 ) -> TimeToTargetReport:
     """Sample the time until ``target`` holds, for expected-time claims.
 
@@ -511,6 +604,8 @@ def measure_time_to_target(
         raise VerificationError("samples must be positive")
     if not start_states:
         raise VerificationError("no start states supplied")
+    guard_config = guards if guards is not None else contracts.active()
+    guard_config.validate()
     root_seed = _resolve_root_seed(rng, seed)
     samples_per_start = math.ceil(samples / len(start_states))
     occurrences = occurrence_indices(
@@ -536,11 +631,14 @@ def measure_time_to_target(
         time_of=time_of,
         samples_per_start=samples_per_start,
         max_steps=max_steps,
+        adversary_name=adversary_name,
+        schema=schema,
+        guards=guard_config,
     )
     total = samples_per_start * len(start_states)
     scope = (
         f"time|{adversary_name}|sps={samples_per_start}|steps={max_steps}"
-    )
+    ) + _guard_scope_suffix(guard_config)
     with obs.span(
         "verify.time_to_target", adversary=adversary_name, samples=total,
         workers=workers,
@@ -552,8 +650,20 @@ def measure_time_to_target(
         )
         times: List[Fraction] = []
         per_start: List[StartTimeCount] = []
+        quarantined: List[QuarantinedPair] = []
         unreached = 0
         for start, outcome in zip(start_states, outcomes):
+            if outcome.violation is not None:
+                kind, message = outcome.violation
+                quarantined.append(
+                    QuarantinedPair(
+                        adversary_name=adversary_name,
+                        start_state=repr(start),
+                        kind=kind,
+                        message=message,
+                    )
+                )
+                continue
             times.extend(outcome.times)
             unreached += outcome.unreached
             per_start.append(
@@ -566,9 +676,11 @@ def measure_time_to_target(
         report = TimeToTargetReport(
             adversary_name=adversary_name, times=tuple(times),
             unreached=unreached, per_start=tuple(per_start),
+            quarantined=tuple(quarantined),
         )
         span.annotate(
             unreached=unreached,
             mean=report.mean if times else None,
+            quarantined=len(quarantined),
         )
     return report

@@ -19,6 +19,12 @@ fault-tolerant pool runtime leans on exceptions for crash, timeout,
 and corruption recovery — a swallowed error there turns a recoverable
 fault into silent data loss.
 
+The same pass forbids ``assert`` statements under ``src/``: they are
+stripped under ``python -O``, so runtime validation must raise a typed
+error from :mod:`repro.errors` or go through the contract-guard layer
+(``docs/contracts.md``) instead.  Tests and benchmarks are exempt —
+``assert`` is pytest's native idiom there.
+
 Usage: ``python tools/lint.py [paths...]`` (defaults to src tests
 benchmarks tools). Exits nonzero on findings.
 """
@@ -124,7 +130,10 @@ def _body_only_passes(body):
 
 
 def banned_handlers(path):
-    """Silent error swallowing under ``src/``: findings as (line, message)."""
+    """Banned constructs under ``src/``: findings as (line, message).
+
+    Covers silent error swallowing and runtime-validation ``assert``.
+    """
     try:
         tree = ast.parse(path.read_text(), filename=str(path))
     except SyntaxError:
@@ -143,11 +152,18 @@ def banned_handlers(path):
                  "'except Exception: pass' swallows errors silently — "
                  "handle or re-raise")
             )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            findings.append(
+                (node.lineno,
+                 "'assert' is stripped under python -O — raise a typed "
+                 "repro.errors exception or use the contracts guard layer")
+            )
     return findings
 
 
 def run_ban_check(paths):
-    """Always-on pass: forbid silent error swallowing in ``src/``."""
+    """Always-on pass: forbid banned constructs in ``src/``."""
     findings = 0
     for path in python_files(paths):
         if not _is_src_path(path):
@@ -156,7 +172,7 @@ def run_ban_check(paths):
             print(f"{path}:{line}: {message}")
             findings += 1
     if findings:
-        print(f"{findings} banned exception handler(s)")
+        print(f"{findings} banned construct(s)")
     return 0 if not findings else 1
 
 
