@@ -18,46 +18,46 @@ from typing import Callable, Hashable, Tuple, TypeVar
 
 from repro.adversary.unit_time import (
     ADVANCE_TIME,
+    MarkovRoundPolicy,
     Move,
     ProcessView,
-    RoundPolicy,
     steps_of_process,
 )
 from repro.automaton.automaton import ProbabilisticAutomaton
-from repro.automaton.execution import ExecutionFragment
 from repro.errors import AdversaryError
 
 State = TypeVar("State", bound=Hashable)
 
 
-class GreedyMinimizerPolicy(RoundPolicy[State]):
+class GreedyMinimizerPolicy(MarkovRoundPolicy[State]):
     """Fires the pending move with the lowest expected potential.
 
     ``potential`` maps a state to a float; higher means closer to the
     goal the adversary wants to prevent.  At each decision point the
     policy evaluates every enabled step of every pending process and
     schedules the one whose expected successor potential is smallest —
-    one-step-lookahead expectation minimisation.
+    one-step-lookahead expectation minimisation.  The potential must not
+    read the clock (all shipped ones don't), which is what lets the
+    compiled engine tabulate this policy over the time-quotient space.
     """
 
     def __init__(self, potential: Callable[[State], float]):
         self._potential = potential
 
-    def next_move(
+    def markov_move(
         self,
         automaton: ProbabilisticAutomaton[State],
-        fragment: ExecutionFragment[State],
+        state: State,
         pending: Tuple[Hashable, ...],
         view: ProcessView[State],
+        rounds: int,
     ) -> Move:
         if not pending:
             return ADVANCE_TIME
         best = None
         best_key = None
         for rank, process in enumerate(pending):
-            steps = steps_of_process(
-                automaton, fragment.lstate, view, process
-            )
+            steps = steps_of_process(automaton, state, view, process)
             if not steps:
                 raise AdversaryError(
                     f"process {process!r} is pending but has no enabled steps"

@@ -25,6 +25,7 @@ so no ready process ever waits more than one time unit.
 from __future__ import annotations
 
 import abc
+import math
 from fractions import Fraction
 from typing import (
     FrozenSet,
@@ -119,6 +120,61 @@ class RoundPolicy(Generic[State], abc.ABC):
         """The policy's decision at this point of the round."""
 
 
+class MarkovRoundPolicy(RoundPolicy[State]):
+    """A round policy whose decision depends on bounded, local context.
+
+    Concretely: the move is a pure function of the fragment's *last*
+    state (up to the clock value), the pending list, and — when
+    :attr:`rounds_sensitive` — the number of completed rounds.  Such
+    policies can be tabulated ahead of time by the compiled state-space
+    engine (:mod:`repro.statespace`): the product of the automaton with
+    the adversary's finite memory ``(stepped, rounds)`` is explored once
+    and every later sample walks integer index tables.
+
+    History-dependent policies (e.g. coin-peeking ones hashing the whole
+    fragment) must stay plain :class:`RoundPolicy` subclasses; the
+    compiler detects them by type and the engine falls back to the tree
+    walk for those adversaries only.
+    """
+
+    #: True when the decision also reads the completed-round count.
+    rounds_sensitive: bool = False
+
+    @abc.abstractmethod
+    def markov_move(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        state: State,
+        pending: Tuple[ProcessId, ...],
+        view: ProcessView[State],
+        rounds: int,
+    ) -> Move:
+        """The decision at ``state`` with ``rounds`` rounds completed."""
+
+    def next_move(
+        self,
+        automaton: ProbabilisticAutomaton[State],
+        fragment: ExecutionFragment[State],
+        pending: Tuple[ProcessId, ...],
+        view: ProcessView[State],
+    ) -> Move:
+        rounds = 0
+        if self.rounds_sensitive:
+            rounds = sum(1 for a in fragment.actions if a == TIME_PASSAGE)
+        return self.markov_move(automaton, fragment.lstate, pending, view, rounds)
+
+    def rounds_period(self, view: ProcessView[State]) -> int:
+        """A modulus under which the round count may be tracked.
+
+        The policy's decision must be unchanged by replacing ``rounds``
+        with ``rounds % period``.  Rounds-insensitive policies return 1;
+        :class:`RotatingRoundPolicy` returns ``lcm(1..n)`` because its
+        rotation index ``rounds % len(pending)`` is invariant for every
+        possible pending length.
+        """
+        return 1
+
+
 def steps_of_process(
     automaton: ProbabilisticAutomaton[State],
     state: State,
@@ -170,6 +226,11 @@ class RoundBasedAdversary(Adversary[State]):
     def policy(self) -> RoundPolicy[State]:
         """The decision policy driving this adversary."""
         return self._policy
+
+    @property
+    def max_rounds(self) -> Optional[int]:
+        """The round cap, or ``None`` when the adversary runs forever."""
+        return self._max_rounds
 
     def choose(
         self,
@@ -237,7 +298,7 @@ class RoundBasedAdversary(Adversary[State]):
         )
 
 
-class FifoRoundPolicy(RoundPolicy[State]):
+class FifoRoundPolicy(MarkovRoundPolicy[State]):
     """Schedule pending processes in canonical order; never fire optionals.
 
     The simplest Unit-Time policy: in each round every obligated process
@@ -245,17 +306,18 @@ class FifoRoundPolicy(RoundPolicy[State]):
     enabled step of that process; then time advances.
     """
 
-    def next_move(
+    def markov_move(
         self,
         automaton: ProbabilisticAutomaton[State],
-        fragment: ExecutionFragment[State],
+        state: State,
         pending: Tuple[ProcessId, ...],
         view: ProcessView[State],
+        rounds: int,
     ) -> Move:
         if not pending:
             return ADVANCE_TIME
         process = pending[0]
-        steps = steps_of_process(automaton, fragment.lstate, view, process)
+        steps = steps_of_process(automaton, state, view, process)
         if not steps:
             raise AdversaryError(
                 f"process {process!r} is pending but has no enabled steps"
@@ -266,20 +328,21 @@ class FifoRoundPolicy(RoundPolicy[State]):
         return "FifoRoundPolicy()"
 
 
-class ReversedRoundPolicy(RoundPolicy[State]):
+class ReversedRoundPolicy(MarkovRoundPolicy[State]):
     """Like FIFO but schedules pending processes in reverse order."""
 
-    def next_move(
+    def markov_move(
         self,
         automaton: ProbabilisticAutomaton[State],
-        fragment: ExecutionFragment[State],
+        state: State,
         pending: Tuple[ProcessId, ...],
         view: ProcessView[State],
+        rounds: int,
     ) -> Move:
         if not pending:
             return ADVANCE_TIME
         process = pending[-1]
-        steps = steps_of_process(automaton, fragment.lstate, view, process)
+        steps = steps_of_process(automaton, state, view, process)
         if not steps:
             raise AdversaryError(
                 f"process {process!r} is pending but has no enabled steps"
@@ -290,30 +353,38 @@ class ReversedRoundPolicy(RoundPolicy[State]):
         return "ReversedRoundPolicy()"
 
 
-class RotatingRoundPolicy(RoundPolicy[State]):
+class RotatingRoundPolicy(MarkovRoundPolicy[State]):
     """Rotates which pending process goes first, round by round.
 
     Breaks the bias of a fixed order: in round ``r`` the pending list is
     rotated by ``r`` before the first element is scheduled.
     """
 
-    def next_move(
+    rounds_sensitive = True
+
+    def markov_move(
         self,
         automaton: ProbabilisticAutomaton[State],
-        fragment: ExecutionFragment[State],
+        state: State,
         pending: Tuple[ProcessId, ...],
         view: ProcessView[State],
+        rounds: int,
     ) -> Move:
         if not pending:
             return ADVANCE_TIME
-        rounds = sum(1 for a in fragment.actions if a == TIME_PASSAGE)
         process = pending[rounds % len(pending)]
-        steps = steps_of_process(automaton, fragment.lstate, view, process)
+        steps = steps_of_process(automaton, state, view, process)
         if not steps:
             raise AdversaryError(
                 f"process {process!r} is pending but has no enabled steps"
             )
         return steps[0]
+
+    def rounds_period(self, view: ProcessView[State]) -> int:
+        period = 1
+        for length in range(2, len(view.processes) + 1):
+            period = math.lcm(period, length)
+        return period
 
     def __repr__(self) -> str:
         return "RotatingRoundPolicy()"

@@ -28,6 +28,7 @@ from repro.adversary.search import HashedRandomRoundPolicy
 from repro.adversary.unit_time import (
     ADVANCE_TIME,
     FifoRoundPolicy,
+    MarkovRoundPolicy,
     Move,
     ProcessView,
     ReversedRoundPolicy,
@@ -39,11 +40,10 @@ from repro.adversary.unit_time import (
 from repro.algorithms.lehmann_rabin.automaton import LRProcessView
 from repro.algorithms.lehmann_rabin.state import FREE, LRState, PC
 from repro.automaton.automaton import ProbabilisticAutomaton
-from repro.automaton.execution import ExecutionFragment
 from repro.errors import AdversaryError
 
 
-class ObstructionistPolicy(RoundPolicy[LRState]):
+class ObstructionistPolicy(MarkovRoundPolicy[LRState]):
     """A heuristic spoiler for the Lehmann-Rabin ring.
 
     Scheduling priorities within a round (lower score goes first):
@@ -89,16 +89,16 @@ class ObstructionistPolicy(RoundPolicy[LRState]):
                     return True
         return False
 
-    def next_move(
+    def markov_move(
         self,
         automaton: ProbabilisticAutomaton[LRState],
-        fragment: ExecutionFragment[LRState],
+        state: LRState,
         pending: Tuple[Hashable, ...],
         view: ProcessView[LRState],
+        rounds: int,
     ) -> Move:
         if not pending:
             return ADVANCE_TIME
-        state = fragment.lstate
         process = min(pending, key=lambda i: (self._score(state, i), i))
         steps = steps_of_process(automaton, state, view, process)
         if not steps:
@@ -111,7 +111,7 @@ class ObstructionistPolicy(RoundPolicy[LRState]):
         return "ObstructionistPolicy()"
 
 
-class SlowStarterPolicy(RoundPolicy[LRState]):
+class SlowStarterPolicy(MarkovRoundPolicy[LRState]):
     """Delays one distinguished process to the end of every round.
 
     Starving a single process as long as Unit-Time permits probes the
@@ -121,18 +121,19 @@ class SlowStarterPolicy(RoundPolicy[LRState]):
     def __init__(self, victim: int):
         self._victim = victim
 
-    def next_move(
+    def markov_move(
         self,
         automaton: ProbabilisticAutomaton[LRState],
-        fragment: ExecutionFragment[LRState],
+        state: LRState,
         pending: Tuple[Hashable, ...],
         view: ProcessView[LRState],
+        rounds: int,
     ) -> Move:
         if not pending:
             return ADVANCE_TIME
         others = [p for p in pending if p != self._victim]
         process = others[0] if others else pending[0]
-        steps = steps_of_process(automaton, fragment.lstate, view, process)
+        steps = steps_of_process(automaton, state, view, process)
         if not steps:
             raise AdversaryError(
                 f"process {process!r} is pending but has no enabled steps"

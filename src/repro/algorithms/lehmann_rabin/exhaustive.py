@@ -44,9 +44,11 @@ from repro.algorithms.lehmann_rabin.state import (
     consistent_resources,
     make_state,
 )
-from repro.errors import VerificationError
+from repro.algorithms.lehmann_rabin.automaton import lr_time_of
+from repro.errors import StateBudgetExceeded, VerificationError
 from repro.mdp.bounded import min_reach_probability_rounds
 from repro.proofs.statements import StateClass
+from repro.statespace.compile import CompiledSpace, SpaceSpec, compile_space
 
 _ALL_LOCALS = tuple(
     ProcessState(pc, side) for pc in PC for side in Side
@@ -124,8 +126,33 @@ LEAF_SPECS: Dict[str, Tuple[StateClass, Callable, int, Fraction]] = {
 }
 
 
+def _exhaustive_space(
+    automaton, members: List[LRState]
+) -> Optional[CompiledSpace]:
+    """One interned space shared by every start of a sweep.
+
+    Compiled up to the clock from all region members at once; ``None``
+    (falling back to rich-key memoisation) when the closure does not
+    fit the default budget, so sweeps degrade instead of failing.
+    """
+    try:
+        return compile_space(
+            automaton,
+            members,
+            SpaceSpec(key=lambda s: s.untimed(), time_of=lr_time_of),
+        )
+    except StateBudgetExceeded:
+        return None
+
+
 def exhaustive_leaf_check(name: str, n: int = 3) -> ExhaustiveResult:
-    """Check one leaf proposition over its entire region, exactly."""
+    """Check one leaf proposition over its entire region, exactly.
+
+    The region's reachable space is compiled once and its interned ids
+    key a memo table shared across all member states — neighbouring
+    starts reuse almost every subproblem, which is what makes the full
+    sweeps fast enough for the tier-1 suite.
+    """
     spec = LEAF_SPECS.get(name)
     if spec is None:
         raise VerificationError(
@@ -137,12 +164,15 @@ def exhaustive_leaf_check(name: str, n: int = 3) -> ExhaustiveResult:
     members = [s for s in all_consistent_states(n) if region.contains(s)]
     if not members:
         raise VerificationError(f"region {region.name!r} is empty for n={n}")
+    space = _exhaustive_space(automaton, members)
+    memo: Dict = {}
     worst = Fraction(1)
     witness: Optional[LRState] = None
     for state in members:
         value = min_reach_probability_rounds(
             automaton, view, target, state, rounds,
             strip_time=lambda s: s.untimed(),
+            space=space, memo=memo,
         )
         if value < worst:
             worst, witness = value, state
@@ -170,12 +200,15 @@ def exhaustive_composed_check(
     members = [s for s in all_consistent_states(n) if T_CLASS.contains(s)]
     if limit is not None:
         members = members[:limit]
+    space = _exhaustive_space(automaton, members)
+    memo: Dict = {}
     worst = Fraction(1)
     witness: Optional[LRState] = None
     for state in members:
         value = min_reach_probability_rounds(
             automaton, view, in_critical, state, rounds,
             strip_time=lambda s: s.untimed(),
+            space=space, memo=memo,
         )
         if value < worst:
             worst, witness = value, state

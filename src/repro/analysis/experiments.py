@@ -40,6 +40,8 @@ def ring_size_sweep(
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    state_budget: Optional[int] = None,
 ) -> List[ScalingRow]:
     """The composed statement and time-to-C across ring sizes.
 
@@ -61,10 +63,13 @@ def ring_size_sweep(
             workers=workers,
             policy=policy,
             guards=guards,
+            engine=engine,
+            state_budget=state_budget,
         )
         times = measure_lr_expected_time(
             setup, seed=seed, samples=time_samples, workers=workers,
-            policy=policy, guards=guards,
+            policy=policy, guards=guards, engine=engine,
+            state_budget=state_budget,
         )
         means = [r.mean for r in times.values() if r.times]
         maxima = [float(r.maximum) for r in times.values() if r.times]
@@ -98,6 +103,8 @@ def adversary_power_comparison(
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    state_budget: Optional[int] = None,
 ) -> List[AdversaryPowerRow]:
     """Per-adversary success probability and time statistics.
 
@@ -111,6 +118,7 @@ def adversary_power_comparison(
     report = check_lr_statement(
         final, setup, seed=seed, samples_per_pair=samples_per_pair,
         random_starts=4, workers=workers, policy=policy, guards=guards,
+        engine=engine, state_budget=state_budget,
     )
     per_adversary: Dict[str, List[float]] = {}
     for check in report.checks:
@@ -119,7 +127,8 @@ def adversary_power_comparison(
         )
     times = measure_lr_expected_time(
         setup, seed=seed, samples=time_samples, workers=workers,
-        policy=policy, guards=guards,
+        policy=policy, guards=guards, engine=engine,
+        state_budget=state_budget,
     )
     rows: List[AdversaryPowerRow] = []
     for name, estimates in sorted(per_adversary.items()):
@@ -153,6 +162,8 @@ def horizon_sweep(
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    state_budget: Optional[int] = None,
 ) -> List[HorizonRow]:
     """Success probability of ``T --t--> C`` as the deadline ``t`` varies.
 
@@ -171,6 +182,7 @@ def horizon_sweep(
         report = check_lr_statement(
             statement, setup, seed=seed, samples_per_pair=samples_per_pair,
             random_starts=4, workers=workers, policy=policy, guards=guards,
+            engine=engine, state_budget=state_budget,
         )
         rows.append(
             HorizonRow(time_bound=bound, min_success_estimate=report.min_estimate)

@@ -20,7 +20,7 @@ from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.contracts import GuardConfig
 from repro.errors import VerificationError
 from repro.parallel.pool import RunPolicy
-from repro.parallel.seeds import derive_seed
+from repro.parallel.seeds import derive_rng, derive_seed
 from repro.proofs.statements import ArrowStatement
 from repro.proofs.verifier import (
     ArrowCheckReport,
@@ -28,6 +28,7 @@ from repro.proofs.verifier import (
     check_arrow_by_sampling,
     measure_time_to_target,
 )
+from repro.statespace.compile import SpaceSpec
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,15 @@ class LRExperimentSetup:
     #: The schema the family is declared to range over; the guard layer
     #: checks membership and probes execution closure against it.
     schema: Optional[AdversarySchema] = None
+
+    def space_spec(self) -> SpaceSpec:
+        """The compile quotient for this ring: intern states up to the
+        clock (``LRState.untimed``) and read time advances off
+        ``lr_time_of``.  Lehmann-Rabin dynamics are time-invariant, so
+        the quotient is exact and keeps the compiled space finite."""
+        return SpaceSpec(
+            key=lambda state: state.untimed(), time_of=lr.lr_time_of
+        )
 
     @classmethod
     def build(
@@ -109,6 +119,8 @@ def check_lr_statement(
     early_stop: bool = False,
     policy: Optional[RunPolicy] = None,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    state_budget: Optional[int] = None,
 ) -> ArrowCheckReport:
     """Monte-Carlo check of one arrow statement on a Lehmann-Rabin ring.
 
@@ -122,9 +134,11 @@ def check_lr_statement(
     hardens the run without changing the report — see
     ``docs/robustness.md``.  ``guards`` selects the contract-check mode
     (``docs/contracts.md``); the setup's declared schema backs the
-    membership and execution-closure checks.
+    membership and execution-closure checks.  ``engine`` selects the
+    evaluation strategy and ``state_budget`` the compile cap
+    (``docs/statespace.md``); reports are byte-identical across engines.
     """
-    starts_rng = random.Random(derive_seed(seed, "starts"))
+    starts_rng = derive_rng(seed, "starts")
     starts = start_states_for(statement, setup, starts_rng, random_starts)
     return check_arrow_by_sampling(
         setup.automaton,
@@ -140,6 +154,9 @@ def check_lr_statement(
         policy=policy,
         schema=setup.schema,
         guards=guards,
+        engine=engine,
+        space_spec=setup.space_spec(),
+        state_budget=state_budget,
     )
 
 
@@ -152,6 +169,8 @@ def check_all_leaves(
     early_stop: bool = False,
     policy: Optional[RunPolicy] = None,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    state_budget: Optional[int] = None,
 ) -> Dict[str, ArrowCheckReport]:
     """Check every Section 6.2 leaf statement; keyed by proposition name."""
     reports: Dict[str, ArrowCheckReport] = {}
@@ -161,6 +180,7 @@ def check_all_leaves(
                 statement, setup, seed=seed,
                 samples_per_pair=samples_per_pair, workers=workers,
                 early_stop=early_stop, policy=policy, guards=guards,
+                engine=engine, state_budget=state_budget,
             )
     return reports
 
@@ -174,6 +194,8 @@ def measure_lr_expected_time(
     workers: int = 1,
     policy: Optional[RunPolicy] = None,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    state_budget: Optional[int] = None,
 ) -> Dict[str, TimeToTargetReport]:
     """Measure time-to-critical from ``T`` states under every adversary.
 
@@ -182,7 +204,7 @@ def measure_lr_expected_time(
     :func:`check_lr_statement`, start selection and each adversary's
     time sampling use independent child seeds of ``seed``.
     """
-    starts_rng = random.Random(derive_seed(seed, "starts"))
+    starts_rng = derive_rng(seed, "starts")
     final = lr.leaf_statements()["A.3"]  # source class T
     starts = start_states_for(final, setup, starts_rng, random_count=6)
     reports: Dict[str, TimeToTargetReport] = {}
@@ -202,5 +224,8 @@ def measure_lr_expected_time(
                 policy=policy,
                 schema=setup.schema,
                 guards=guards,
+                engine=engine,
+                space_spec=setup.space_spec(),
+                state_budget=state_budget,
             )
     return reports

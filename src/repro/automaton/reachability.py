@@ -27,7 +27,7 @@ from typing import (
 
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
-from repro.errors import VerificationError
+from repro.errors import StateBudgetExceeded
 
 State = TypeVar("State", bound=Hashable)
 
@@ -40,9 +40,9 @@ def reachable_states(
 
     ``max_states`` bounds exploration for automata with large or
     unbounded state spaces; exceeding the bound raises
-    :class:`VerificationError` rather than silently truncating, because
-    a truncated reachable set would make downstream invariant checks
-    unsound.
+    :class:`StateBudgetExceeded` (a :class:`VerificationError`) rather
+    than silently truncating, because a truncated reachable set would
+    make downstream invariant checks unsound.
     """
     visited: Set[State] = set(automaton.start_states)
     frontier: Deque[State] = deque(automaton.start_states)
@@ -53,8 +53,11 @@ def reachable_states(
                 if target not in visited:
                     visited.add(target)
                     if max_states is not None and len(visited) > max_states:
-                        raise VerificationError(
-                            f"reachable-state exploration exceeded {max_states} states"
+                        raise StateBudgetExceeded(
+                            f"reachable-state exploration exceeded "
+                            f"{max_states} states",
+                            budget=max_states,
+                            explored=len(visited),
                         )
                     frontier.append(target)
     return visited
@@ -98,8 +101,10 @@ def check_invariant(
                     continue
                 parents[target] = (state, transition.action)
                 if max_states is not None and len(parents) > max_states:
-                    raise VerificationError(
-                        f"invariant exploration exceeded {max_states} states"
+                    raise StateBudgetExceeded(
+                        f"invariant exploration exceeded {max_states} states",
+                        budget=max_states,
+                        explored=len(parents),
                     )
                 if not invariant(target):
                     return InvariantViolation(target, _trace_back(parents, target))

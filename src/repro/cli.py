@@ -40,12 +40,15 @@ model-contract enforcement mode (Definitions 2.1/2.2/3.3) and
 per-execution budgets; on healthy models ``warn`` output is
 byte-identical to ``off`` for every worker count, and strict-mode
 violations exit with the dedicated status 4 (see ``docs/contracts.md``).
+``--engine {tree,compiled,auto}`` selects the evaluation strategy —
+the historical tree walk or the compile-once interned state space —
+and ``--state-budget`` caps the compile; reports are byte-identical
+whichever engine ran (see ``docs/statespace.md``).
 """
 
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from contextlib import nullcontext
 from typing import Optional, Sequence
@@ -64,7 +67,8 @@ EXIT_STATUS_EPILOG = """\
 exit status:
   0  success: every checked claim held
   1  a checked claim was refuted (or a measured bound failed)
-  2  usage error (unknown flags or propositions, contradictory flags)
+  2  usage error (unknown flags or propositions, contradictory flags,
+     or --engine compiled blew its --state-budget)
   3  pooled run exhausted its fault-tolerance budget, or a checkpoint
      file was unusable
   4  model-contract violation: a --guards strict check failed, the
@@ -161,6 +165,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         reports = check_all_leaves(
             setup, seed=args.seed, samples_per_pair=args.samples,
             workers=args.workers, policy=policy, guards=guards,
+            engine=args.engine, state_budget=args.state_budget,
         )
         rows = []
         failures = 0
@@ -171,7 +176,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         final = check_lr_statement(
             chain.final_statement, setup, seed=args.seed,
             samples_per_pair=args.samples, workers=args.workers,
-            policy=policy, guards=guards,
+            policy=policy, guards=guards, engine=args.engine,
+            state_budget=args.state_budget,
         )
     failures += final.refuted
     rows.append(arrow_report_row("composed", final))
@@ -222,7 +228,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         report = check_lr_statement(
             statement, setup, seed=args.seed, samples_per_pair=args.samples,
             workers=args.workers, early_stop=args.early_stop, policy=policy,
-            guards=guards,
+            guards=guards, engine=args.engine,
+            state_budget=args.state_budget,
         )
     if args.json:
         print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
@@ -261,6 +268,7 @@ def _cmd_chain(args: argparse.Namespace) -> int:
             chain.final_statement, setup, seed=args.seed,
             samples_per_pair=args.samples, workers=args.workers,
             early_stop=args.early_stop, policy=policy, guards=guards,
+            engine=args.engine, state_budget=args.state_budget,
         )
     print(report.summary_line())
     skips = _quarantine_lines(report)
@@ -277,13 +285,14 @@ def _cmd_exact(args: argparse.Namespace) -> int:
     from repro.algorithms import lehmann_rabin as lr
     from repro.analysis.reporting import banner, format_table
     from repro.mdp.bounded import min_reach_probability_rounds
+    from repro.parallel.seeds import rng_from_seed
 
     def strip(state):
         return state.untimed()
 
     automaton = lr.lehmann_rabin_automaton(args.n)
     view = lr.LRProcessView(args.n)
-    rng = random.Random(args.seed)
+    rng = rng_from_seed(args.seed)
     cases = [
         ("A.1", lr.P_CLASS, lr.in_critical, 1, Fraction(1)),
         (
@@ -381,6 +390,7 @@ def _cmd_expected_time(args: argparse.Namespace) -> int:
         reports = measure_lr_expected_time(
             setup, seed=args.seed, samples=args.samples,
             workers=args.workers, policy=policy, guards=guards,
+            engine=args.engine, state_budget=args.state_budget,
         )
     rows = []
     failures = 0
@@ -421,7 +431,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         rows = ring_size_sweep(
             sizes=sizes, seed=args.seed, samples_per_pair=args.samples,
             time_samples=args.samples, workers=args.workers, policy=policy,
-            guards=guards,
+            guards=guards, engine=args.engine,
+            state_budget=args.state_budget,
         )
     print(format_table(
         ("n", "min P[T -13-> C]", "claimed", "worst mean time"),
@@ -437,6 +448,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         hrows = horizon_sweep(
             seed=args.seed, samples_per_pair=args.samples,
             workers=args.workers, policy=policy, guards=guards,
+            engine=args.engine, state_budget=args.state_budget,
         )
     print(format_table(
         ("deadline", "min P[T -t-> C]"),
@@ -548,6 +560,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             reports = check_all_leaves(
                 setup, seed=args.seed, samples_per_pair=args.samples,
                 workers=args.workers, policy=policy, guards=guards,
+                engine=args.engine, state_budget=args.state_budget,
             )
             with obs.span("stats.value_iteration", n=args.n):
                 worst_rounds = extremal_expected_time_rounds(
@@ -698,6 +711,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="per-execution budget surfacing nontermination, e.g. "
                  "'5000' (steps) or 'steps=5000,seconds=2.5'; requires "
                  "--guards warn or strict",
+        )
+        p.add_argument(
+            "--engine", choices=("tree", "compiled", "auto"),
+            default="tree",
+            help="evaluation strategy: 'tree' walks the live object "
+                 "graph, 'compiled' interns the reachable state space "
+                 "once and samples index tables (errors when the "
+                 "--state-budget is exceeded), 'auto' compiles when the "
+                 "space fits and falls back to the tree walk otherwise; "
+                 "reports are byte-identical whichever engine ran "
+                 "(default: %(default)s; see docs/statespace.md)",
+        )
+        p.add_argument(
+            "--state-budget", type=int, default=None, metavar="N",
+            dest="state_budget",
+            help="cap on interned states (and per-adversary product "
+                 "nodes) for --engine compiled/auto (default: 200000)",
         )
 
     def common(p, samples_default=80):
@@ -909,7 +939,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     model-contract violation that escapes quarantine (strict guards on
     a non-pooled code path) exits with status 4.
     """
-    from repro.errors import CheckpointError, ContractViolation, PoolFaultError
+    from repro.errors import (
+        CheckpointError,
+        ContractViolation,
+        PoolFaultError,
+        StateBudgetExceeded,
+    )
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -925,6 +960,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ContractViolation as error:
         print(f"repro: contract violation: {error}", file=sys.stderr)
         return EXIT_CONTRACT
+    except StateBudgetExceeded as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
     except (PoolFaultError, CheckpointError) as error:
         print(f"repro: error: {error}", file=sys.stderr)
         if getattr(args, "checkpoint", None) and not isinstance(

@@ -71,6 +71,28 @@ class VerificationError(ReproError):
     """
 
 
+class StateSpaceError(VerificationError):
+    """Raised when a state space cannot be compiled as requested.
+
+    Examples: a space specification whose quotient key collides two
+    dynamically distinct states, or an adversary that cannot be
+    tabulated into a finite decision table.
+    """
+
+
+class StateBudgetExceeded(StateSpaceError):
+    """Raised when compile-time exploration exceeds its state budget.
+
+    ``--engine compiled`` surfaces this to the caller; ``--engine auto``
+    catches it and falls back to the tree-walk engine instead.
+    """
+
+    def __init__(self, message: str, *, budget: int = 0, explored: int = 0):
+        super().__init__(message)
+        self.budget = budget
+        self.explored = explored
+
+
 class ObservabilityError(ReproError):
     """Raised when the instrumentation layer is misused.
 

@@ -5,6 +5,14 @@ the Lehmann-Rabin experiments we instead sample maximal executions of
 ``H(M, A, s)`` and estimate event probabilities and time statistics.
 Each sample threads an explicit :class:`random.Random`, so experiments
 are reproducible from their seeds.
+
+This module is the *tree engine* of the sampling layer: it walks the
+live object graph one fragment at a time.  The compiled engine in
+:mod:`repro.statespace.engine` mirrors these loops over interned index
+tables — draw for draw, metric for metric — so both produce
+byte-identical reports; any change to the control flow here must be
+reflected there (the cross-engine suite in ``tests/test_statespace.py``
+pins the equivalence).
 """
 
 from __future__ import annotations

@@ -33,6 +33,7 @@ from repro.adversary.unit_time import ProcessView
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.signature import TIME_PASSAGE
 from repro.errors import VerificationError
+from repro.statespace.compile import CompiledSpace
 
 State = TypeVar("State", bound=Hashable)
 
@@ -46,6 +47,9 @@ def min_reach_probability_rounds(
     strip_time: Callable[[State], Hashable],
     minimise: bool = True,
     max_memo: int = 5_000_000,
+    *,
+    space: Optional[CompiledSpace] = None,
+    memo: Optional[Dict] = None,
 ) -> Fraction:
     """Extremal probability of reaching ``target`` within ``rounds``.
 
@@ -57,18 +61,30 @@ def min_reach_probability_rounds(
     ``minimise=True`` computes the adversary's best spoiling play (the
     quantity arrow statements lower-bound); ``False`` the most helpful
     scheduler, an upper envelope used in ablations.
+
+    When a :class:`CompiledSpace` whose quotient key equals
+    ``strip_time`` is supplied, memo entries key on its dense interned
+    ids instead of rich keys.  ``memo`` lets callers share one table
+    across many starts of the *same* (target, minimise) problem — the
+    exhaustive sweeps reuse almost every subproblem between
+    neighbouring start states.
     """
     if rounds < 0:
         raise VerificationError("rounds must be nonnegative")
     select = min if minimise else max
-    memo: Dict[Tuple[Hashable, FrozenSet, int], Fraction] = {}
+    if space is not None:
+        strip: Callable[[State], Hashable] = space.state_id
+    else:
+        strip = strip_time
+    if memo is None:
+        memo = {}
 
     def value(state: State, stepped: FrozenSet, remaining: int) -> Fraction:
         if target(state):
             return Fraction(1)
         if remaining == 0:
             return Fraction(0)
-        key = (strip_time(state), stepped, remaining)
+        key = (strip(state), stepped, remaining)
         cached = memo.get(key)
         if cached is not None:
             return cached

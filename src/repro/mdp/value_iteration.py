@@ -23,13 +23,17 @@ Lehmann-Rabin exact checker uses the round-synchronous recursion in
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Dict, Hashable, Tuple, TypeVar
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
 
 from repro import obs
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.errors import VerificationError
+from repro.statespace.compile import CompiledSpace
 
 State = TypeVar("State", bound=Hashable)
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
 
 
 def bounded_reachability(
@@ -38,6 +42,8 @@ def bounded_reachability(
     start: State,
     steps: int,
     minimise: bool = True,
+    *,
+    space: Optional[CompiledSpace] = None,
 ) -> Fraction:
     """The extremal probability of hitting ``target`` within ``steps``.
 
@@ -45,39 +51,64 @@ def bounded_reachability(
     (the side relevant to arrow statements); ``False`` the best case.
     Terminal states without enabled steps contribute 0 unless they are
     in the target.
+
+    The induction runs on an explicit stack, so ``steps`` can exceed the
+    interpreter's recursion limit.  When a :class:`CompiledSpace`
+    covering ``start``'s reachable set is supplied, memo keys are its
+    dense interned ids instead of rich state objects — cheaper to hash
+    and shared with every other consumer of the same space.
     """
     if steps < 0:
         raise VerificationError("steps must be nonnegative")
     select = min if minimise else max
-    memo: Dict[Tuple[State, int], Fraction] = {}
+    if space is not None:
+        key_of: Callable[[State], Hashable] = space.state_id
+    else:
+        key_of = lambda state: state  # noqa: E731 - local key adapter
+    memo: Dict[Tuple[Hashable, int], Fraction] = {}
 
-    def value(state: State, remaining: int) -> Fraction:
+    stack = [(start, steps)]
+    while stack:
+        state, remaining = stack[-1]
+        key = (key_of(state), remaining)
+        if key in memo:
+            stack.pop()
+            continue
         if target(state):
-            return Fraction(1)
+            memo[key] = _ONE
+            stack.pop()
+            continue
         if remaining == 0:
-            return Fraction(0)
-        key = (state, remaining)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
+            memo[key] = _ZERO
+            stack.pop()
+            continue
         enabled = automaton.transitions(state)
         if not enabled:
-            result = Fraction(0)
-        else:
-            result = select(
-                sum(
-                    (
-                        weight * value(successor, remaining - 1)
-                        for successor, weight in step.target.items()
-                    ),
-                    Fraction(0),
-                )
-                for step in enabled
+            memo[key] = _ZERO
+            stack.pop()
+            continue
+        missing = [
+            (successor, remaining - 1)
+            for step in enabled
+            for successor in step.target.support
+            if (key_of(successor), remaining - 1) not in memo
+        ]
+        if missing:
+            stack.extend(missing)
+            continue
+        memo[key] = select(
+            sum(
+                (
+                    weight * memo[(key_of(successor), remaining - 1)]
+                    for successor, weight in step.target.items()
+                ),
+                _ZERO,
             )
-        memo[key] = result
-        return result
+            for step in enabled
+        )
+        stack.pop()
 
-    result = value(start, steps)
+    result = memo[(key_of(start), steps)]
     if obs.enabled():
         obs.incr("mdp.bounded.calls")
         obs.incr("mdp.bounded.states_evaluated", len(memo))

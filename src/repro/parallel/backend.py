@@ -21,7 +21,6 @@ re-derived from the recorded counts, never stored separately; see
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple, TypeVar
@@ -37,14 +36,13 @@ from repro.contracts.guards import (
 from repro.errors import CheckpointError, ContractViolation
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.execution import ExecutionFragment
-from repro.events.reach import ReachWithinTime
-from repro.execution.sampler import sample_event, sample_time_until
-from repro.parallel.seeds import derive_rng
+from repro.parallel.seeds import derive_rng, rng_from_seed
 from repro.probability.stats import (
     BernoulliSummary,
     clopper_pearson_lower,
     clopper_pearson_upper,
 )
+from repro.statespace.engine import Engine, TreeEngine
 
 State = TypeVar("State", bound=Hashable)
 
@@ -78,6 +76,11 @@ class ArrowPairContext:
     #: Contract-check settings.  Part of the fork-inherited context, so
     #: pooled workers enforce identically to ``workers=1``.
     guards: GuardConfig = OFF_CONFIG
+    #: The evaluation engine (``repro.statespace.engine``).  Compiled
+    #: tables ride here, fork-inherited, so workers never recompile.
+    #: ``None`` means "build a tree engine lazily" (kept for callers
+    #: that assemble contexts by hand).
+    engine: Optional[Engine] = None
 
 
 @dataclass(frozen=True)
@@ -136,14 +139,10 @@ def execute_pair(context: ArrowPairContext, task: PairTask) -> PairOutcome:
     pair must degrade, not abort the whole run.
     """
     adversary_name, adversary = context.adversaries[task.adversary_index]
-    start = context.start_states[task.start_index]
-    schema = ReachWithinTime(
-        target=context.target,
-        time_bound=context.time_bound,
-        time_of=context.time_of,
-    )
-    fragment = ExecutionFragment.initial(start)
-    rng = random.Random(task.seed)
+    engine = context.engine
+    if engine is None:
+        engine = _tree_engine_for_pairs(context)
+    rng = rng_from_seed(task.seed)
     chunk_size = (
         context.chunk_size if context.early_stop else context.samples_per_pair
     )
@@ -160,9 +159,11 @@ def execute_pair(context: ArrowPairContext, task: PairTask) -> PairOutcome:
             )
         while trials < context.samples_per_pair:
             for _ in range(min(chunk_size, context.samples_per_pair - trials)):
-                result = sample_event(
-                    context.automaton, adversary, fragment, schema, rng,
-                    context.max_steps, guards=guards,
+                result = engine.sample(
+                    task.adversary_index,
+                    task.start_index,
+                    rng,
+                    want_fragment=closure_pending,
                 )
                 if closure_pending:
                     closure_pending = False
@@ -202,6 +203,20 @@ def execute_pair(context: ArrowPairContext, task: PairTask) -> PairOutcome:
     )
 
 
+def _tree_engine_for_pairs(context: ArrowPairContext) -> TreeEngine:
+    """The default tree engine for a hand-assembled pair context."""
+    return TreeEngine(
+        automaton=context.automaton,
+        adversaries=context.adversaries,
+        start_states=context.start_states,
+        target=context.target,
+        time_of=context.time_of,
+        time_bound=context.time_bound,
+        max_steps=context.max_steps,
+        guards=context.guards,
+    )
+
+
 # ----------------------------------------------------------------------
 # Time-to-target per-start tasks
 # ----------------------------------------------------------------------
@@ -221,6 +236,8 @@ class TimeStartContext:
     adversary_name: str = ""
     schema: object = None
     guards: GuardConfig = OFF_CONFIG
+    #: Evaluation engine, as in :class:`ArrowPairContext`.
+    engine: Optional[Engine] = None
 
 
 @dataclass(frozen=True)
@@ -255,7 +272,10 @@ def execute_time_start(
     quarantines this start instead of aborting the run.
     """
     start = context.start_states[task.start_index]
-    rng = random.Random(task.seed)
+    engine = context.engine
+    if engine is None:
+        engine = _tree_engine_for_time(context)
+    rng = rng_from_seed(task.seed)
     guards = context.guards
     closure_pending = guards.checking and context.schema is not None
     times: List[Fraction] = []
@@ -267,17 +287,7 @@ def execute_time_start(
                 context.adversary_name,
             )
         for _ in range(context.samples_per_start):
-            fragment = ExecutionFragment.initial(start)
-            elapsed = sample_time_until(
-                context.automaton,
-                context.adversary,
-                fragment,
-                context.target,
-                context.time_of,
-                rng,
-                context.max_steps,
-                guards=guards,
-            )
+            elapsed = engine.time_to_target(0, task.start_index, rng)
             if closure_pending:
                 closure_pending = False
                 # sample_time_until does not return its final fragment;
@@ -305,6 +315,20 @@ def execute_time_start(
         )
     return TimeStartOutcome(
         index=task.index, times=tuple(times), unreached=unreached
+    )
+
+
+def _tree_engine_for_time(context: TimeStartContext) -> TreeEngine:
+    """The default tree engine for a hand-assembled time context."""
+    return TreeEngine(
+        automaton=context.automaton,
+        adversaries=((context.adversary_name, context.adversary),),
+        start_states=context.start_states,
+        target=context.target,
+        time_of=context.time_of,
+        time_bound=None,
+        max_steps=context.max_steps,
+        guards=context.guards,
     )
 
 

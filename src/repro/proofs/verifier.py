@@ -43,12 +43,9 @@ from typing import (
 from repro import contracts, obs
 from repro.adversary.base import Adversary, AdversarySchema
 from repro.automaton.automaton import ProbabilisticAutomaton
-from repro.automaton.execution import ExecutionFragment
 from repro.contracts import GuardConfig, QuarantinedPair
 from repro.errors import VerificationError
-from repro.events.reach import ReachWithinTime
-from repro.execution.automaton import ExecutionAutomaton
-from repro.execution.measure import EventBounds, event_probability_bounds
+from repro.execution.measure import EventBounds
 from repro.parallel.backend import (
     DEFAULT_CHUNK_SIZE,
     ArrowPairContext,
@@ -70,7 +67,16 @@ from repro.probability.stats import (
     clopper_pearson_lower,
     clopper_pearson_upper,
 )
+from repro.proofs.reporting import (
+    guard_scope_suffix,
+    pair_row,
+    quarantine_from_violation,
+    quarantined_rows,
+    resolve_root_seed,
+)
 from repro.proofs.statements import ArrowStatement
+from repro.statespace.compile import SpaceSpec
+from repro.statespace.engine import build_engine
 
 State = TypeVar("State", bound=Hashable)
 
@@ -91,14 +97,14 @@ class PairCheck:
 
     def to_dict(self) -> dict:
         """A stable, JSON-ready summary of this pair's outcome."""
-        return {
-            "adversary": self.adversary_name,
-            "start_state": repr(self.start_state),
-            "successes": self.summary.successes,
-            "trials": self.summary.trials,
-            "estimate": self.estimate,
-            "truncated": self.truncated,
-        }
+        return pair_row(
+            self.adversary_name,
+            self.start_state,
+            successes=self.summary.successes,
+            trials=self.summary.trials,
+            estimate=self.estimate,
+            truncated=self.truncated,
+        )
 
 
 @dataclass(frozen=True)
@@ -202,39 +208,8 @@ class ArrowCheckReport:
             "refuted": self.refuted,
             "supported": self.supported,
             "checks": [check.to_dict() for check in self.checks],
-            "quarantined": [q.to_dict() for q in self.quarantined],
+            "quarantined": quarantined_rows(self.quarantined),
         }
-
-
-def _guard_scope_suffix(config: GuardConfig) -> str:
-    """The checkpoint-scope marker for outcome-affecting guard settings.
-
-    Off and warn (without fuel) produce identical outcomes, so they
-    share the unmarked scope; strict mode can quarantine pairs and fuel
-    budgets can truncate samples, so either segregates its checkpoints.
-    """
-    if not config.strict and not config.fuelled:
-        return ""
-    return (
-        f"|guards={config.mode}"
-        f"|fuel={config.fuel_steps},{config.fuel_seconds}"
-    )
-
-
-def _resolve_root_seed(
-    rng: Optional[random.Random], seed: Optional[int]
-) -> int:
-    """The root seed all per-task streams derive from.
-
-    An explicit ``seed`` wins; otherwise one 64-bit draw from ``rng``
-    becomes the root, so legacy rng-passing callers stay deterministic
-    in the rng's state.
-    """
-    if seed is not None:
-        return int(seed)
-    if rng is None:
-        raise VerificationError("supply an rng or an explicit seed")
-    return rng.getrandbits(64)
 
 
 def check_arrow_by_sampling(
@@ -255,6 +230,9 @@ def check_arrow_by_sampling(
     policy: Optional[RunPolicy] = None,
     schema: Optional[AdversarySchema] = None,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    space_spec: Optional[SpaceSpec] = None,
+    state_budget: Optional[int] = None,
 ) -> ArrowCheckReport:
     """Monte-Carlo check of ``statement`` over an adversary family.
 
@@ -285,6 +263,11 @@ def check_arrow_by_sampling(
     guards-off on healthy models; in strict mode a violating pair is
     quarantined (reported in ``report.quarantined``) while the rest of
     the run completes (see ``docs/contracts.md``).
+
+    ``engine`` selects the evaluation strategy (``tree``, ``compiled``,
+    or ``auto``); ``space_spec`` supplies the compile quotient and
+    ``state_budget`` the interning cap (see ``docs/statespace.md``).
+    Reports are byte-identical across engines.
     """
     if not adversaries:
         raise VerificationError("no adversaries supplied")
@@ -297,7 +280,7 @@ def check_arrow_by_sampling(
 
     guard_config = guards if guards is not None else contracts.active()
     guard_config.validate()
-    root_seed = _resolve_root_seed(rng, seed)
+    root_seed = resolve_root_seed(rng, seed)
     pairs: List[Tuple[str, State]] = []
     for name, _ in adversaries:
         for start in start_states:
@@ -321,6 +304,19 @@ def check_arrow_by_sampling(
             zip(pairs, occurrences)
         )
     ]
+    engine_obj = build_engine(
+        automaton,
+        tuple(adversaries),
+        tuple(start_states),
+        statement.target.contains,
+        time_of,
+        statement.time_bound,
+        max_steps,
+        engine=engine,
+        spec=space_spec,
+        state_budget=state_budget,
+        guards=guard_config,
+    )
     context = ArrowPairContext(
         automaton=automaton,
         adversaries=tuple(adversaries),
@@ -336,6 +332,7 @@ def check_arrow_by_sampling(
         chunk_size=chunk_size,
         schema=schema,
         guards=guard_config,
+        engine=engine_obj,
     )
     # Everything (besides the task seed) a pair's outcome depends on;
     # checkpointed results are only reused within a matching scope.
@@ -346,7 +343,7 @@ def check_arrow_by_sampling(
         f"arrow|{statement!r}|spp={samples_per_pair}|steps={max_steps}"
         f"|conf={confidence}|early={int(early_stop)}|chunk={chunk_size}"
     )
-    scope += _guard_scope_suffix(guard_config)
+    scope += guard_scope_suffix(guard_config)
     with obs.span(
         "verify.arrow_check",
         statement=repr(statement),
@@ -364,14 +361,8 @@ def check_arrow_by_sampling(
         quarantined: List[QuarantinedPair] = []
         for (name, start), outcome in zip(pairs, outcomes):
             if outcome.violation is not None:
-                kind, message = outcome.violation
                 quarantined.append(
-                    QuarantinedPair(
-                        adversary_name=name,
-                        start_state=repr(start),
-                        kind=kind,
-                        message=message,
-                    )
+                    quarantine_from_violation(name, start, outcome.violation)
                 )
             else:
                 checks.append(
@@ -444,12 +435,12 @@ class ExactArrowReport:
             "holds_for_family": self.holds_for_family,
             "refuted": self.refuted,
             "checks": [
-                {
-                    "adversary": check.adversary_name,
-                    "start_state": repr(check.start_state),
-                    "lower": float(check.bounds.lower),
-                    "upper": float(check.bounds.upper),
-                }
+                pair_row(
+                    check.adversary_name,
+                    check.start_state,
+                    lower=float(check.bounds.lower),
+                    upper=float(check.bounds.upper),
+                )
                 for check in self.checks
             ],
         }
@@ -464,19 +455,45 @@ def check_arrow_exactly(
     max_steps: int = 60,
     *,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    space_spec: Optional[SpaceSpec] = None,
+    state_budget: Optional[int] = None,
 ) -> ExactArrowReport:
     """Exact check of ``statement`` over an adversary family.
 
-    Exponential in ``max_steps`` in the worst case; intended for short
-    horizons (the per-phase arrows of the Lehmann-Rabin proof) and for
-    small explicit automata in tests.  ``guards`` reroutes adversary
-    validation through the contracts layer; with the default ``None``
-    the historical ``checked_choose`` behaviour is kept.
+    Exponential in ``max_steps`` in the worst case under the tree
+    engine; intended for short horizons (the per-phase arrows of the
+    Lehmann-Rabin proof) and for small explicit automata in tests.  The
+    compiled engine shares subtrees through the interned space, so it
+    handles far deeper horizons at the same exact answers.  ``guards``
+    reroutes adversary validation through the contracts layer; with the
+    default ``None`` the historical ``checked_choose`` behaviour is
+    kept.  ``engine``/``space_spec``/``state_budget`` select and
+    configure the evaluation strategy (see ``docs/statespace.md``).
     """
     if not adversaries:
         raise VerificationError("no adversaries supplied")
     if not start_states:
         raise VerificationError("no start states supplied")
+    for start in start_states:
+        if not statement.source.contains(start):
+            raise VerificationError(
+                f"start state {start!r} is not in the statement's "
+                f"source set {statement.source.name!r}"
+            )
+    engine_obj = build_engine(
+        automaton,
+        tuple(adversaries),
+        tuple(start_states),
+        statement.target.contains,
+        time_of,
+        statement.time_bound,
+        max_steps,
+        engine=engine,
+        spec=space_spec,
+        state_budget=state_budget,
+        guards=guards,
+    )
     checks: List[ExactPairCheck] = []
     with obs.span(
         "verify.exact_arrow_check",
@@ -484,24 +501,10 @@ def check_arrow_exactly(
         adversaries=len(adversaries),
         starts=len(start_states),
     ):
-        for name, adversary in adversaries:
-            for start in start_states:
-                if not statement.source.contains(start):
-                    raise VerificationError(
-                        f"start state {start!r} is not in the statement's "
-                        f"source set {statement.source.name!r}"
-                    )
-                schema = ReachWithinTime(
-                    target=statement.target.contains,
-                    time_bound=statement.time_bound,
-                    time_of=time_of,
-                )
-                execution_automaton = ExecutionAutomaton(
-                    automaton, adversary, ExecutionFragment.initial(start),
-                    guards=guards,
-                )
-                bounds = event_probability_bounds(
-                    execution_automaton, schema, max_steps
+        for adversary_index, (name, _) in enumerate(adversaries):
+            for start_index, start in enumerate(start_states):
+                bounds = engine_obj.exact_reach(
+                    adversary_index, start_index, max_steps
                 )
                 checks.append(ExactPairCheck(name, start, bounds))
                 obs.incr("verifier.exact_pairs")
@@ -564,7 +567,7 @@ class TimeToTargetReport:
             "mean": self.mean if self.times else None,
             "max": float(self.maximum) if self.times else None,
             "per_start": [count.to_dict() for count in self.per_start],
-            "quarantined": [q.to_dict() for q in self.quarantined],
+            "quarantined": quarantined_rows(self.quarantined),
         }
 
 
@@ -584,6 +587,9 @@ def measure_time_to_target(
     policy: Optional[RunPolicy] = None,
     schema: Optional[AdversarySchema] = None,
     guards: Optional[GuardConfig] = None,
+    engine: str = "tree",
+    space_spec: Optional[SpaceSpec] = None,
+    state_budget: Optional[int] = None,
 ) -> TimeToTargetReport:
     """Sample the time until ``target`` holds, for expected-time claims.
 
@@ -606,7 +612,7 @@ def measure_time_to_target(
         raise VerificationError("no start states supplied")
     guard_config = guards if guards is not None else contracts.active()
     guard_config.validate()
-    root_seed = _resolve_root_seed(rng, seed)
+    root_seed = resolve_root_seed(rng, seed)
     samples_per_start = math.ceil(samples / len(start_states))
     occurrences = occurrence_indices(
         [repr(start) for start in start_states]
@@ -623,6 +629,19 @@ def measure_time_to_target(
             zip(start_states, occurrences)
         )
     ]
+    engine_obj = build_engine(
+        automaton,
+        ((adversary_name, adversary),),
+        tuple(start_states),
+        target,
+        time_of,
+        None,
+        max_steps,
+        engine=engine,
+        spec=space_spec,
+        state_budget=state_budget,
+        guards=guard_config,
+    )
     context = TimeStartContext(
         automaton=automaton,
         adversary=adversary,
@@ -634,11 +653,12 @@ def measure_time_to_target(
         adversary_name=adversary_name,
         schema=schema,
         guards=guard_config,
+        engine=engine_obj,
     )
     total = samples_per_start * len(start_states)
     scope = (
         f"time|{adversary_name}|sps={samples_per_start}|steps={max_steps}"
-    ) + _guard_scope_suffix(guard_config)
+    ) + guard_scope_suffix(guard_config)
     with obs.span(
         "verify.time_to_target", adversary=adversary_name, samples=total,
         workers=workers,
@@ -654,13 +674,9 @@ def measure_time_to_target(
         unreached = 0
         for start, outcome in zip(start_states, outcomes):
             if outcome.violation is not None:
-                kind, message = outcome.violation
                 quarantined.append(
-                    QuarantinedPair(
-                        adversary_name=adversary_name,
-                        start_state=repr(start),
-                        kind=kind,
-                        message=message,
+                    quarantine_from_violation(
+                        adversary_name, start, outcome.violation
                     )
                 )
                 continue

@@ -1,0 +1,41 @@
+"""Compile-once state spaces and the engine protocol built on them.
+
+See ``docs/statespace.md`` for the compile pipeline, the
+``--engine {tree,compiled,auto}`` selection rules, and the fallback
+behaviour that keeps reports byte-identical across engines.
+"""
+
+from repro.statespace.compile import (
+    DEFAULT_STATE_BUDGET,
+    IDENTITY_SPEC,
+    CompiledSpace,
+    CompiledStep,
+    SpaceSpec,
+    compile_space,
+)
+from repro.statespace.engine import (
+    ENGINE_NAMES,
+    CompiledEngine,
+    Engine,
+    TreeEngine,
+    build_engine,
+    resolve_engine_name,
+)
+from repro.statespace.product import AdversaryTable, compile_adversary
+
+__all__ = [
+    "DEFAULT_STATE_BUDGET",
+    "IDENTITY_SPEC",
+    "CompiledSpace",
+    "CompiledStep",
+    "SpaceSpec",
+    "compile_space",
+    "ENGINE_NAMES",
+    "CompiledEngine",
+    "Engine",
+    "TreeEngine",
+    "build_engine",
+    "resolve_engine_name",
+    "AdversaryTable",
+    "compile_adversary",
+]

@@ -1,0 +1,506 @@
+"""The ``Engine`` protocol: one evaluation strategy per check.
+
+Every verification command evaluates (adversary, start) pairs through
+one of three operations — Monte-Carlo ``sample``, exact ``exact_reach``,
+or ``time_to_target`` — and an :class:`Engine` bundles one strategy for
+all three:
+
+* :class:`TreeEngine` walks the live object graph exactly as the
+  library always has (fragments, memoised transitions, policy replay).
+* :class:`CompiledEngine` walks the interned tables of
+  :mod:`repro.statespace.compile` / :mod:`repro.statespace.product`,
+  falling back to an embedded tree engine per adversary when that
+  adversary could not be tabulated (history-dependent policies) or when
+  a caller needs the final fragment (closure spot checks).
+
+Both engines consume the *identical* randomness per sample — one
+uniform draw per step, resolved against float partial sums accumulated
+exactly as ``FiniteDistribution.sample`` accumulates them — so reports
+are byte-identical whichever engine ran, for every seed, guard mode,
+and worker count.  The factory :func:`build_engine` implements the
+``--engine {tree,compiled,auto}`` selection rules: ``compiled``
+propagates :class:`~repro.errors.StateBudgetExceeded`, ``auto``
+silently falls back to the tree walk.
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.automaton.automaton import ProbabilisticAutomaton
+from repro.automaton.execution import ExecutionFragment
+from repro.contracts import OFF_CONFIG, GuardConfig
+from repro.errors import (
+    ContractViolation,
+    StateBudgetExceeded,
+    VerificationError,
+)
+from repro.events.reach import ReachWithinTime
+from repro.execution import sampler
+from repro.execution.automaton import ExecutionAutomaton
+from repro.execution.measure import EventBounds, event_probability_bounds
+from repro.execution.sampler import SampleResult
+from repro.probability.space import as_fraction
+from repro.statespace.compile import (
+    DEFAULT_STATE_BUDGET,
+    IDENTITY_SPEC,
+    SpaceSpec,
+    compile_space,
+)
+from repro.statespace.product import AdversaryTable, compile_adversary
+
+#: Engine names accepted by ``--engine``.
+ENGINE_NAMES = ("tree", "compiled", "auto")
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+def resolve_engine_name(engine: str) -> str:
+    """Validate an ``--engine`` value, returning it unchanged."""
+    if engine not in ENGINE_NAMES:
+        raise VerificationError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        )
+    return engine
+
+
+class Engine(abc.ABC):
+    """One bound evaluation strategy for a fixed check.
+
+    An engine is constructed for a specific (automaton, adversaries,
+    start states, target) tuple; the three operations below then index
+    into those sequences.  Engines ride the fork-inherited task
+    contexts of :mod:`repro.parallel.backend`, so pooled workers reuse
+    the parent's compiled tables and never recompile.
+    """
+
+    #: Short strategy label ("tree" / "compiled").
+    name: str = ""
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        adversary_index: int,
+        start_index: int,
+        rng,
+        *,
+        want_fragment: bool = False,
+    ) -> SampleResult:
+        """One Monte-Carlo sample of the pair's reach-within-time event.
+
+        ``want_fragment`` forces a result whose ``final`` fragment is
+        populated (the compiled engine otherwise returns ``final=None``
+        since it never materialises fragments); callers needing the
+        fragment — the execution-closure spot check — set it for that
+        sample only, and both engines consume identical randomness
+        either way.
+        """
+
+    @abc.abstractmethod
+    def time_to_target(
+        self, adversary_index: int, start_index: int, rng
+    ) -> Optional[Fraction]:
+        """One sampled elapsed time until the target (None = unreached)."""
+
+    @abc.abstractmethod
+    def exact_reach(
+        self, adversary_index: int, start_index: int, max_steps: int
+    ) -> EventBounds:
+        """Exact bounds on the pair's event probability."""
+
+
+class TreeEngine(Engine):
+    """The historical evaluation strategy: walk the live object graph."""
+
+    name = "tree"
+
+    def __init__(
+        self,
+        automaton: ProbabilisticAutomaton,
+        adversaries: Tuple[Tuple[str, object], ...],
+        start_states: Tuple[object, ...],
+        target: Callable[[object], bool],
+        time_of: Callable[[object], Fraction],
+        time_bound: object,
+        max_steps: int,
+        guards: Optional[GuardConfig] = OFF_CONFIG,
+    ):
+        self.automaton = automaton
+        self.adversaries = adversaries
+        self.start_states = start_states
+        self.target = target
+        self.time_of = time_of
+        self.time_bound = time_bound
+        self.max_steps = max_steps
+        self.guards = guards
+        self._schema = (
+            None
+            if time_bound is None
+            else ReachWithinTime(
+                target=target, time_bound=time_bound, time_of=time_of
+            )
+        )
+
+    def sample(
+        self,
+        adversary_index: int,
+        start_index: int,
+        rng,
+        *,
+        want_fragment: bool = False,
+    ) -> SampleResult:
+        _, adversary = self.adversaries[adversary_index]
+        fragment = ExecutionFragment.initial(self.start_states[start_index])
+        return sampler.sample_event(
+            self.automaton,
+            adversary,
+            fragment,
+            self._schema,
+            rng,
+            self.max_steps,
+            guards=self.guards,
+        )
+
+    def time_to_target(
+        self, adversary_index: int, start_index: int, rng
+    ) -> Optional[Fraction]:
+        _, adversary = self.adversaries[adversary_index]
+        fragment = ExecutionFragment.initial(self.start_states[start_index])
+        return sampler.sample_time_until(
+            self.automaton,
+            adversary,
+            fragment,
+            self.target,
+            self.time_of,
+            rng,
+            self.max_steps,
+            guards=self.guards,
+        )
+
+    def exact_reach(
+        self, adversary_index: int, start_index: int, max_steps: int
+    ) -> EventBounds:
+        _, adversary = self.adversaries[adversary_index]
+        fragment = ExecutionFragment.initial(self.start_states[start_index])
+        execution = ExecutionAutomaton(
+            self.automaton, adversary, fragment, guards=self.guards
+        )
+        return event_probability_bounds(execution, self._schema, max_steps)
+
+
+class CompiledEngine(Engine):
+    """Interned-table evaluation with per-adversary tree fallback."""
+
+    name = "compiled"
+
+    def __init__(
+        self,
+        tree: TreeEngine,
+        tables: Tuple[Optional[AdversaryTable], ...],
+        flags: List[bool],
+    ):
+        self.tree = tree
+        self.tables = tables
+        self.flags = flags
+        self._bound = (
+            None
+            if tree.time_bound is None
+            else as_fraction(tree.time_bound)
+        )
+
+    @property
+    def compiled_adversaries(self) -> int:
+        """How many adversaries were tabulated (rest use the tree)."""
+        return sum(1 for table in self.tables if table is not None)
+
+    def sample(
+        self,
+        adversary_index: int,
+        start_index: int,
+        rng,
+        *,
+        want_fragment: bool = False,
+    ) -> SampleResult:
+        table = self.tables[adversary_index]
+        if table is None or want_fragment:
+            return self.tree.sample(
+                adversary_index, start_index, rng, want_fragment=want_fragment
+            )
+        return self._sample_table(table, table.start_nodes[start_index], rng)
+
+    def _sample_table(self, table: AdversaryTable, node: int, rng):
+        """Mirror of :func:`sample_event` over index tables.
+
+        Same loop structure, same single uniform draw per step resolved
+        against identically accumulated partial sums, same metric
+        increments — only the data representation differs.  Guard
+        checks already ran at compile time and consume nothing here.
+        """
+        bound = self._bound
+        flags = self.flags
+        node_state = table.node_state
+        choice_targets = table.choice_targets
+        choice_cum = table.choice_cum
+        choice_deltas = table.choice_deltas
+        max_steps = self.tree.max_steps
+        obs_on = obs.enabled()
+        elapsed = _ZERO
+        verdict: Optional[bool] = None
+        steps_taken = 0
+        for steps_taken in range(max_steps + 1):
+            if elapsed > bound:
+                verdict = False
+                break
+            if flags[node_state[node]]:
+                verdict = True
+                break
+            if steps_taken == max_steps:
+                break
+            targets = choice_targets[node]
+            if obs_on:
+                obs.incr("adversary.decisions")
+                if targets is None:
+                    obs.incr("adversary.halts")
+            if targets is None:
+                # The adversary halted; ReachWithinTime.decide_maximal
+                # rejects maximal executions that never hit the target.
+                verdict = False
+                break
+            threshold = rng.random()
+            cum = choice_cum[node]
+            index = len(cum) - 1
+            for position, edge in enumerate(cum):
+                if threshold < edge:
+                    index = position
+                    break
+            delta = choice_deltas[node][index]
+            if delta:
+                elapsed = elapsed + delta
+            node = targets[index]
+        result = SampleResult(verdict, steps_taken, None)
+        if obs_on:
+            sampler._record_event_sample(result)
+        return result
+
+    def time_to_target(
+        self, adversary_index: int, start_index: int, rng
+    ) -> Optional[Fraction]:
+        table = self.tables[adversary_index]
+        if table is None:
+            return self.tree.time_to_target(adversary_index, start_index, rng)
+        return self._time_table(table, table.start_nodes[start_index], rng)
+
+    def _time_table(self, table: AdversaryTable, node: int, rng):
+        """Mirror of :func:`sample_time_until` over index tables."""
+        flags = self.flags
+        node_state = table.node_state
+        choice_targets = table.choice_targets
+        choice_cum = table.choice_cum
+        choice_deltas = table.choice_deltas
+        max_steps = self.tree.max_steps
+        obs_on = obs.enabled()
+        if flags[node_state[node]]:
+            if obs_on:
+                sampler._record_time_sample(_ZERO, 0)
+            return _ZERO
+        elapsed = _ZERO
+        reached: Optional[Fraction] = None
+        steps_taken = 0
+        for _ in range(max_steps):
+            targets = choice_targets[node]
+            if obs_on:
+                obs.incr("adversary.decisions")
+                if targets is None:
+                    obs.incr("adversary.halts")
+            if targets is None:
+                break
+            threshold = rng.random()
+            cum = choice_cum[node]
+            index = len(cum) - 1
+            for position, edge in enumerate(cum):
+                if threshold < edge:
+                    index = position
+                    break
+            delta = choice_deltas[node][index]
+            if delta:
+                elapsed = elapsed + delta
+            node = targets[index]
+            steps_taken += 1
+            if flags[node_state[node]]:
+                reached = elapsed
+                break
+        if obs_on:
+            sampler._record_time_sample(reached, steps_taken)
+        return reached
+
+    def exact_reach(
+        self, adversary_index: int, start_index: int, max_steps: int
+    ) -> EventBounds:
+        table = self.tables[adversary_index]
+        if table is None:
+            return self.tree.exact_reach(adversary_index, start_index, max_steps)
+        if max_steps < 0:
+            raise VerificationError("max_steps must be nonnegative")
+        accepted, undecided = self._exact_table(
+            table, table.start_nodes[start_index], max_steps
+        )
+        if obs.enabled():
+            obs.incr("measure.evaluations")
+        return EventBounds(lower=accepted, upper=accepted + undecided)
+
+    def _exact_table(
+        self, table: AdversaryTable, root: int, max_steps: int
+    ) -> Tuple[Fraction, Fraction]:
+        """(accepted, undecided) masses, mirroring the exact tree walk.
+
+        Dynamic programming over (node, elapsed, remaining) with exact
+        ``Fraction`` arithmetic; rational addition is associative, so
+        factoring shared subtrees leaves both masses exactly equal to
+        the per-path sums :func:`event_probability_bounds` computes.
+        The decision order per node mirrors the tree walk: classify
+        (time-reject before target-accept), then adversary halt, then
+        horizon.
+        """
+        bound = self._bound
+        flags = self.flags
+        node_state = table.node_state
+        choice_targets = table.choice_targets
+        choice_weights = table.choice_weights
+        choice_deltas = table.choice_deltas
+        memo = {}
+        stack = [(root, _ZERO, max_steps)]
+        while stack:
+            key = stack[-1]
+            if key in memo:
+                stack.pop()
+                continue
+            node, elapsed, remaining = key
+            if elapsed > bound:
+                memo[key] = (_ZERO, _ZERO)
+                stack.pop()
+                continue
+            if flags[node_state[node]]:
+                memo[key] = (_ONE, _ZERO)
+                stack.pop()
+                continue
+            targets = choice_targets[node]
+            if targets is None:
+                # Maximal execution; decide_maximal rejects.
+                memo[key] = (_ZERO, _ZERO)
+                stack.pop()
+                continue
+            if remaining == 0:
+                memo[key] = (_ZERO, _ONE)
+                stack.pop()
+                continue
+            deltas = choice_deltas[node]
+            children = [
+                (targets[i], elapsed + deltas[i], remaining - 1)
+                for i in range(len(targets))
+            ]
+            missing = [child for child in children if child not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            accepted = _ZERO
+            undecided = _ZERO
+            for weight, child in zip(choice_weights[node], children):
+                child_accepted, child_undecided = memo[child]
+                accepted += weight * child_accepted
+                undecided += weight * child_undecided
+            memo[key] = (accepted, undecided)
+            stack.pop()
+        return memo[(root, _ZERO, max_steps)]
+
+
+def build_engine(
+    automaton: ProbabilisticAutomaton,
+    adversaries: Sequence[Tuple[str, object]],
+    start_states: Sequence[object],
+    target: Callable[[object], bool],
+    time_of: Callable[[object], Fraction],
+    time_bound: object,
+    max_steps: int,
+    *,
+    engine: str = "tree",
+    spec: Optional[SpaceSpec] = None,
+    state_budget: Optional[int] = None,
+    guards: Optional[GuardConfig] = OFF_CONFIG,
+) -> Engine:
+    """Build the engine requested by ``--engine`` for one check.
+
+    Selection rules:
+
+    * ``tree`` — always the tree walk.
+    * ``compiled`` — compile or die: a blown state budget propagates as
+      :class:`StateBudgetExceeded`; ``--fuel`` is refused (fuel
+      accounting is inherently per-fragment).
+    * ``auto`` — compile when everything fits the budget and guards
+      permit, else silently use the tree walk.
+
+    A strict-mode :class:`ContractViolation` raised *during compile*
+    always falls back to the tree walk, which re-detects the identical
+    violation per pair and quarantines it exactly as it always has —
+    keeping strict-mode reports byte-identical across engines even on
+    broken models.
+    """
+    resolve_engine_name(engine)
+    # ``guards=None`` keeps the historical checked_choose validation on
+    # the exact tree path; for engine selection it behaves like OFF.
+    config = guards if guards is not None else OFF_CONFIG
+    tree = TreeEngine(
+        automaton=automaton,
+        adversaries=tuple(adversaries),
+        start_states=tuple(start_states),
+        target=target,
+        time_of=time_of,
+        time_bound=time_bound,
+        max_steps=max_steps,
+        guards=guards,
+    )
+    if engine == "tree":
+        return tree
+    if config.fuelled:
+        if engine == "compiled":
+            raise VerificationError(
+                "--engine compiled is incompatible with --fuel: fuel is "
+                "accounted per execution fragment, which compiled "
+                "sampling never materialises; use --engine tree"
+            )
+        return tree
+    budget = DEFAULT_STATE_BUDGET if state_budget is None else state_budget
+    try:
+        with obs.span(
+            "statespace.compile",
+            engine=engine,
+            budget=budget,
+            adversaries=len(tree.adversaries),
+        ):
+            space = compile_space(
+                automaton,
+                tree.start_states,
+                spec if spec is not None else IDENTITY_SPEC,
+                max_states=budget,
+                guards=guards,
+            )
+            tables = tuple(
+                compile_adversary(
+                    space, adversary, tree.start_states, max_nodes=budget
+                )
+                for _, adversary in tree.adversaries
+            )
+    except StateBudgetExceeded:
+        if engine == "compiled":
+            raise
+        return tree
+    except ContractViolation:
+        return tree
+    flags = space.flags(target)
+    compiled = CompiledEngine(tree, tables, flags)
+    if obs.enabled():
+        obs.gauge("statespace.compiled_adversaries", compiled.compiled_adversaries)
+    return compiled

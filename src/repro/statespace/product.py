@@ -1,0 +1,229 @@
+"""Adversary decision tables over a compiled space.
+
+A deterministic Unit-Time adversary built from a
+:class:`~repro.adversary.unit_time.MarkovRoundPolicy` has finite memory:
+the set of processes that already stepped this round plus (a bounded
+view of) the completed-round count.  This module explores the product of
+a :class:`~repro.statespace.compile.CompiledSpace` with that memory once
+per adversary, producing flat per-node arrays: the chosen step's target
+ids, float cumulative weights, exact probabilities, and clock advances.
+Sampling an execution then costs one uniform draw and a few list
+indexings per step — no fragments, no hashing of rich state objects, no
+re-running the policy.
+
+History-dependent adversaries (anything whose policy is not a
+``MarkovRoundPolicy``, e.g. the coin-peeking hashed-random family) are
+reported as uncompilable by returning ``None``; the engine falls back to
+the tree walk for those adversaries only, which preserves byte-identical
+reports because every (adversary, start) pair's outcome is a pure
+function of its derived seed under either evaluation strategy.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary
+from repro.adversary.unit_time import (
+    ADVANCE_TIME,
+    HALT,
+    MarkovRoundPolicy,
+    RoundBasedAdversary,
+)
+from repro.automaton.signature import TIME_PASSAGE
+from repro.automaton.transition import Transition
+from repro.errors import AdversaryError, ContractViolation, StateBudgetExceeded
+from repro.statespace.compile import CompiledSpace, CompiledStep
+
+#: A product node's memory: (space state id, stepped set, round key).
+_NodeKey = Tuple[int, FrozenSet[Hashable], int]
+
+
+class AdversaryTable:
+    """The compiled joint behaviour of one adversary over a space.
+
+    Node-indexed parallel arrays; each node has exactly one choice
+    (deterministic adversary).  ``choice_targets[i] is None`` means the
+    adversary halts at node ``i``.
+    """
+
+    __slots__ = (
+        "space",
+        "start_nodes",
+        "node_state",
+        "choice_targets",
+        "choice_cum",
+        "choice_weights",
+        "choice_deltas",
+    )
+
+    def __init__(self, space: CompiledSpace):
+        self.space = space
+        self.start_nodes: List[int] = []
+        self.node_state: List[int] = []
+        self.choice_targets: List[Optional[Tuple[int, ...]]] = []
+        self.choice_cum: List[Tuple[float, ...]] = []
+        self.choice_weights: List[Tuple[Fraction, ...]] = []
+        self.choice_deltas: List[Tuple[Fraction, ...]] = []
+
+    @property
+    def n_nodes(self) -> int:
+        """The number of explored product nodes."""
+        return len(self.node_state)
+
+
+def compile_adversary(
+    space: CompiledSpace,
+    adversary: Adversary,
+    starts: Sequence[object],
+    *,
+    max_nodes: int,
+) -> Optional[AdversaryTable]:
+    """Tabulate ``adversary`` over ``space``, or ``None`` if impossible.
+
+    Returns ``None`` for adversaries outside the compilable class
+    (non-round-based, history-dependent policies) and for adversaries
+    whose policy raises while being tabulated — the tree walk then
+    reproduces the identical raise (or quarantine) lazily at sample
+    time.  Budget overruns raise :class:`StateBudgetExceeded` like the
+    space compile itself.
+    """
+    if not isinstance(adversary, RoundBasedAdversary):
+        return None
+    policy = adversary.policy
+    if not isinstance(policy, MarkovRoundPolicy):
+        return None
+    view = adversary.view
+    max_rounds = adversary.max_rounds
+    period = 1 if max_rounds is not None else max(1, policy.rounds_period(view))
+    automaton = space.automaton
+    processes = view.processes
+
+    table = AdversaryTable(space)
+    ids: Dict[_NodeKey, int] = {}
+    order: List[_NodeKey] = []
+
+    def intern(node: _NodeKey) -> int:
+        found = ids.get(node)
+        if found is not None:
+            return found
+        if len(order) >= max_nodes:
+            raise StateBudgetExceeded(
+                f"adversary {adversary!r} exceeded the product-node budget "
+                f"of {max_nodes}; rerun with a larger --state-budget or "
+                f"--engine tree",
+                budget=max_nodes,
+                explored=len(order),
+            )
+        new_id = len(order)
+        ids[node] = new_id
+        order.append(node)
+        return new_id
+
+    try:
+        for start in starts:
+            table.start_nodes.append(
+                intern((space.state_id(start), frozenset(), 0))
+            )
+        cursor = 0
+        while cursor < len(order):
+            state_id, stepped, rounds = order[cursor]
+            cursor += 1
+            table.node_state.append(state_id)
+            rep = space.reps[state_id]
+
+            if max_rounds is not None and rounds >= max_rounds:
+                _append_halt(table)
+                continue
+
+            ready = view.ready(rep)
+            pending = tuple(
+                p for p in processes if p in ready and p not in stepped
+            )
+            move = policy.markov_move(automaton, rep, pending, view, rounds)
+
+            if move is HALT:
+                _append_halt(table)
+                continue
+            if move is ADVANCE_TIME:
+                if pending:
+                    raise AdversaryError(
+                        f"policy tried to advance time with obligated "
+                        f"processes pending: {pending!r}"
+                    )
+                step = _find_time_passage(space, state_id)
+                next_rounds = (
+                    min(rounds + 1, max_rounds)
+                    if max_rounds is not None
+                    else (rounds + 1) % period
+                )
+                _append_choice(
+                    table, intern, step, frozenset(), next_rounds
+                )
+                continue
+            if isinstance(move, Transition):
+                if move.action == TIME_PASSAGE:
+                    raise AdversaryError(
+                        "policies must request time passage via ADVANCE_TIME"
+                    )
+                step = _match_step(space, state_id, move)
+                process = view.process_of(move.action)
+                next_stepped = (
+                    stepped if process is None else stepped | {process}
+                )
+                _append_choice(table, intern, step, next_stepped, rounds)
+                continue
+            raise AdversaryError(f"policy returned an invalid move: {move!r}")
+    except StateBudgetExceeded:
+        raise
+    except (AdversaryError, ContractViolation, KeyError):
+        # The policy misbehaved (or scheduled a step the space never
+        # tabulated, surfacing as KeyError).  The tree walk hits the
+        # identical condition on its first sample of this adversary and
+        # reports it through the existing guard/quarantine machinery.
+        return None
+    return table
+
+
+def _append_halt(table: AdversaryTable) -> None:
+    table.choice_targets.append(None)
+    table.choice_cum.append(())
+    table.choice_weights.append(())
+    table.choice_deltas.append(())
+
+
+def _append_choice(table, intern, step: CompiledStep, stepped, rounds) -> None:
+    table.choice_targets.append(
+        tuple(intern((target, stepped, rounds)) for target in step.targets)
+    )
+    table.choice_cum.append(step.cum)
+    table.choice_weights.append(step.weights)
+    table.choice_deltas.append(step.deltas)
+
+
+def _find_time_passage(space: CompiledSpace, state_id: int) -> CompiledStep:
+    for step in space.steps[state_id]:
+        if step.action == TIME_PASSAGE:
+            return step
+    raise AdversaryError(
+        f"no time-passage step enabled in {space.reps[state_id]!r}; "
+        f"is this a timed automaton?"
+    )
+
+
+def _match_step(
+    space: CompiledSpace, state_id: int, move: Transition
+) -> CompiledStep:
+    """The compiled step carrying ``move`` (identity first, then ==)."""
+    tabulated = space.steps[state_id]
+    for step in tabulated:
+        if step.transition is move:
+            return step
+    for step in tabulated:
+        if step.transition == move:
+            return step
+    raise AdversaryError(
+        f"policy scheduled {move.action!r}, which is not among the "
+        f"compiled steps of {space.reps[state_id]!r}"
+    )

@@ -1,0 +1,141 @@
+"""Benchmark runner: every ``benchmarks/bench_*.py``, one trajectory file.
+
+Runs each benchmark module in its own pytest process (so a crash or
+hang in one experiment cannot take down the rest), collects per-module
+outcome and wall time, and appends one entry to ``BENCH_statespace.json``
+— a JSON list, one entry per invocation, so successive runs build a
+performance trajectory that regressions show up in.
+
+Usage::
+
+    python tools/bench.py                # run everything
+    python tools/bench.py --only parallel,statespace
+    python tools/bench.py --out other.json
+
+Exits nonzero when any benchmark module fails (pytest exit codes other
+than 0/5; 5 = all tests skipped, which counts as a clean skip).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+DEFAULT_OUT = REPO_ROOT / "BENCH_statespace.json"
+
+#: pytest exit codes that do not indicate a broken benchmark.
+_CLEAN_EXITS = (0, 5)  # 5: no tests ran (everything skipped)
+
+
+def bench_modules(only=None):
+    """The benchmark files to run, optionally filtered by substring."""
+    modules = sorted(BENCH_DIR.glob("bench_*.py"))
+    if only:
+        needles = [n.strip() for n in only.split(",") if n.strip()]
+        modules = [
+            m for m in modules if any(n in m.stem for n in needles)
+        ]
+    return modules
+
+
+def run_module(path: Path) -> dict:
+    """Run one benchmark module under pytest; returns its result row."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    started = time.perf_counter()
+    process = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", str(path)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    elapsed = time.perf_counter() - started
+    tail = [
+        line
+        for line in process.stdout.strip().splitlines()
+        if line.strip()
+    ]
+    return {
+        "module": path.name,
+        "exit_code": process.returncode,
+        "ok": process.returncode in _CLEAN_EXITS,
+        "seconds": round(elapsed, 3),
+        "summary": tail[-1] if tail else "",
+    }
+
+
+def append_entry(out_path: Path, entry: dict) -> None:
+    """Append ``entry`` to the JSON trajectory list at ``out_path``."""
+    trajectory = []
+    if out_path.exists():
+        try:
+            loaded = json.loads(out_path.read_text())
+            if isinstance(loaded, list):
+                trajectory = loaded
+        except json.JSONDecodeError:
+            print(
+                f"bench: warning: {out_path} is not valid JSON; "
+                "starting a fresh trajectory",
+                file=sys.stderr,
+            )
+    trajectory.append(entry)
+    out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma-separated substrings selecting benchmark modules "
+             "(e.g. 'parallel,statespace')",
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT), metavar="FILE.json",
+        help="trajectory file to append to (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    modules = bench_modules(args.only)
+    if not modules:
+        print("bench: no benchmark modules matched", file=sys.stderr)
+        return 2
+
+    results = []
+    for module in modules:
+        print(f"bench: running {module.name} ...", flush=True)
+        row = run_module(module)
+        status = "ok" if row["ok"] else f"FAILED (exit {row['exit_code']})"
+        print(f"bench:   {status} in {row['seconds']:.1f}s  {row['summary']}")
+        results.append(row)
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "modules_run": len(results),
+        "failures": sum(1 for r in results if not r["ok"]),
+        "total_seconds": round(sum(r["seconds"] for r in results), 3),
+        "results": results,
+    }
+    out_path = Path(args.out)
+    append_entry(out_path, entry)
+    print(
+        f"bench: {entry['modules_run']} module(s), "
+        f"{entry['failures']} failure(s), "
+        f"{entry['total_seconds']:.1f}s total -> {out_path}"
+    )
+    return 1 if entry["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

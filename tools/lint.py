@@ -25,6 +25,13 @@ error from :mod:`repro.errors` or go through the contract-guard layer
 (``docs/contracts.md``) instead.  Tests and benchmarks are exempt —
 ``assert`` is pytest's native idiom there.
 
+It also forbids constructing ``random.Random`` under ``src/`` outside
+``parallel/seeds.py``: every RNG must come from
+:func:`repro.parallel.seeds.derive_rng` or
+:func:`repro.parallel.seeds.rng_from_seed`, so the cross-engine
+byte-identity guarantee (``docs/statespace.md``) rests on one seeding
+discipline instead of scattered constructor calls.
+
 Usage: ``python tools/lint.py [paths...]`` (defaults to src tests
 benchmarks tools). Exits nonzero on findings.
 """
@@ -129,10 +136,30 @@ def _body_only_passes(body):
     return all(inert(stmt) for stmt in body)
 
 
+def _constructs_random(node):
+    """True for ``random.Random(...)`` / ``Random(...)`` call sites."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "Random"
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "Random"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "random"
+    )
+
+
+def _is_seeds_module(path):
+    return Path(path).parts[-2:] == ("parallel", "seeds.py")
+
+
 def banned_handlers(path):
     """Banned constructs under ``src/``: findings as (line, message).
 
-    Covers silent error swallowing and runtime-validation ``assert``.
+    Covers silent error swallowing, runtime-validation ``assert``, and
+    out-of-band ``random.Random`` construction.
     """
     try:
         tree = ast.parse(path.read_text(), filename=str(path))
@@ -159,6 +186,16 @@ def banned_handlers(path):
                  "'assert' is stripped under python -O — raise a typed "
                  "repro.errors exception or use the contracts guard layer")
             )
+    if not _is_seeds_module(path):
+        for node in ast.walk(tree):
+            if _constructs_random(node):
+                findings.append(
+                    (node.lineno,
+                     "construct RNGs via repro.parallel.seeds "
+                     "(derive_rng / rng_from_seed), not random.Random — "
+                     "one seeding discipline backs the cross-engine "
+                     "byte-identity guarantee")
+                )
     return findings
 
 
