@@ -12,15 +12,22 @@ ring-of-3 setup:
 * With a recording registry installed, the same check still completes
   within a small factor of the no-op time (recording is meant for
   diagnosis runs, not to be free — but it must stay usable).
+
+The same 5% bound covers the disabled paths of the other two
+observability pillars: the progress hooks the pool calls when no
+``--progress`` reporter is installed, and the manifest write the CLI
+skips under ``--no-manifest`` (or for meta-commands).
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 import pytest
 
 from repro import obs
+from repro.obs import progress
 from repro.algorithms import lehmann_rabin as lr
 from repro.analysis.montecarlo import check_lr_statement
 
@@ -106,6 +113,69 @@ def test_noop_overhead_under_5_percent(setup3):
     assert counts["incr"] > 0, "hot path lost its instrumentation"
     assert ratio < 0.05, (
         f"no-op instrumentation overhead {ratio * 100:.2f}% exceeds 5%"
+    )
+
+
+def test_disabled_progress_hooks_under_5_percent(setup3):
+    """Without a reporter, the pool's progress hooks must cost nothing.
+
+    The hooks fire once per pooled task.  Bound the worst plausible
+    density — one hook pair per arrow check, i.e. a run whose every
+    task is a single check — well under the 5% budget.
+    """
+    assert progress.active() is None, "bench requires no active reporter"
+    run_check(setup3)  # warm caches before timing
+    check_seconds = best_of(lambda: run_check(setup3))
+
+    per_task_cost = (
+        per_call_cost(lambda: progress.add_total(0))
+        + per_call_cost(progress.task_done)
+        + per_call_cost(progress.task_retried)
+        + per_call_cost(progress.pool_degraded)
+    )
+    ratio = per_task_cost / check_seconds
+    print(
+        f"\narrow check: {check_seconds * 1000:.1f}ms; disabled progress "
+        f"hooks: {per_task_cost * 1e9:.0f}ns/task ({ratio * 100:.4f}%)"
+    )
+    assert ratio < 0.05, (
+        f"disabled progress hooks cost {ratio * 100:.2f}% of an arrow "
+        f"check (>5%)"
+    )
+
+
+def test_skipped_manifest_path_under_5_percent(setup3):
+    """``--no-manifest`` (and meta-commands) must skip for free.
+
+    The manifest write happens once per CLI invocation; the opted-out
+    path is two attribute probes.  Bound it against a single arrow
+    check — the smallest unit of real work a CLI run performs.
+    """
+    from repro.cli import _maybe_write_manifest
+
+    run_check(setup3)  # warm caches before timing
+    check_seconds = best_of(lambda: run_check(setup3))
+
+    skipped = argparse.Namespace(command="check", skip_manifest=True)
+    opted_out = argparse.Namespace(command="check", manifest=False)
+    per_run_cost = max(
+        per_call_cost(
+            lambda: _maybe_write_manifest(skipped, [], "t", 0.0, 0),
+            calls=20_000,
+        ),
+        per_call_cost(
+            lambda: _maybe_write_manifest(opted_out, [], "t", 0.0, 0),
+            calls=20_000,
+        ),
+    )
+    ratio = per_run_cost / check_seconds
+    print(
+        f"\narrow check: {check_seconds * 1000:.1f}ms; skipped manifest "
+        f"path: {per_run_cost * 1e9:.0f}ns/run ({ratio * 100:.4f}%)"
+    )
+    assert ratio < 0.05, (
+        f"skipped manifest path costs {ratio * 100:.2f}% of an arrow "
+        f"check (>5%)"
     )
 
 

@@ -24,10 +24,18 @@ plain-text report:
 * ``audit``          — static well-formedness audit of the
   Lehmann-Rabin automaton (Definition 2.1 obligations);
 * ``trace``          — run any other subcommand with instrumentation on
-  and render its span tree and metric tables afterwards.
+  and render its span tree and metric tables afterwards;
+* ``runs``           — list, show, and diff the provenance manifests
+  every run appends to ``.repro/runs`` (opt-out: ``--no-manifest``);
+* ``profile``        — fold a recorded span tree (a ``--trace-out``
+  file or a manifest) into per-phase self/cumulative hotspots, with
+  ``--folded`` flamegraph output.
 
 Every subcommand accepts ``--trace-out FILE.jsonl`` to record spans and
 metrics to a JSONL trace file (see ``docs/observability.md``).  The
+sampling subcommands accept ``--progress`` for a live stderr status
+line (tasks done, rate, ETA, retry/quarantine/degradation counters);
+stdout is byte-identical with progress on or off.  The
 sampling subcommands accept ``--workers N`` to fan (adversary, start
 state) pair checks out over a process pool; reports are bit-identical
 for every worker count (see ``docs/parallel.md``).  They also accept
@@ -548,7 +556,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.analysis.montecarlo import LRExperimentSetup, check_all_leaves
     from repro.analysis.reporting import banner
     from repro.mdp.expected_time import extremal_expected_time_rounds
-    from repro.obs.sinks import render_metric_tables, render_span_tree
+    from repro.obs.profile import profile_tracer
+    from repro.obs.sinks import (
+        metric_records,
+        render_metric_tables,
+        render_span_tree,
+    )
 
     policy = _build_policy(args)
     guards = _build_guards(args)
@@ -571,6 +584,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                     lambda state: state.untimed(),
                     maximise=True,
                 )
+    # Stash the recording for the run manifest main() writes.
+    args.final_metrics = metric_records(registry.metrics)
+    args.final_profile = profile_tracer(registry.tracer)
     failures = sum(report.refuted for report in reports.values())
     print(banner(f"Instrumented Lehmann-Rabin run, ring size {args.n}"))
     print("\nspan tree")
@@ -627,7 +643,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.analysis.reporting import banner
-    from repro.obs.sinks import render_metric_tables, render_span_tree
+    from repro.obs.profile import profile_tracer
+    from repro.obs.sinks import (
+        metric_records,
+        render_metric_tables,
+        render_span_tree,
+    )
 
     parser = build_parser()
     inner = parser.parse_args(args.rest)
@@ -638,6 +659,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
     with obs.recording() as registry:
         code = inner.func(inner)
+    args.final_metrics = metric_records(registry.metrics)
+    args.final_profile = profile_tracer(registry.tracer)
     print()
     print(banner(f"trace of 'repro {' '.join(args.rest)}'"))
     print(render_span_tree(registry.tracer))
@@ -646,6 +669,86 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     trace_out = args.trace_out or getattr(inner, "trace_out", None)
     sink_code = _write_trace(registry, trace_out) if trace_out else 0
     return code or sink_code
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import manifest as mf
+
+    if args.runs_cmd == "list":
+        manifests = mf.load_manifests(args.runs_dir)
+        if args.json:
+            print(json.dumps(manifests, sort_keys=True, indent=2))
+        else:
+            print(mf.render_runs_table(manifests))
+        return 0
+    if args.runs_cmd == "show":
+        record = mf.find_manifest(args.id, args.runs_dir)
+        if record is None:
+            print(f"repro: error: no recorded run matches {args.id!r}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(record, sort_keys=True, indent=2))
+        else:
+            print(mf.render_manifest(record))
+        return 0
+    # diff
+    old = mf.find_manifest(args.old, args.runs_dir)
+    new = mf.find_manifest(args.new, args.runs_dir)
+    missing = [
+        run_id for run_id, record in ((args.old, old), (args.new, new))
+        if record is None
+    ]
+    if missing:
+        print(
+            f"repro: error: no recorded run matches "
+            f"{', '.join(repr(run_id) for run_id in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    comparison = mf.diff_manifests(old, new)
+    if args.json:
+        print(json.dumps(comparison, sort_keys=True, indent=2))
+    else:
+        print(mf.render_diff(comparison))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import manifest as mf
+    from repro.obs import profile as prof
+    from repro.obs.sinks import read_jsonl
+
+    if args.run and args.source:
+        print("repro: error: give a trace file or --run, not both",
+              file=sys.stderr)
+        return 2
+    if args.run:
+        record = mf.find_manifest(args.run, args.runs_dir)
+        if record is None:
+            print(f"repro: error: no recorded run matches {args.run!r}",
+                  file=sys.stderr)
+            return 2
+        rows = prof.merge_profiles([record.get("profile") or []])
+    elif args.source:
+        try:
+            records = read_jsonl(args.source)
+        except OSError as error:
+            print(f"repro: error: cannot read {args.source}: {error}",
+                  file=sys.stderr)
+            return 2
+        rows = prof.aggregate_spans(records)
+    else:
+        print("repro: error: give a --trace-out JSONL file or --run ID",
+              file=sys.stderr)
+        return 2
+    if args.folded:
+        print(prof.render_folded(rows))
+    else:
+        print(prof.render_profile(rows, top=args.top))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -666,12 +769,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE.jsonl", default=None,
         help="record spans and metrics to a JSONL trace file",
     )
+    traceable.add_argument(
+        "--no-manifest", action="store_false", dest="manifest",
+        help="do not append a provenance record for this run to the "
+             "manifest store (default: record one)",
+    )
+    traceable.add_argument(
+        "--runs-dir", metavar="DIR", default=None, dest="runs_dir",
+        help="manifest store location (default: $REPRO_RUNS_DIR or "
+             ".repro/runs)",
+    )
 
     def add_command(name, **kwargs):
         return sub.add_parser(name, parents=[traceable], **kwargs)
 
     def robust(p):
         """Fault-tolerance flags shared by the sampling subcommands."""
+        p.add_argument(
+            "--progress", action="store_true",
+            help="render a live progress line (tasks done, rate, ETA, "
+                 "retry/quarantine/degradation counters) on stderr; "
+                 "stdout stays byte-identical with or without it",
+        )
         p.add_argument(
             "--timeout", type=float, default=None, metavar="SECONDS",
             help="per-task wall-clock timeout; hung workers are "
@@ -867,6 +986,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_trace, manages_tracing=True)
 
+    p = sub.add_parser(
+        "runs",
+        help="list, show, and diff recorded run manifests "
+        "(see docs/observability.md)",
+    )
+    runs_sub = p.add_subparsers(dest="runs_cmd", required=True)
+
+    def runs_store_flags(rp):
+        rp.add_argument(
+            "--runs-dir", metavar="DIR", default=None, dest="runs_dir",
+            help="manifest store location (default: $REPRO_RUNS_DIR or "
+                 ".repro/runs)",
+        )
+        rp.add_argument(
+            "--json", action="store_true",
+            help="print the result as canonical JSON",
+        )
+
+    rp = runs_sub.add_parser("list", help="one row per recorded run")
+    runs_store_flags(rp)
+    rp = runs_sub.add_parser("show", help="one manifest, fully expanded")
+    rp.add_argument("id", help="run id (any unique prefix)")
+    runs_store_flags(rp)
+    rp = runs_sub.add_parser(
+        "diff", help="metric and timing deltas between two runs "
+        "(meaningful for runs of the same scope)",
+    )
+    rp.add_argument("old", help="baseline run id (any unique prefix)")
+    rp.add_argument("new", help="comparison run id (any unique prefix)")
+    runs_store_flags(rp)
+    p.set_defaults(
+        func=_cmd_runs, manages_tracing=True, skip_manifest=True
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="fold a recorded span tree into per-phase self/cumulative "
+        "hotspots (from a --trace-out JSONL file or a run manifest)",
+    )
+    p.add_argument(
+        "source", nargs="?", default=None, metavar="FILE.jsonl",
+        help="a --trace-out JSONL trace file to profile",
+    )
+    p.add_argument(
+        "--run", metavar="ID", default=None,
+        help="profile the span aggregate stored in this run's manifest",
+    )
+    p.add_argument(
+        "--runs-dir", metavar="DIR", default=None, dest="runs_dir",
+        help="manifest store location for --run (default: "
+             "$REPRO_RUNS_DIR or .repro/runs)",
+    )
+    p.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="hotspots to show, ranked by self time (default: "
+             "%(default)s)",
+    )
+    p.add_argument(
+        "--folded", action="store_true",
+        help="emit folded 'stack self_microseconds' lines for "
+             "flamegraph tooling instead of the table",
+    )
+    p.set_defaults(
+        func=_cmd_profile, manages_tracing=True, skip_manifest=True
+    )
+
     return parser
 
 
@@ -928,6 +1113,90 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+# Namespace attributes that never belong in a manifest's scope
+# fingerprint: plumbing (parser internals, store location), output-only
+# switches, and the robustness/engine flags whose reports are
+# byte-identical by construction (docs/parallel.md, docs/robustness.md,
+# docs/statespace.md) — two runs differing only in these must share a
+# scope so ``repro runs diff`` can compare them.
+_NON_SCOPE_KEYS = frozenset({
+    "func", "command", "manages_tracing", "skip_manifest",
+    "manifest", "runs_dir", "trace_out", "progress", "json",
+    "workers", "engine", "state_budget",
+    "timeout", "retries", "checkpoint", "resume", "inject_faults",
+})
+
+
+def _manifest_config(args: argparse.Namespace) -> dict:
+    """The result-affecting configuration a manifest's scope hashes."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in _NON_SCOPE_KEYS
+        and not key.startswith("final_")
+        and not callable(value)
+    }
+
+
+def _maybe_write_manifest(
+    args: argparse.Namespace,
+    argv: Sequence[str],
+    started_at: str,
+    wall_s: float,
+    exit_status: int,
+) -> None:
+    """Append this run's provenance record, unless opted out.
+
+    Meta-commands (``runs``, ``profile``) set ``skip_manifest`` — they
+    inspect the store, they are not verification runs.  Failures are
+    soft and stderr-only: provenance must never break or reorder the
+    run's own output.
+    """
+    if getattr(args, "skip_manifest", False):
+        return
+    if not getattr(args, "manifest", True):
+        return
+    from repro.obs import manifest as mf
+
+    record = mf.new_manifest(
+        args.command,
+        argv,
+        _manifest_config(args),
+        started_at=started_at,
+        wall_s=wall_s,
+        exit_status=exit_status,
+        metrics=getattr(args, "final_metrics", None),
+        profile=getattr(args, "final_profile", None),
+        git_rev=mf.git_revision(),
+    )
+    mf.append_manifest(record, getattr(args, "runs_dir", None))
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected subcommand, wiring tracing and progress."""
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        if getattr(args, "progress", False):
+            from repro.obs import progress as progress_mod
+
+            stack.enter_context(progress_mod.reporting(
+                progress_mod.ProgressReporter(label=args.command)
+            ))
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out and not getattr(args, "manages_tracing", False):
+            from repro import obs
+            from repro.obs.profile import profile_tracer
+            from repro.obs.sinks import metric_records
+
+            with obs.recording() as registry:
+                code = args.func(args)
+            args.final_metrics = metric_records(registry.metrics)
+            args.final_profile = profile_tracer(registry.tracer)
+            return code or _write_trace(registry, trace_out)
+        return args.func(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
@@ -937,8 +1206,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     its fault-tolerance budget exits with status 3 (completed work is
     already checkpointed when ``--checkpoint`` was given); a
     model-contract violation that escapes quarantine (strict guards on
-    a non-pooled code path) exits with status 4.
+    a non-pooled code path) exits with status 4.  Whatever the outcome,
+    a provenance manifest is appended to the run store unless
+    ``--no-manifest`` was given (``repro runs`` inspects the store).
     """
+    import time
+    from datetime import datetime, timezone
+
     from repro.errors import (
         CheckpointError,
         ContractViolation,
@@ -948,21 +1222,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
-    trace_out = getattr(args, "trace_out", None)
+    recorded_argv = list(argv) if argv is not None else sys.argv[1:]
+    started_at = datetime.now(timezone.utc).isoformat()
+    started = time.perf_counter()
     try:
-        if trace_out and not getattr(args, "manages_tracing", False):
-            from repro import obs
-
-            with obs.recording() as registry:
-                code = args.func(args)
-            return code or _write_trace(registry, trace_out)
-        return args.func(args)
+        code = _dispatch(args)
     except ContractViolation as error:
         print(f"repro: contract violation: {error}", file=sys.stderr)
-        return EXIT_CONTRACT
+        code = EXIT_CONTRACT
     except StateBudgetExceeded as error:
         print(f"repro: error: {error}", file=sys.stderr)
-        return 2
+        code = 2
     except (PoolFaultError, CheckpointError) as error:
         print(f"repro: error: {error}", file=sys.stderr)
         if getattr(args, "checkpoint", None) and not isinstance(
@@ -973,7 +1243,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "--resume to pick up where this run stopped",
                 file=sys.stderr,
             )
-        return 3
+        code = 3
+    _maybe_write_manifest(
+        args, recorded_argv, started_at,
+        time.perf_counter() - started, code,
+    )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -28,7 +28,9 @@ Typical consumer::
 
 Naming convention for metrics: dotted lowercase
 ``layer.component.metric`` (``sampler.steps``, ``mdp.value_iteration.
-residual``); see ``docs/observability.md``.
+residual``).  Every name is declared in :mod:`repro.obs.names` —
+``tools/lint.py`` rejects call sites whose literal name is not in that
+catalog; see ``docs/observability.md``.
 
 The contract-guard layer (``docs/contracts.md``) reports through the
 ``contracts.*`` counters: ``contracts.violations`` (every detected
@@ -43,6 +45,7 @@ from __future__ import annotations
 
 from typing import Union
 
+from repro.obs import manifest, names, profile, progress
 from repro.obs import registry as _registry
 from repro.obs.metrics import (
     Counter,
@@ -113,7 +116,11 @@ __all__ = [
     "get_registry",
     "incr",
     "install",
+    "manifest",
+    "names",
     "observe",
+    "profile",
+    "progress",
     "recording",
     "recording_registry",
     "reset",

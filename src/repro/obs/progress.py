@@ -1,0 +1,180 @@
+"""Live progress for pooled verification runs, on stderr only.
+
+``--progress`` installs a :class:`ProgressReporter` for the duration of
+a CLI run.  The pool (and the inline fast path of
+:func:`repro.parallel.pool.run_tasks`) notifies it through the
+module-level hook functions below; the reporter renders a single
+rewriting status line — completed/total tasks, tasks/sec, an ETA, and
+the retry / quarantine / degradation counters — to **stderr**.  Stdout
+is never touched, so every report stays byte-identical with progress on
+or off; that invariant is pinned by ``tests/test_progress.py``.
+
+The hooks are the only coupling the pool has to this module.  With no
+reporter installed each hook is one module-attribute read and an
+``is None`` branch — the same disabled-path discipline as the
+:mod:`repro.obs` metric helpers, and bounded by the same benchmark
+(``benchmarks/bench_observability.py``).
+
+A verification command may call :func:`repro.parallel.pool.run_tasks`
+several times (chained statements, parameter sweeps); totals accumulate
+across batches so the rendered line covers the whole run, not just the
+current batch.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+class ProgressReporter:
+    """Accumulates task events and renders one rewriting stderr line.
+
+    ``min_interval`` throttles rendering (terminal writes are slow
+    compared to sampling tasks); the final :meth:`close` always renders
+    once more and terminates the line so subsequent stderr output
+    starts clean.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        *,
+        label: str = "progress",
+        min_interval: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.min_interval = min_interval
+        self._clock = clock
+        self.total = 0
+        self.done = 0
+        self.retries = 0
+        self.quarantined = 0
+        self.degraded = False
+        self._started = self._clock()
+        self._last_render = float("-inf")
+        self._dirty = False
+
+    # -- event intake --------------------------------------------------
+
+    def add_total(self, count: int) -> None:
+        """Announce ``count`` more tasks (a new batch entering the pool)."""
+        self.total += count
+        self.render()
+
+    def task_done(self, result: object = None) -> None:
+        """One task finished; counts its quarantined pairs when exposed."""
+        self.done += 1
+        violation = getattr(result, "violation", None)
+        if violation is not None:
+            self.quarantined += 1
+        self.render()
+
+    def task_retried(self) -> None:
+        """One task attempt was lost (crash/timeout/corruption)."""
+        self.retries += 1
+        self.render(force=True)
+
+    def pool_degraded(self) -> None:
+        """The pool abandoned its workers for inline execution."""
+        self.degraded = True
+        self.render(force=True)
+
+    # -- rendering -----------------------------------------------------
+
+    def _line(self) -> str:
+        elapsed = max(self._clock() - self._started, 1e-9)
+        rate = self.done / elapsed
+        if self.done and self.done < self.total and rate > 0:
+            remaining = (self.total - self.done) / rate
+            eta = f"eta {remaining:.0f}s"
+        else:
+            eta = "eta --"
+        parts = [
+            f"{self.label}: {self.done}/{self.total} tasks",
+            f"{rate:.1f}/s",
+            eta,
+        ]
+        if self.retries:
+            parts.append(f"retries {self.retries}")
+        if self.quarantined:
+            parts.append(f"quarantined {self.quarantined}")
+        if self.degraded:
+            parts.append("DEGRADED")
+        return "  ".join(parts)
+
+    def render(self, force: bool = False) -> None:
+        """Rewrite the status line, honouring the throttle interval."""
+        now = self._clock()
+        if not force and now - self._last_render < self.min_interval:
+            self._dirty = True
+            return
+        self._last_render = now
+        self._dirty = False
+        self.stream.write(f"\r\x1b[2K{self._line()}")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Render the final state and terminate the status line."""
+        self.stream.write(f"\r\x1b[2K{self._line()}\n")
+        self.stream.flush()
+
+
+# ----------------------------------------------------------------------
+# Module-level hooks (the pool's only coupling to progress reporting)
+# ----------------------------------------------------------------------
+
+_active: Optional[ProgressReporter] = None
+
+
+def install(reporter: Optional[ProgressReporter]) -> Optional[ProgressReporter]:
+    """Install ``reporter`` as the active one; returns the previous."""
+    global _active
+    previous = _active
+    _active = reporter
+    return previous
+
+
+def active() -> Optional[ProgressReporter]:
+    """The currently installed reporter, if any."""
+    return _active
+
+
+class reporting:
+    """Context manager installing a reporter for one CLI run."""
+
+    def __init__(self, reporter: ProgressReporter):
+        self.reporter = reporter
+        self._previous: Optional[ProgressReporter] = None
+
+    def __enter__(self) -> ProgressReporter:
+        self._previous = install(self.reporter)
+        return self.reporter
+
+    def __exit__(self, *exc_info: object) -> bool:
+        install(self._previous)
+        self.reporter.close()
+        return False
+
+
+def add_total(count: int) -> None:
+    if _active is not None:
+        _active.add_total(count)
+
+
+def task_done(result: object = None) -> None:
+    if _active is not None:
+        _active.task_done(result)
+
+
+def task_retried() -> None:
+    if _active is not None:
+        _active.task_retried()
+
+
+def pool_degraded() -> None:
+    if _active is not None:
+        _active.pool_degraded()

@@ -1,30 +1,44 @@
-"""Shipping worker-side metrics back to the parent registry.
+"""Shipping worker-side observability back to the parent registry.
 
 Worker processes record into their own fresh registries (the parent's
 registry, inherited through ``fork``, is replaced on entry so nothing
-is double-counted).  When a task finishes, its metrics are reduced to
+is double-counted).  When a task finishes, its recording is reduced to
 a plain, picklable snapshot; the parent merges snapshots in task order,
 so the merged registry is identical no matter how the pool scheduled
 the work:
 
 * counters   — summed;
 * gauges     — last-write-wins in task order;
-* histograms — raw observations re-observed (summaries stay exact).
+* histograms — raw observations re-observed (summaries stay exact);
+* spans      — rebuilt under the parent's currently open span, with
+  ``task=<position>`` / ``attempt=<n>`` attribution annotated on each
+  worker root so ``repro profile`` can attribute time to tasks and
+  distinguish retried attempts.
 
-Spans are deliberately *not* shipped: the samplers record no spans, and
-worker wall-clock would be nondeterministic noise in the parent's span
-tree.  The parent's own ``verify.*`` spans still bracket the pool run.
+Only the *winning* attempt's snapshot ships: a crashed, timed-out, or
+corrupted attempt never delivers one, so a retried task merges exactly
+once (``tests/test_pool_obs.py`` pins this).  Production sampling paths
+record no spans, so shipping spans does not perturb the byte-identity
+of ``repro stats`` across worker counts — worker spans appear only when
+worker-side code actually opens spans.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.obs.metrics import Metrics
+from repro.obs.registry import Registry
+from repro.obs.sinks import span_records
+from repro.obs.trace import Span, Tracer
 
 Number = Union[int, float]
 
 MetricsSnapshot = Dict[str, Dict[str, object]]
+
+#: A full worker recording: the metrics snapshot plus a ``spans`` list
+#: in :func:`repro.obs.sinks.span_records` shape.
+WorkerSnapshot = Dict[str, object]
 
 
 def metrics_snapshot(metrics: Metrics) -> MetricsSnapshot:
@@ -48,10 +62,19 @@ def metrics_snapshot(metrics: Metrics) -> MetricsSnapshot:
     }
 
 
+def worker_snapshot(registry: Registry) -> WorkerSnapshot:
+    """A worker's full recording — metrics plus flattened spans."""
+    snapshot: WorkerSnapshot = metrics_snapshot(registry.metrics)
+    spans = span_records(registry.tracer)
+    if spans:
+        snapshot["spans"] = spans
+    return snapshot
+
+
 def merge_metrics_snapshot(
     metrics: Metrics, snapshot: MetricsSnapshot
 ) -> None:
-    """Merge one worker snapshot into ``metrics`` (names sorted)."""
+    """Merge one worker snapshot's metrics into ``metrics`` (names sorted)."""
     counters: Dict[str, Number] = snapshot.get("counters", {})
     for name in sorted(counters):
         metrics.counter(name).inc(counters[name])
@@ -63,3 +86,59 @@ def merge_metrics_snapshot(
         histogram = metrics.histogram(name)
         for value in histograms[name]:
             histogram.observe(value)
+
+
+def _rebuild_spans(
+    tracer: Tracer,
+    records: List[Dict[str, object]],
+    task: Optional[int],
+    attempt: Optional[int],
+) -> None:
+    """Reattach flattened worker spans under the parent's open span.
+
+    Worker clocks are unrelated to the parent's, so ``started`` is not
+    meaningful across the process boundary and is set to the span's
+    position in the worker's depth-first order; durations (the quantity
+    profiling consumes) survive verbatim.
+    """
+    rebuilt: Dict[object, Span] = {}
+    parent_span = tracer.current
+    for index, record in enumerate(records):
+        span = Span(
+            str(record.get("name")),
+            dict(record.get("attributes") or {}),
+            float(index),
+        )
+        span.duration = record.get("duration_s")
+        rebuilt[record.get("id")] = span
+        parent_id = record.get("parent")
+        if parent_id is not None and parent_id in rebuilt:
+            rebuilt[parent_id].children.append(span)
+        else:
+            if task is not None:
+                span.annotate(task=task)
+            if attempt is not None:
+                span.annotate(attempt=attempt)
+            if parent_span is not None:
+                parent_span.children.append(span)
+            else:
+                tracer.roots.append(span)
+
+
+def merge_worker_snapshot(
+    registry: Registry,
+    snapshot: WorkerSnapshot,
+    *,
+    task: Optional[int] = None,
+    attempt: Optional[int] = None,
+) -> None:
+    """Merge one worker's full recording into the parent registry.
+
+    Metrics merge as :func:`merge_metrics_snapshot`; any shipped spans
+    are rebuilt under the parent tracer's innermost open span (or as new
+    roots) with task/attempt attribution on each worker root.
+    """
+    merge_metrics_snapshot(registry.metrics, snapshot)
+    spans = snapshot.get("spans")
+    if spans:
+        _rebuild_spans(registry.tracer, spans, task, attempt)

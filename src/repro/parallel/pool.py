@@ -35,9 +35,13 @@ metrics of every task that did complete, so no completed work is
 silently dropped from ``repro stats``.
 
 When the parent has a recording registry installed, each worker records
-into a fresh registry of its own and returns a metrics snapshot; the
-parent merges snapshots in task order (:mod:`repro.parallel.merge`), so
-``repro stats`` counts every sample exactly once.
+into a fresh registry of its own and returns a snapshot of its metrics
+and spans; the parent merges the winning attempt's snapshot per task,
+in task order (:mod:`repro.parallel.merge`), so ``repro stats`` counts
+every sample exactly once and ``repro profile`` sees worker spans with
+task/attempt attribution.  When a progress reporter is installed
+(``--progress``), the submission loop feeds it task completions,
+retries, and degradation events through :mod:`repro.obs.progress`.
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ from typing import (
 )
 
 from repro import obs
+from repro.obs import progress
 from repro.errors import (
     CheckpointError,
     ResultCorruptionError,
@@ -73,9 +78,9 @@ from repro.errors import (
 from repro.parallel.checkpoint import Checkpoint
 from repro.parallel.faults import CORRUPT, CRASH, HANG, FaultPlan
 from repro.parallel.merge import (
-    MetricsSnapshot,
-    merge_metrics_snapshot,
-    metrics_snapshot,
+    WorkerSnapshot,
+    merge_worker_snapshot,
+    worker_snapshot,
 )
 
 Task = TypeVar("Task")
@@ -240,7 +245,7 @@ def _child_main(conn, task, fault: Optional[str]) -> None:
         if capture:
             with obs.recording() as registry:
                 result = execute(context, task)
-            snapshot = metrics_snapshot(registry.metrics)
+            snapshot = worker_snapshot(registry)
         else:
             result = execute(context, task)
             snapshot = None
@@ -288,7 +293,10 @@ class _PooledRun:
         ]
         self.running: Dict[int, _Running] = {}
         self.results: Dict[int, object] = {}
-        self.snapshots: Dict[int, Optional[MetricsSnapshot]] = {}
+        self.snapshots: Dict[int, Optional[WorkerSnapshot]] = {}
+        # Which attempt delivered each accepted snapshot, for span
+        # attribution on retried tasks.
+        self.attempts: Dict[int, int] = {}
         self.losses = 0
         self.degraded = False
 
@@ -371,6 +379,8 @@ class _PooledRun:
         result, snapshot = payload
         self.results[run.position] = result
         self.snapshots[run.position] = snapshot
+        self.attempts[run.position] = run.attempt
+        progress.task_done(result)
         if self.on_result is not None:
             self.on_result(run.position, result)
 
@@ -386,6 +396,7 @@ class _PooledRun:
         if run.attempt > self.policy.retries:
             self.fail_run(error)
         obs.incr("pool.retries")
+        progress.task_retried()
         if self.losses >= self.policy.degrade_threshold(self.workers):
             self.degrade()
             self.pending.append((run.position, run.attempt + 1, 0.0))
@@ -399,6 +410,7 @@ class _PooledRun:
     def degrade(self) -> None:
         """Abandon the pool: remaining tasks will run in the parent."""
         self.degraded = True
+        progress.pool_degraded()
         _warn_degraded(
             f"worker pool lost {self.losses} workers; degrading to "
             f"inline serial execution for the remaining tasks "
@@ -438,23 +450,40 @@ class _PooledRun:
         )
 
     def merge_snapshots(self) -> None:
-        """Merge completed workers' metrics, in task order, exactly once."""
+        """Merge completed workers' recordings, in task order, exactly once.
+
+        Only snapshots delivered by a *winning* attempt are present (a
+        lost attempt never delivers one), so a retried task contributes
+        its metrics exactly once; its spans carry the attempt number
+        that actually produced them.
+        """
         if not obs.enabled():
             self.snapshots.clear()
             return
-        metrics = obs.get_registry().metrics
+        registry = obs.get_registry()
         for position in sorted(self.snapshots):
             snapshot = self.snapshots[position]
             if snapshot is not None:
-                merge_metrics_snapshot(metrics, snapshot)
+                merge_worker_snapshot(
+                    registry,
+                    snapshot,
+                    task=position,
+                    attempt=self.attempts.get(position),
+                )
         self.snapshots.clear()
 
     # -- main loop -----------------------------------------------------
 
     def execute_degraded(self, execute, context) -> None:
         for position, _, _ in self.pending:
+            if position in self.results:
+                # A stale retry entry for a task that already delivered
+                # (e.g. re-queued by a loss raced with its delivery) —
+                # running it again would double-count its metrics.
+                continue
             result = execute(context, self.tasks[position])
             self.results[position] = result
+            progress.task_done(result)
             if self.on_result is not None:
                 self.on_result(position, result)
         self.pending.clear()
@@ -472,6 +501,13 @@ class _PooledRun:
             )
             for conn in ready:
                 run = conns[conn]
+                if self.running.get(run.position) is not run:
+                    # The run was reaped while draining this batch (a
+                    # mid-batch degrade or timeout): its pipe is closed
+                    # and its task already re-queued.  Treating the
+                    # dead conn as a crash would queue the task a
+                    # second time and double-count its metrics.
+                    continue
                 try:
                     message = run.conn.recv()
                 except (EOFError, OSError):
@@ -576,10 +612,12 @@ def run_tasks(
         todo = remaining
         if completed:
             obs.incr("checkpoint.tasks_skipped", len(completed))
+    progress.add_total(len(todo))
     if workers <= 1 or len(todo) <= 1:
         for position in todo:
             result = execute(context, tasks[position])
             completed[position] = result
+            progress.task_done(result)
             _checkpoint_result(
                 policy, scope, tasks[position], result, encode
             )

@@ -12,6 +12,17 @@ from repro.automaton.transition import Transition
 from repro.probability.space import FiniteDistribution
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Point the manifest store at a per-test directory.
+
+    Every CLI invocation appends a provenance record by default; without
+    this, tests exercising ``repro.cli.main`` would litter ``.repro/``
+    in the working tree and see each other's manifests.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture
 def coin_walk() -> ExplicitAutomaton[str]:
     """start --hop1--> middle --hop2--> goal, each hop a retrying coin."""

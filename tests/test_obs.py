@@ -375,3 +375,42 @@ class TestInstrumentedCallSites:
         ).count > 0
         names = [span.name for span, _ in registry.tracer.walk()]
         assert "mdp.value_iteration" in names
+
+
+class TestMetricCatalog:
+    """The declared-names catalog and its documentation stay in sync."""
+
+    def test_every_name_declares_a_kind_and_description(self):
+        from repro.obs import names
+
+        kinds = {"counter", "gauge", "histogram"}
+        for name, (kind, description) in names.METRICS.items():
+            assert kind in kinds, name
+            assert description, name
+        for prefix, (kind, description) in names.DYNAMIC_PREFIXES.items():
+            assert prefix.endswith("."), prefix
+            assert kind in kinds and description, prefix
+
+    def test_declared_matches_exact_names_and_prefixes(self):
+        from repro.obs import names
+
+        assert names.declared("verifier.samples")
+        assert names.declared("ledger.rule.anything")
+        assert not names.declared("verifier.samplez")
+        assert not names.declared("ledger.rule")
+
+    def test_docs_embed_the_generated_catalog(self):
+        from pathlib import Path
+
+        from repro.obs import names
+
+        doc = Path(__file__).parent.parent / "docs" / "observability.md"
+        text = doc.read_text()
+        begin = "<!-- metric-catalog:begin -->"
+        end = "<!-- metric-catalog:end -->"
+        assert begin in text and end in text
+        embedded = text.split(begin, 1)[1].split(end, 1)[0].strip()
+        assert embedded == names.catalog_markdown().strip(), (
+            "docs/observability.md catalog is stale — regenerate with "
+            "python -m repro.obs.names"
+        )

@@ -1,0 +1,186 @@
+"""Pooled observability: worker span capture and exactly-once merging.
+
+Two invariants from ``docs/observability.md``:
+
+* spans recorded inside forked workers appear in the parent's merged
+  trace, nested under the parent's open span, with ``task=`` /
+  ``attempt=`` attribution — including for retried tasks, where only
+  the winning attempt's recording ships;
+* worker metrics merge exactly once per task no matter how many
+  attempts, degradations, or injected faults the run survived.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.sinks import read_jsonl
+from repro.parallel.faults import CRASH, FaultPlan
+from repro.parallel.pool import (
+    DEFAULT_POLICY,
+    RunPolicy,
+    _PooledRun,
+    fork_available,
+    run_tasks,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def _traced_task(context, task):
+    with obs.span("test.work", item=task):
+        with obs.span("test.inner"):
+            obs.incr("test.calls")
+    return task * 2
+
+
+class _CrashFirstAttemptOfTask:
+    """Deterministically crash one task's first attempt, nothing else."""
+
+    hang = 0.0
+
+    def __init__(self, task_seed):
+        self.task_seed = task_seed
+
+    def decide(self, task_seed, attempt):
+        if task_seed == self.task_seed and attempt == 1:
+            return CRASH
+        return None
+
+
+class TestWorkerSpanCapture:
+    def test_worker_spans_merge_under_the_parents_open_span(self):
+        with obs.recording() as registry:
+            with obs.span("parent.pool"):
+                results = run_tasks(
+                    _traced_task, None, [10, 20, 30], workers=2
+                )
+        assert results == [20, 40, 60]
+        (root,) = registry.tracer.roots
+        assert root.name == "parent.pool"
+        worker_roots = [
+            child for child in root.children if child.name == "test.work"
+        ]
+        assert [span.attributes["task"] for span in worker_roots] == [0, 1, 2]
+        assert all(
+            span.attributes["attempt"] == 1 for span in worker_roots
+        )
+        # The worker-side hierarchy survives the process boundary.
+        for span in worker_roots:
+            assert [child.name for child in span.children] == ["test.inner"]
+            assert span.duration is not None
+
+    def test_worker_spans_become_roots_without_an_open_parent(self):
+        with obs.recording() as registry:
+            run_tasks(_traced_task, None, [1, 2], workers=2)
+        names = [span.name for span in registry.tracer.roots]
+        assert names == ["test.work", "test.work"]
+
+    def test_retried_task_ships_only_the_winning_attempts_spans(self):
+        policy = RunPolicy(
+            retries=2, faults=_CrashFirstAttemptOfTask(task_seed=1)
+        )
+        with obs.recording() as registry:
+            with obs.span("parent.pool"):
+                results = run_tasks(
+                    _traced_task, None, [10, 20, 30], workers=2,
+                    policy=policy,
+                )
+        assert results == [20, 40, 60]
+        (root,) = registry.tracer.roots
+        worker_roots = [
+            child for child in root.children if child.name == "test.work"
+        ]
+        by_task = {
+            span.attributes["task"]: span.attributes["attempt"]
+            for span in worker_roots
+        }
+        # One span tree per task — the crashed attempt shipped nothing.
+        assert len(worker_roots) == 3
+        assert by_task == {0: 1, 1: 2, 2: 1}
+        assert registry.metrics.counters["test.calls"].value == 3
+
+    def test_no_spans_ship_when_workers_record_none(self):
+        def plain(context, task):
+            obs.incr("test.calls")
+            return task
+
+        with obs.recording() as registry:
+            run_tasks(plain, None, [1, 2, 3], workers=2)
+        assert registry.tracer.roots == []
+        assert registry.metrics.counters["test.calls"].value == 3
+
+
+class TestExactlyOnceMerging:
+    def test_pooled_faulty_run_counts_like_a_clean_inline_run(self):
+        tasks = list(range(8))
+
+        def totals(workers, policy):
+            with obs.recording() as registry:
+                results = run_tasks(
+                    _traced_task, None, tasks, workers=workers,
+                    policy=policy,
+                )
+            return results, registry.metrics.counters["test.calls"].value
+
+        clean_results, clean_count = totals(1, DEFAULT_POLICY)
+        assert clean_count == len(tasks)
+        faulty_policy = RunPolicy(
+            retries=6, faults=FaultPlan(crash=0.4, seed=3),
+            degrade_after=1,
+        )
+        faulty_results, faulty_count = totals(2, faulty_policy)
+        assert faulty_results == clean_results
+        assert faulty_count == clean_count
+
+    def test_degraded_execution_skips_already_delivered_tasks(self):
+        delivered = []
+        pooled = _PooledRun(
+            tasks=[10, 20], positions=[0, 1], workers=2,
+            policy=DEFAULT_POLICY, mp_context=None,
+            on_result=lambda position, result: delivered.append(position),
+        )
+        # Task 0 already delivered; a stale retry entry for it is still
+        # queued (the degrade-race shape): it must not run again.
+        pooled.results[0] = 99
+        pooled.pending = [(0, 2, 0.0), (1, 1, 0.0)]
+        executed = []
+
+        def execute(context, task):
+            executed.append(task)
+            return task * 2
+
+        pooled.execute_degraded(execute, None)
+        assert executed == [20]
+        assert pooled.results == {0: 99, 1: 40}
+        assert delivered == [1]
+
+    def test_cli_counters_identical_with_inject_faults(
+        self, tmp_path, capsys
+    ):
+        def counters(path, pool=False):
+            records = read_jsonl(path)
+            return {
+                record["name"]: record["value"]
+                for record in records
+                if record["type"] == "counter"
+                and record["name"].startswith("pool.") == pool
+            }
+
+        clean = tmp_path / "clean.jsonl"
+        faulty = tmp_path / "faulty.jsonl"
+        base = ["check", "--prop", "A.14", "--samples", "4", "--json"]
+        assert main([*base, "--trace-out", str(clean)]) == 0
+        assert main([
+            *base, "--trace-out", str(faulty),
+            "--workers", "4", "--retries", "6",
+            "--inject-faults", "crash=0.3,seed=7",
+        ]) == 0
+        capsys.readouterr()
+        # The injection actually fired — this run survived retries.
+        assert counters(faulty, pool=True).get("pool.retries", 0) > 0
+        assert counters(faulty) == counters(clean)

@@ -1,0 +1,149 @@
+"""Span profiling: aggregation math, folded output, ``repro profile``."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.obs.profile import (
+    aggregate_spans,
+    merge_profiles,
+    profile_tracer,
+    render_folded,
+    render_profile,
+)
+from repro.obs.registry import recording_registry
+
+
+def span_record(span_id, parent, name, duration):
+    return {
+        "type": "span", "id": span_id, "parent": parent,
+        "name": name, "duration_s": duration, "attributes": {},
+    }
+
+
+class TestAggregation:
+    def test_self_time_subtracts_children(self):
+        records = [
+            span_record(0, None, "outer", 1.0),
+            span_record(1, 0, "inner", 0.4),
+        ]
+        rows = {row["stack"]: row for row in aggregate_spans(records)}
+        assert rows["outer"]["cum_s"] == 1.0
+        assert rows["outer"]["self_s"] == 0.6
+        assert rows["outer"]["calls"] == 1
+        assert rows["outer;inner"]["cum_s"] == 0.4
+        assert rows["outer;inner"]["self_s"] == 0.4
+
+    def test_repeated_stacks_accumulate(self):
+        records = [
+            span_record(0, None, "phase", 1.0),
+            span_record(1, None, "phase", 2.0),
+        ]
+        (row,) = aggregate_spans(records)
+        assert row["calls"] == 2
+        assert row["cum_s"] == 3.0
+
+    def test_open_spans_count_a_call_with_zero_seconds(self):
+        (row,) = aggregate_spans([span_record(0, None, "open", None)])
+        assert row["calls"] == 1
+        assert row["cum_s"] == 0.0
+
+    def test_non_span_records_are_ignored(self):
+        records = [
+            {"type": "counter", "name": "x", "value": 1},
+            span_record(0, None, "a", 0.5),
+        ]
+        assert len(aggregate_spans(records)) == 1
+
+    def test_profile_tracer_matches_span_records(self):
+        clock = iter(range(100)).__next__
+        registry = recording_registry(clock=lambda: float(clock()))
+        with registry.tracer.span("outer"):
+            with registry.tracer.span("inner"):
+                pass
+        rows = {row["stack"]: row for row in profile_tracer(registry.tracer)}
+        assert set(rows) == {"outer", "outer;inner"}
+        assert rows["outer"]["cum_s"] == 3.0
+        assert rows["outer;inner"]["cum_s"] == 1.0
+        assert rows["outer"]["self_s"] == 2.0
+
+    def test_merge_profiles_sums_stackwise(self):
+        first = aggregate_spans([span_record(0, None, "a", 1.0)])
+        second = aggregate_spans([
+            span_record(0, None, "a", 2.0),
+            span_record(1, None, "b", 0.5),
+        ])
+        rows = {row["stack"]: row for row in merge_profiles([first, second])}
+        assert rows["a"]["calls"] == 2 and rows["a"]["cum_s"] == 3.0
+        assert rows["b"]["calls"] == 1
+
+
+class TestRendering:
+    def test_folded_lines_are_stack_space_microseconds(self):
+        rows = aggregate_spans([
+            span_record(0, None, "outer", 1.0),
+            span_record(1, 0, "inner", 0.25),
+        ])
+        lines = render_folded(rows).splitlines()
+        assert "outer 750000" in lines
+        assert "outer;inner 250000" in lines
+
+    def test_table_ranks_by_self_time_and_honours_top(self):
+        rows = aggregate_spans([
+            span_record(0, None, "hot", 5.0),
+            span_record(1, None, "warm", 1.0),
+            span_record(2, None, "cold", 0.1),
+        ])
+        table = render_profile(rows, top=2)
+        assert "hot" in table and "warm" in table
+        assert "cold" not in table
+        assert table.index("hot") < table.index("warm")
+
+    def test_empty_profile_renders_placeholder(self):
+        assert render_profile([]) == "(no spans recorded)"
+
+
+class TestCliProfile:
+    def test_profile_of_a_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "stats.jsonl"
+        assert main(
+            ["stats", "--samples", "2", "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["profile", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "stack" in out and "self_s" in out
+        assert "stats.run" in out
+
+    def test_folded_output_parses(self, tmp_path, capsys):
+        trace = tmp_path / "stats.jsonl"
+        main(["stats", "--samples", "2", "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["profile", str(trace), "--folded"]) == 0
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            stack, _, micros = line.rpartition(" ")
+            assert stack and int(micros) >= 0
+
+    def test_profile_of_a_manifest(self, tmp_path, capsys):
+        from repro.obs import manifest as mf
+
+        assert main(["stats", "--samples", "2"]) == 0
+        capsys.readouterr()
+        (record,) = mf.load_manifests(tmp_path / "runs")
+        assert main(["profile", "--run", record["id"][:6]]) == 0
+        out = capsys.readouterr().out
+        assert "stats.run" in out
+
+    def test_missing_source_is_a_usage_error(self, capsys):
+        assert main(["profile"]) == 2
+        assert "JSONL file or --run" in capsys.readouterr().err
+
+    def test_unreadable_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_source_and_run_together_rejected(self, tmp_path, capsys):
+        assert main(
+            ["profile", str(tmp_path / "x.jsonl"), "--run", "abc"]
+        ) == 2
+        assert "not both" in capsys.readouterr().err

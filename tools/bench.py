@@ -1,19 +1,30 @@
-"""Benchmark runner: every ``benchmarks/bench_*.py``, one trajectory file.
+"""Benchmark runner: every ``benchmarks/bench_*.py``, one trajectory each.
 
 Runs each benchmark module in its own pytest process (so a crash or
 hang in one experiment cannot take down the rest), collects per-module
-outcome and wall time, and appends one entry to ``BENCH_statespace.json``
-— a JSON list, one entry per invocation, so successive runs build a
-performance trajectory that regressions show up in.
+outcome and wall time, and appends one entry to the suite's own
+``BENCH_<suite>.json`` — a JSON list, one entry per invocation, so
+successive runs build a per-suite performance trajectory that
+regressions show up in.  (Historically everything was appended to
+``BENCH_statespace.json``; old aggregate-format entries in an existing
+file are preserved and skipped by comparisons.)
 
 Usage::
 
-    python tools/bench.py                # run everything
+    python tools/bench.py                    # run everything
     python tools/bench.py --only parallel,statespace
-    python tools/bench.py --out other.json
+    python tools/bench.py --only observability   # the obs smoke suite
+    python tools/bench.py --compare          # fail on >25% regressions
+    python tools/bench.py --out-dir /tmp/bench
+
+``--compare`` checks each suite's wall time against its previous
+trajectory entry and exits nonzero when it regressed by more than 25%
+(entries without a comparable ``seconds`` field — e.g. the historical
+aggregate format — are skipped).
 
 Exits nonzero when any benchmark module fails (pytest exit codes other
-than 0/5; 5 = all tests skipped, which counts as a clean skip).
+than 0/5; 5 = all tests skipped, which counts as a clean skip) or, with
+``--compare``, when any suite regressed.
 """
 
 from __future__ import annotations
@@ -29,10 +40,12 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
-DEFAULT_OUT = REPO_ROOT / "BENCH_statespace.json"
 
 #: pytest exit codes that do not indicate a broken benchmark.
 _CLEAN_EXITS = (0, 5)  # 5: no tests ran (everything skipped)
+
+#: ``--compare`` fails a suite whose wall time grew past this factor.
+REGRESSION_FACTOR = 1.25
 
 
 def bench_modules(only=None):
@@ -44,6 +57,11 @@ def bench_modules(only=None):
             m for m in modules if any(n in m.stem for n in needles)
         ]
     return modules
+
+
+def suite_name(path: Path) -> str:
+    """``bench_statespace.py`` -> ``statespace``."""
+    return path.stem[len("bench_"):]
 
 
 def run_module(path: Path) -> dict:
@@ -75,20 +93,41 @@ def run_module(path: Path) -> dict:
     }
 
 
+def load_trajectory(out_path: Path) -> list:
+    """The existing trajectory list at ``out_path`` (tolerant of junk)."""
+    if not out_path.exists():
+        return []
+    try:
+        loaded = json.loads(out_path.read_text())
+    except json.JSONDecodeError:
+        print(
+            f"bench: warning: {out_path} is not valid JSON; "
+            "starting a fresh trajectory",
+            file=sys.stderr,
+        )
+        return []
+    return loaded if isinstance(loaded, list) else []
+
+
+def previous_seconds(trajectory: list):
+    """The newest comparable wall time in a trajectory, if any.
+
+    Skips entries without a numeric ``seconds`` field — notably the
+    historical aggregate format, whose entries carried
+    ``total_seconds`` over many suites and are not comparable to a
+    single suite's wall time.
+    """
+    for entry in reversed(trajectory):
+        if isinstance(entry, dict) and isinstance(
+            entry.get("seconds"), (int, float)
+        ):
+            return entry["seconds"]
+    return None
+
+
 def append_entry(out_path: Path, entry: dict) -> None:
     """Append ``entry`` to the JSON trajectory list at ``out_path``."""
-    trajectory = []
-    if out_path.exists():
-        try:
-            loaded = json.loads(out_path.read_text())
-            if isinstance(loaded, list):
-                trajectory = loaded
-        except json.JSONDecodeError:
-            print(
-                f"bench: warning: {out_path} is not valid JSON; "
-                "starting a fresh trajectory",
-                file=sys.stderr,
-            )
+    trajectory = load_trajectory(out_path)
     trajectory.append(entry)
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
 
@@ -101,8 +140,16 @@ def main(argv=None) -> int:
              "(e.g. 'parallel,statespace')",
     )
     parser.add_argument(
-        "--out", default=str(DEFAULT_OUT), metavar="FILE.json",
-        help="trajectory file to append to (default: %(default)s)",
+        "--out-dir", default=str(REPO_ROOT), metavar="DIR",
+        dest="out_dir",
+        help="directory the per-suite BENCH_<suite>.json trajectories "
+             "live in (default: the repository root)",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="exit nonzero when a suite's wall time regressed more "
+             f"than {round((REGRESSION_FACTOR - 1) * 100)}%% vs its "
+             "previous trajectory entry",
     )
     args = parser.parse_args(argv)
 
@@ -110,31 +157,41 @@ def main(argv=None) -> int:
     if not modules:
         print("bench: no benchmark modules matched", file=sys.stderr)
         return 2
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
 
-    results = []
+    failures = 0
+    regressions = 0
     for module in modules:
+        suite = suite_name(module)
         print(f"bench: running {module.name} ...", flush=True)
         row = run_module(module)
+        failures += not row["ok"]
         status = "ok" if row["ok"] else f"FAILED (exit {row['exit_code']})"
         print(f"bench:   {status} in {row['seconds']:.1f}s  {row['summary']}")
-        results.append(row)
+        entry = {
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+            "python": sys.version.split()[0],
+            **row,
+        }
+        out_path = out_dir / f"BENCH_{suite}.json"
+        baseline = previous_seconds(load_trajectory(out_path))
+        append_entry(out_path, entry)
+        if args.compare and baseline is not None:
+            if row["seconds"] > baseline * REGRESSION_FACTOR:
+                regressions += 1
+                print(
+                    f"bench:   REGRESSION: {suite} took "
+                    f"{row['seconds']:.1f}s vs {baseline:.1f}s "
+                    f"previously (> {REGRESSION_FACTOR:.2f}x)",
+                    file=sys.stderr,
+                )
 
-    entry = {
-        "timestamp": datetime.now(timezone.utc).isoformat(),
-        "python": sys.version.split()[0],
-        "modules_run": len(results),
-        "failures": sum(1 for r in results if not r["ok"]),
-        "total_seconds": round(sum(r["seconds"] for r in results), 3),
-        "results": results,
-    }
-    out_path = Path(args.out)
-    append_entry(out_path, entry)
     print(
-        f"bench: {entry['modules_run']} module(s), "
-        f"{entry['failures']} failure(s), "
-        f"{entry['total_seconds']:.1f}s total -> {out_path}"
+        f"bench: {len(modules)} suite(s), {failures} failure(s), "
+        f"{regressions} regression(s) -> {out_dir}/BENCH_<suite>.json"
     )
-    return 1 if entry["failures"] else 0
+    return 1 if failures or regressions else 0
 
 
 if __name__ == "__main__":

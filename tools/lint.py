@@ -32,6 +32,14 @@ It also forbids constructing ``random.Random`` under ``src/`` outside
 byte-identity guarantee (``docs/statespace.md``) rests on one seeding
 discipline instead of scattered constructor calls.
 
+Finally, every ``incr(``/``gauge(``/``observe(``/``counter(``/
+``histogram(`` call site under ``src/`` whose first argument is a
+string literal must name a metric declared in
+``src/repro/obs/names.py`` (exactly, or extending a declared dynamic
+prefix such as ``ledger.rule.``).  A typo'd name would otherwise
+record into a dead metric that no table, manifest, or ``runs diff``
+ever reads.
+
 Usage: ``python tools/lint.py [paths...]`` (defaults to src tests
 benchmarks tools). Exits nonzero on findings.
 """
@@ -199,15 +207,114 @@ def banned_handlers(path):
     return findings
 
 
+# -- metric-name declarations ------------------------------------------
+
+#: The obs helper / Metrics method names whose literal first argument
+#: is a metric name.
+_METRIC_CALLS = ("incr", "gauge", "observe", "counter", "histogram")
+
+_NAMES_MODULE = (
+    Path(__file__).resolve().parent.parent
+    / "src" / "repro" / "obs" / "names.py"
+)
+
+
+def metric_catalog(names_path=_NAMES_MODULE):
+    """(exact names, dynamic prefixes) declared in ``obs/names.py``.
+
+    Parsed from the AST (the linter must not import ``src/``): the keys
+    of the ``METRICS`` and ``DYNAMIC_PREFIXES`` dict literals.  Returns
+    ``None`` when the module is missing or unparseable — the pass is
+    then skipped rather than flagging everything.
+    """
+    try:
+        tree = ast.parse(names_path.read_text(), filename=str(names_path))
+    except (OSError, SyntaxError):
+        return None
+    exact = set()
+    prefixes = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            continue
+        names = {t.id for t in targets if isinstance(t, ast.Name)}
+        if not isinstance(node.value, ast.Dict):
+            continue
+        keys = [
+            key.value
+            for key in node.value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        ]
+        if "METRICS" in names:
+            exact.update(keys)
+        elif "DYNAMIC_PREFIXES" in names:
+            prefixes.extend(keys)
+    if not exact:
+        return None
+    return exact, prefixes
+
+
+def _literal_metric_name(node):
+    """The literal first argument of an obs metric call, if it is one."""
+    if not isinstance(node, ast.Call) or not node.args:
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        called = func.attr
+    elif isinstance(func, ast.Name):
+        called = func.id
+    else:
+        return None
+    if called not in _METRIC_CALLS:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+def undeclared_metric_sites(path, exact, prefixes):
+    """Call sites in ``path`` naming metrics absent from the catalog."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError:
+        return []  # the active checker reports it
+    findings = []
+    for node in ast.walk(tree):
+        name = _literal_metric_name(node)
+        if name is None:
+            continue
+        if name in exact:
+            continue
+        if any(name.startswith(prefix) for prefix in prefixes):
+            continue
+        findings.append(
+            (node.lineno,
+             f"metric name {name!r} is not declared in "
+             f"src/repro/obs/names.py — declare it there (or extend a "
+             f"dynamic prefix) so it shows up in the catalog, docs, and "
+             f"runs diff")
+        )
+    return findings
+
+
 def run_ban_check(paths):
     """Always-on pass: forbid banned constructs in ``src/``."""
     findings = 0
+    catalog = metric_catalog()
     for path in python_files(paths):
         if not _is_src_path(path):
             continue
         for line, message in banned_handlers(path):
             print(f"{path}:{line}: {message}")
             findings += 1
+        if catalog is not None and path.resolve() != _NAMES_MODULE:
+            for line, message in undeclared_metric_sites(path, *catalog):
+                print(f"{path}:{line}: {message}")
+                findings += 1
     if findings:
         print(f"{findings} banned construct(s)")
     return 0 if not findings else 1
