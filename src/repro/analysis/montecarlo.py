@@ -52,6 +52,18 @@ class LRExperimentSetup:
             key=lambda state: state.untimed(), time_of=lr.lr_time_of
         )
 
+    def symmetry_spec(self) -> SpaceSpec:
+        """The untimed quotient *plus* the ring's dihedral quotient.
+
+        Shrinks the compiled space by a factor approaching ``2n``
+        (fitting n=5 inside the default state budget), but is only
+        sound for quotient-level analyses and symmetry-invariant
+        predicates: the shipped adversary policies break ties by
+        process index and are not equivariant, so per-adversary
+        sampling must keep :meth:`space_spec`.  See
+        ``repro.algorithms.lehmann_rabin.symmetry``."""
+        return lr.ring_symmetry_spec()
+
     @classmethod
     def build(
         cls,

@@ -48,9 +48,10 @@ model-contract enforcement mode (Definitions 2.1/2.2/3.3) and
 per-execution budgets; on healthy models ``warn`` output is
 byte-identical to ``off`` for every worker count, and strict-mode
 violations exit with the dedicated status 4 (see ``docs/contracts.md``).
-``--engine {tree,compiled,auto}`` selects the evaluation strategy —
-the historical tree walk or the compile-once interned state space —
-and ``--state-budget`` caps the compile; reports are byte-identical
+``--engine {tree,compiled,batched,auto}`` selects the evaluation
+strategy — the historical tree walk, the compile-once interned state
+space, or its flattened array form sampling uniforms in blocks — and
+``--state-budget`` caps the compile; reports are byte-identical
 whichever engine ran (see ``docs/statespace.md``).
 """
 
@@ -76,7 +77,7 @@ exit status:
   0  success: every checked claim held
   1  a checked claim was refuted (or a measured bound failed)
   2  usage error (unknown flags or propositions, contradictory flags,
-     or --engine compiled blew its --state-budget)
+     or --engine compiled/batched blew its --state-budget)
   3  pooled run exhausted its fault-tolerance budget, or a checkpoint
      file was unusable
   4  model-contract violation: a --guards strict check failed, the
@@ -832,21 +833,25 @@ def build_parser() -> argparse.ArgumentParser:
                  "--guards warn or strict",
         )
         p.add_argument(
-            "--engine", choices=("tree", "compiled", "auto"),
+            "--engine", choices=("tree", "compiled", "batched", "auto"),
             default="tree",
             help="evaluation strategy: 'tree' walks the live object "
                  "graph, 'compiled' interns the reachable state space "
                  "once and samples index tables (errors when the "
-                 "--state-budget is exceeded), 'auto' compiles when the "
-                 "space fits and falls back to the tree walk otherwise; "
-                 "reports are byte-identical whichever engine ran "
+                 "--state-budget is exceeded), 'batched' additionally "
+                 "flattens the tables into arrays and draws uniforms in "
+                 "blocks (numpy-accelerated when available), 'auto' "
+                 "prefers the batched walk when the space fits and falls "
+                 "back to the tree walk otherwise; reports are "
+                 "byte-identical whichever engine ran "
                  "(default: %(default)s; see docs/statespace.md)",
         )
         p.add_argument(
             "--state-budget", type=int, default=None, metavar="N",
             dest="state_budget",
             help="cap on interned states (and per-adversary product "
-                 "nodes) for --engine compiled/auto (default: 200000)",
+                 "nodes) for --engine compiled/batched/auto "
+                 "(default: 200000)",
         )
 
     def common(p, samples_default=80):

@@ -245,6 +245,20 @@ class ExecutionClosureError(ContractViolation, AdversaryError):
     kind = "closure"
 
 
+class QuotientInvarianceError(ContractViolation, StateSpaceError):
+    """A predicate disagreed across members of one quotient class.
+
+    The symmetry quotient of :class:`repro.statespace.compile.SpaceSpec`
+    is only sound for predicates that are constant on each equivalence
+    class; the spot check in ``CompiledSpace.flags`` evaluates the
+    predicate on sampled class members and raises (strict) or warns
+    (warn) when a member disagrees with its class representative —
+    a non-invariant predicate would silently misflag whole classes.
+    """
+
+    kind = "quotient"
+
+
 class FuelExhaustedError(ContractViolation):
     """One execution exceeded its step or wall-clock fuel budget.
 

@@ -110,6 +110,8 @@ METRICS: Dict[str, Tuple[str, str]] = {
         "histogram", "wall-clock milliseconds per state-space compile"),
     "statespace.compiled_adversaries": (
         "gauge", "adversaries tabulated into compiled decision tables"),
+    "statespace.flat_nodes": (
+        "gauge", "product nodes flattened into batched CSR arrays"),
     "statespace.states": (
         "gauge", "interned states in the compiled space"),
     "statespace.transitions": (
@@ -135,7 +137,8 @@ DYNAMIC_PREFIXES: Dict[str, Tuple[str, str]] = {
     "contracts.": (
         "counter",
         "per-kind violation counters: contracts.distribution, "
-        "contracts.adversary, contracts.closure, contracts.fuel"),
+        "contracts.adversary, contracts.closure, contracts.fuel, "
+        "contracts.quotient"),
     "ledger.rule.": (
         "counter",
         "per-rule application counters: ledger.rule.assume, "

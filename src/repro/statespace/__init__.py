@@ -1,10 +1,12 @@
 """Compile-once state spaces and the engine protocol built on them.
 
 See ``docs/statespace.md`` for the compile pipeline, the
-``--engine {tree,compiled,auto}`` selection rules, and the fallback
-behaviour that keeps reports byte-identical across engines.
+``--engine {tree,compiled,batched,auto}`` selection rules, the flat
+array layout behind the batched engine, and the fallback behaviour
+that keeps reports byte-identical across engines.
 """
 
+from repro.statespace.arrays import FlatTable, UniformSource, flatten_table
 from repro.statespace.compile import (
     DEFAULT_STATE_BUDGET,
     IDENTITY_SPEC,
@@ -15,6 +17,7 @@ from repro.statespace.compile import (
 )
 from repro.statespace.engine import (
     ENGINE_NAMES,
+    BatchedEngine,
     CompiledEngine,
     Engine,
     TreeEngine,
@@ -28,9 +31,13 @@ __all__ = [
     "IDENTITY_SPEC",
     "CompiledSpace",
     "CompiledStep",
+    "FlatTable",
     "SpaceSpec",
+    "UniformSource",
     "compile_space",
+    "flatten_table",
     "ENGINE_NAMES",
+    "BatchedEngine",
     "CompiledEngine",
     "Engine",
     "TreeEngine",

@@ -42,14 +42,19 @@ from repro import obs
 from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.automaton.transition import Transition
 from repro.contracts.config import GuardConfig
-from repro.contracts.guards import check_transition_distribution
-from repro.errors import StateBudgetExceeded
+from repro.contracts.guards import check_transition_distribution, report_violation
+from repro.errors import QuotientInvarianceError, StateBudgetExceeded
 
 #: Default cap on interned states per compile (and on product nodes per
 #: adversary table).  Chosen so the n<=4 Lehmann-Rabin rings compile in
 #: well under a second while the n>=5 rings trip ``auto`` into the tree
 #: walk instead of stalling.
 DEFAULT_STATE_BUDGET = 200_000
+
+#: How many quotient classes the flags spot check probes (every member
+#: of each probed class is evaluated).  Bounded so checking stays cheap
+#: on large spaces while still catching non-invariant predicates fast.
+_FLAG_PROBES = 64
 
 _ZERO = Fraction(0)
 
@@ -69,10 +74,23 @@ class SpaceSpec:
     engines evaluate.  ``time_of`` reads the clock, used to record exact
     per-outcome time advances.  The identity spec (the default) compiles
     untimed automata verbatim.
+
+    ``canonical``, when set, maps every state to a canonical
+    representative of its symmetry class *before* interning — e.g. the
+    lexicographically least rotation of a Lehmann-Rabin ring state
+    (``repro.algorithms.lehmann_rabin.symmetry``).  It must preserve the
+    clock (``time_of(canonical(s)) == time_of(s)``) and commute with the
+    dynamics: the canonicalised successors of ``canonical(s)`` must be
+    the canonicalised successors of ``s``.  ``orbit`` enumerates the
+    members of a state's symmetry class; it backs the quotient-
+    invariance spot check of :meth:`CompiledSpace.flags` and is required
+    whenever ``canonical`` is set and guards are checking.
     """
 
     key: Callable[[object], Hashable] = lambda state: state
     time_of: Callable[[object], Fraction] = _zero_time
+    canonical: Optional[Callable[[object], object]] = None
+    orbit: Optional[Callable[[object], Sequence[object]]] = None
 
 
 #: The trivial spec: no quotient, zero clock.
@@ -135,20 +153,60 @@ class CompiledSpace:
 
     def state_id(self, state: object) -> int:
         """The interned id of ``state`` (KeyError when unreachable)."""
-        return self._ids[self.spec.key(state)]
+        spec = self.spec
+        if spec.canonical is not None:
+            state = spec.canonical(state)
+        return self._ids[spec.key(state)]
 
     def contains(self, state: object) -> bool:
         """Was ``state`` (up to the quotient) reached during compile?"""
-        return self.spec.key(state) in self._ids
+        spec = self.spec
+        if spec.canonical is not None:
+            state = spec.canonical(state)
+        return spec.key(state) in self._ids
 
-    def flags(self, predicate: Callable[[object], bool]) -> List[bool]:
+    def flags(
+        self,
+        predicate: Callable[[object], bool],
+        guards: Optional[GuardConfig] = None,
+    ) -> List[bool]:
         """``predicate`` evaluated once per class, indexed by id.
 
         The predicate must be invariant under the quotient key (for the
         shipped specs: must not read the clock) — the same contract the
-        key itself carries.
+        key itself carries.  When the spec carries a symmetry ``orbit``
+        and ``guards`` is checking, a bounded spot check re-evaluates
+        the predicate on every member of sampled classes and routes any
+        disagreement through the guard layer
+        (:class:`~repro.errors.QuotientInvarianceError`): warn mode
+        counts and warns once, strict mode raises.
         """
-        return [bool(predicate(rep)) for rep in self.reps]
+        values = [bool(predicate(rep)) for rep in self.reps]
+        orbit = self.spec.orbit
+        if orbit is None or guards is None or not guards.checking:
+            return values
+        probes = min(len(values), _FLAG_PROBES)
+        if not probes:
+            return values
+        stride = max(1, len(values) // probes)
+        for index in range(0, len(values), stride):
+            rep = self.reps[index]
+            for member in orbit(rep):
+                if bool(predicate(member)) != values[index]:
+                    report_violation(
+                        guards,
+                        QuotientInvarianceError(
+                            f"predicate {predicate!r} is not invariant "
+                            f"under the symmetry quotient: class "
+                            f"representative {rep!r} maps to "
+                            f"{values[index]} but class member "
+                            f"{member!r} maps to {not values[index]}",
+                            state=member,
+                            site="statespace.flags.quotient",
+                        ),
+                    )
+                    return values
+        return values
 
 
 def compile_space(
@@ -171,6 +229,7 @@ def compile_space(
     started = time.perf_counter()
     key_of = spec.key
     time_of = spec.time_of
+    canonical = spec.canonical
     checking = guards is not None and guards.checking
     ids: Dict[Hashable, int] = {}
     reps: List[object] = []
@@ -178,6 +237,8 @@ def compile_space(
     frontier: Deque[int] = deque()
 
     def intern(state: object) -> int:
+        if canonical is not None:
+            state = canonical(state)
         state_key = key_of(state)
         found = ids.get(state_key)
         if found is not None:

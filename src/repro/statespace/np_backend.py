@@ -1,0 +1,68 @@
+"""Optional numpy backend for bulk uniform draws (MT19937 transplant).
+
+The batched engine consumes uniforms in blocks.  Python's
+``random.Random`` and numpy's legacy ``RandomState`` share the same
+generator — MT19937 with 53-bit doubles built as
+``(a >> 5) * 2**26 + (b >> 6)) / 2**53`` from two 32-bit outputs — so a
+``RandomState`` seeded by *transplanting* the ``Random`` instance's
+internal state produces exactly the floats the python generator would
+have produced, in the same order.  That makes the numpy path
+bit-identical to the pure-python path, not merely statistically
+equivalent, which is what the cross-engine byte-identity suite pins.
+
+This is the only module in ``src/`` allowed to import numpy
+(``tools/lint.py`` enforces the ban elsewhere); everything degrades to
+the pure-python block filler when numpy is missing or the transplant is
+not possible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+try:
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _numpy = None
+
+#: Version tag of ``random.Random.getstate()`` tuples we know how to
+#: transplant: ``(3, (624 key words + position,), gauss_next)``.
+_GETSTATE_VERSION = 3
+_STATE_WORDS = 625
+
+
+def available() -> bool:
+    """True when numpy is importable in this interpreter."""
+    return _numpy is not None
+
+
+def make_bulk(rng: random.Random) -> Optional[Callable[[int], List[float]]]:
+    """A bulk-draw closure bit-identical to repeated ``rng.random()``.
+
+    Transplants ``rng``'s Mersenne-Twister state into a persistent
+    ``numpy.random.RandomState`` **once**; the returned closure draws
+    blocks from that twin generator.  After the first call the python
+    ``rng`` is stale — callers own the rng exclusively (the batched
+    engine's per-pair streams do) and must route every subsequent draw
+    through the closure.
+
+    Returns ``None`` when numpy is absent or the state layout is not
+    the MT19937 tuple we know how to transplant, in which case callers
+    fall back to filling blocks with ``rng.random()`` directly.
+    """
+    if _numpy is None:
+        return None
+    state = rng.getstate()
+    if state[0] != _GETSTATE_VERSION or len(state[1]) != _STATE_WORDS:
+        return None
+    keys, pos = state[1][:-1], state[1][-1]
+    twin = _numpy.random.RandomState()
+    twin.set_state(
+        ("MT19937", _numpy.array(keys, dtype=_numpy.uint32), pos, 0, 0.0)
+    )
+
+    def bulk(count: int) -> List[float]:
+        return twin.random_sample(count).tolist()
+
+    return bulk

@@ -220,9 +220,19 @@ def _match_step(
     for step in tabulated:
         if step.transition is move:
             return step
-    for step in tabulated:
-        if step.transition == move:
-            return step
+    matched = [step for step in tabulated if step.transition == move]
+    if len(matched) == 1:
+        return matched[0]
+    if matched:
+        # Two distinct enabled transitions compare equal: picking either
+        # could disagree with the step the tree walk schedules, breaking
+        # byte-identity.  Refuse to tabulate; compile_adversary returns
+        # None and the pair samples through the tree walk instead.
+        raise AdversaryError(
+            f"policy scheduled {move.action!r}, which matches "
+            f"{len(matched)} distinct-but-equal compiled steps of "
+            f"{space.reps[state_id]!r}; the match is ambiguous"
+        )
     raise AdversaryError(
         f"policy scheduled {move.action!r}, which is not among the "
         f"compiled steps of {space.reps[state_id]!r}"

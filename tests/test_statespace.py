@@ -2,10 +2,11 @@
 
 The contract under test (``docs/statespace.md``): a verification report
 is a pure function of the problem and the root seed — *never* of the
-evaluation strategy.  ``--engine tree``, ``--engine compiled``, and
-``--engine auto`` must produce byte-identical CLI JSON for every seed,
-worker count, and guard mode, and the interned representation itself is
-pinned by golden state/transition counts for the n=3 ring.
+evaluation strategy.  ``--engine tree``, ``--engine compiled``,
+``--engine batched``, and ``--engine auto`` must produce byte-identical
+CLI JSON for every seed, worker count, and guard mode, and the interned
+representation itself is pinned by golden state/transition counts for
+the n=3 ring.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.contracts import OFF_CONFIG, WARN, GuardConfig
 from repro.errors import StateBudgetExceeded, VerificationError
 from repro.parallel import fork_available
 from repro.statespace import (
+    BatchedEngine,
     CompiledEngine,
     SpaceSpec,
     TreeEngine,
@@ -34,7 +36,7 @@ from repro.statespace import (
 pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
 
 SAMPLES = 12
-ENGINES = ("tree", "compiled", "auto")
+ENGINES = ("tree", "compiled", "batched", "auto")
 
 
 @pytest.fixture(scope="module")
@@ -127,11 +129,32 @@ class TestEngineSelection:
         engine = engine_for(setup3, statement, engine="compiled")
         assert type(engine) is CompiledEngine
 
+    def test_batched_requested_gives_batched(self, setup3, statement):
+        engine = engine_for(setup3, statement, engine="batched")
+        assert type(engine) is BatchedEngine
+
+    def test_auto_prefers_batched(self, setup3, statement):
+        engine = engine_for(setup3, statement, engine="auto")
+        assert type(engine) is BatchedEngine
+
     def test_compiled_with_fuel_is_refused(self, setup3, statement):
         fuelled = GuardConfig(mode=WARN, fuel_steps=500).validate()
         with pytest.raises(VerificationError):
             engine_for(
                 setup3, statement, engine="compiled", guards=fuelled
+            )
+
+    def test_batched_with_fuel_is_refused(self, setup3, statement):
+        fuelled = GuardConfig(mode=WARN, fuel_steps=500).validate()
+        with pytest.raises(VerificationError):
+            engine_for(
+                setup3, statement, engine="batched", guards=fuelled
+            )
+
+    def test_batched_with_tiny_budget_raises(self, setup3, statement):
+        with pytest.raises(StateBudgetExceeded):
+            engine_for(
+                setup3, statement, engine="batched", state_budget=10
             )
 
     def test_auto_with_fuel_falls_back_to_tree(self, setup3, statement):
@@ -182,7 +205,7 @@ class TestReportEquivalence:
             for engine in ENGINES
         }
         baseline = json.dumps(reports["tree"].to_dict(), sort_keys=True)
-        for engine in ("compiled", "auto"):
+        for engine in ("compiled", "batched", "auto"):
             assert baseline == json.dumps(
                 reports[engine].to_dict(), sort_keys=True
             ), f"engine {engine!r} diverged from tree at seed {seed}"
@@ -211,9 +234,9 @@ class TestCliByteIdentity:
                 "--engine", engine, "--json",
             ])
             runs[engine] = (code, capsys.readouterr().out)
-        assert runs["tree"] == runs["compiled"] == runs["auto"], (
-            f"CLI output diverged at workers={workers} guards={guards}"
-        )
+        assert (
+            runs["tree"] == runs["compiled"] == runs["batched"] == runs["auto"]
+        ), f"CLI output diverged at workers={workers} guards={guards}"
 
     def test_state_budget_exit_code(self, capsys):
         code = main([

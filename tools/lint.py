@@ -32,6 +32,12 @@ It also forbids constructing ``random.Random`` under ``src/`` outside
 byte-identity guarantee (``docs/statespace.md``) rests on one seeding
 discipline instead of scattered constructor calls.
 
+Similarly, ``import numpy`` under ``src/`` is forbidden outside
+``statespace/np_backend.py``: numpy is an *optional* accelerator, and
+that module is the single gated entry point that degrades to pure
+python when it is absent.  A stray import anywhere else would make the
+library hard-require numpy and break containers without it.
+
 Finally, every ``incr(``/``gauge(``/``observe(``/``counter(``/
 ``histogram(`` call site under ``src/`` whose first argument is a
 string literal must name a metric declared in
@@ -163,6 +169,23 @@ def _is_seeds_module(path):
     return Path(path).parts[-2:] == ("parallel", "seeds.py")
 
 
+def _is_np_backend_module(path):
+    return Path(path).parts[-2:] == ("statespace", "np_backend.py")
+
+
+def _imports_numpy(node):
+    """True for ``import numpy`` / ``from numpy... import`` statements."""
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "numpy" or alias.name.startswith("numpy.")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        return module == "numpy" or module.startswith("numpy.")
+    return False
+
+
 def banned_handlers(path):
     """Banned constructs under ``src/``: findings as (line, message).
 
@@ -203,6 +226,16 @@ def banned_handlers(path):
                      "(derive_rng / rng_from_seed), not random.Random — "
                      "one seeding discipline backs the cross-engine "
                      "byte-identity guarantee")
+                )
+    if not _is_np_backend_module(path):
+        for node in ast.walk(tree):
+            if _imports_numpy(node):
+                findings.append(
+                    (node.lineno,
+                     "import numpy only inside "
+                     "statespace/np_backend.py — numpy is an optional "
+                     "accelerator behind that one gated module; "
+                     "everything else must run without it")
                 )
     return findings
 
