@@ -1,0 +1,62 @@
+"""Wall-clock budget for the standing defect corpus and the fuzzer.
+
+The corpus is an acceptance gate: every engine/backend PR replays all
+built-in entries across engines x guard modes x worker counts before
+it can claim byte-identity.  A gate only gets run if it stays cheap,
+so this benchmark pins two budgets (generous on purpose — the point is
+catching order-of-magnitude regressions, not microbenchmarking):
+
+* the full built-in sweep (~180 matrix cells, including the pooled
+  fault-injection entries) must finish inside ``SWEEP_BUDGET_S``;
+* a ``FUZZ_BUDGET``-case differential campaign must finish inside
+  ``FUZZ_BUDGET_S`` — and, rerun with the same seed, must reproduce
+  byte-identically (the determinism contract is cheap enough to smoke
+  here too).
+
+``python tools/bench.py --only corpus`` appends the wall times to
+``BENCH_corpus.json`` so the trajectory shows drift before the budget
+trips.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.corpus import builtin_entries, run_corpus, run_fuzz
+
+#: Full-sweep budget, seconds.  The sweep costs ~3s on the reference
+#: container; 60s is the "someone made every cell compile from
+#: scratch" alarm, not a perf target.
+SWEEP_BUDGET_S = 60.0
+
+FUZZ_BUDGET = 80
+FUZZ_BUDGET_S = 30.0
+
+
+def test_builtin_sweep_within_budget():
+    started = time.perf_counter()
+    report = run_corpus(builtin_entries())
+    elapsed = time.perf_counter() - started
+    assert report.ok, "\n".join(report.problems)
+    cells = sum(len(result.cells) for result in report.results)
+    assert cells >= 50  # the matrix actually ran, even without fork
+    assert elapsed < SWEEP_BUDGET_S, (
+        f"corpus sweep took {elapsed:.1f}s over {cells} cells "
+        f"(budget {SWEEP_BUDGET_S:.0f}s)"
+    )
+
+
+def test_fuzz_campaign_within_budget_and_deterministic():
+    started = time.perf_counter()
+    first = run_fuzz(seed=0, budget=FUZZ_BUDGET)
+    elapsed = time.perf_counter() - started
+    assert first.ok
+    assert elapsed < FUZZ_BUDGET_S, (
+        f"{FUZZ_BUDGET}-case fuzz campaign took {elapsed:.1f}s "
+        f"(budget {FUZZ_BUDGET_S:.0f}s)"
+    )
+    second = run_fuzz(seed=0, budget=FUZZ_BUDGET)
+    assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+        second.to_dict(), sort_keys=True
+    )

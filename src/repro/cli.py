@@ -72,6 +72,13 @@ DEFAULT_RETRIES = 2
 # broken" from "the claim is false".
 EXIT_CONTRACT = 4
 
+# Exit status for engine divergence: a defect-corpus replay or a fuzz
+# campaign found two engines classifying the same case differently (or
+# an entry classified other than its registry expectation).  Distinct
+# from every other failure — it means the *harness itself* is broken,
+# not the model or the claim.
+EXIT_DIVERGENCE = 5
+
 EXIT_STATUS_EPILOG = """\
 exit status:
   0  success: every checked claim held
@@ -82,6 +89,9 @@ exit status:
      file was unusable
   4  model-contract violation: a --guards strict check failed, the
      audit found findings, or pairs were quarantined (docs/contracts.md)
+  5  engine divergence: a corpus replay or fuzz campaign saw two
+     engines disagree, or an entry defied its expected classification
+     (docs/corpus.md)
 """
 
 
@@ -833,17 +843,19 @@ def build_parser() -> argparse.ArgumentParser:
                  "--guards warn or strict",
         )
         p.add_argument(
-            "--engine", choices=("tree", "compiled", "batched", "auto"),
+            "--engine",
+            choices=("tree", "compiled", "batched", "batched-pure", "auto"),
             default="tree",
             help="evaluation strategy: 'tree' walks the live object "
                  "graph, 'compiled' interns the reachable state space "
                  "once and samples index tables (errors when the "
                  "--state-budget is exceeded), 'batched' additionally "
                  "flattens the tables into arrays and draws uniforms in "
-                 "blocks (numpy-accelerated when available), 'auto' "
-                 "prefers the batched walk when the space fits and falls "
-                 "back to the tree walk otherwise; reports are "
-                 "byte-identical whichever engine ran "
+                 "blocks (numpy-accelerated when available), "
+                 "'batched-pure' is 'batched' with the numpy filler "
+                 "forced off, 'auto' prefers the batched walk when the "
+                 "space fits and falls back to the tree walk otherwise; "
+                 "reports are byte-identical whichever engine ran "
                  "(default: %(default)s; see docs/statespace.md)",
         )
         p.add_argument(
@@ -1057,6 +1069,96 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_profile, manages_tracing=True, skip_manifest=True
     )
 
+    p = sub.add_parser(
+        "corpus",
+        help="list, replay, and extend the standing defect corpus "
+        "(see docs/corpus.md)",
+    )
+    corpus_sub = p.add_subparsers(dest="corpus_cmd", required=True)
+
+    def corpus_file_flag(cp):
+        cp.add_argument(
+            "--corpus-file", metavar="FILE.jsonl", default=None,
+            dest="corpus_file",
+            help="fuzz-emitted / user-added entries replayed alongside "
+                 "the built-ins (default: .repro/corpus/extra.jsonl)",
+        )
+
+    cp = corpus_sub.add_parser(
+        "list", help="one row per corpus entry (built-in and file)"
+    )
+    corpus_file_flag(cp)
+    cp.add_argument(
+        "--json", action="store_true",
+        help="print the entry table as canonical JSON",
+    )
+    cp.set_defaults(skip_manifest=True)
+
+    cp = corpus_sub.add_parser(
+        "run", parents=[traceable],
+        help="replay entries across engines x guard modes x worker "
+             "counts, asserting identical classification",
+    )
+    corpus_file_flag(cp)
+    cp.add_argument(
+        "--entry", metavar="NAME", default=None,
+        help="replay only the named entry (default: all)",
+    )
+    cp.add_argument(
+        "--json", action="store_true",
+        help="print the full matrix report as canonical JSON",
+    )
+
+    cp = corpus_sub.add_parser(
+        "add", help="validate fuzz finding records and append them to "
+                    "the corpus file",
+    )
+    cp.add_argument(
+        "finding", metavar="FINDINGS.jsonl",
+        help="a JSONL file of finding records (e.g. from "
+             "'repro fuzz --emit')",
+    )
+    corpus_file_flag(cp)
+    cp.set_defaults(skip_manifest=True)
+    p.set_defaults(func=_cmd_corpus)
+
+    p = add_command(
+        "fuzz",
+        help="deterministic differential fuzzing of the sampling "
+        "engines (see docs/corpus.md)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=50, metavar="N",
+        help="generated cases to diff before declaring the campaign "
+             "clean (default: %(default)s)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign root seed; the same seed and budget reproduce "
+             "the identical campaign byte for byte",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per engine run (results are identical "
+             "for every count)",
+    )
+    p.add_argument(
+        "--sabotage", metavar="ENGINE", default=None,
+        help="deliberately perturb this engine's classification before "
+             "diffing — a smoke test that the harness catches, shrinks, "
+             "and reports a divergence",
+    )
+    p.add_argument(
+        "--emit", metavar="FILE.jsonl", default=None,
+        help="append ready-to-commit corpus records for any findings "
+             "(replay with 'repro corpus run --corpus-file FILE.jsonl')",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the campaign report as canonical JSON",
+    )
+    p.set_defaults(func=_cmd_fuzz)
+
     return parser
 
 
@@ -1118,6 +1220,160 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro import corpus
+    from repro.analysis.reporting import banner, format_table
+    from repro.errors import VerificationError
+
+    corpus_file = Path(
+        getattr(args, "corpus_file", None) or corpus.DEFAULT_CORPUS_FILE
+    )
+
+    if args.corpus_cmd == "list":
+        try:
+            entries = list(corpus.builtin_entries()) + list(
+                corpus.load_file_entries(corpus_file)
+            )
+        except VerificationError as error:
+            print(f"repro: error: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(
+                [
+                    {
+                        "name": entry.name,
+                        "source": entry.source,
+                        "kind": entry.kind,
+                        "expected_class": entry.expected_class,
+                        "engines": list(entry.engines),
+                        "workers": list(entry.workers),
+                        "description": entry.description,
+                    }
+                    for entry in entries
+                ],
+                sort_keys=True, indent=2,
+            ))
+            return 0
+        print(banner("Defect corpus"))
+        print(format_table(
+            ("entry", "kind", "expected class", "source"),
+            [
+                (
+                    entry.name,
+                    entry.kind,
+                    entry.expected_class or "(agreement)",
+                    entry.source,
+                )
+                for entry in entries
+            ],
+        ))
+        return 0
+
+    if args.corpus_cmd == "add":
+        source = Path(args.finding)
+        if not source.exists():
+            print(
+                f"repro: error: finding file {source} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        records = []
+        try:
+            for lineno, line in enumerate(
+                source.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if not isinstance(record, dict) or "case" not in record:
+                    raise VerificationError(
+                        f"{source}:{lineno}: expected an object with a "
+                        f"'case' field"
+                    )
+                # Validation: the record must materialise into a
+                # runnable case before it is allowed into the corpus.
+                corpus.entry_from_record(record, source=str(source)).build()
+                records.append(record)
+        except (json.JSONDecodeError, VerificationError, KeyError) as error:
+            print(f"repro: error: bad finding record: {error}",
+                  file=sys.stderr)
+            return 2
+        if not records:
+            print(f"repro: error: no records found in {source}",
+                  file=sys.stderr)
+            return 2
+        corpus_file.parent.mkdir(parents=True, exist_ok=True)
+        with corpus_file.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(
+            f"corpus: added {len(records)} entr"
+            f"{'y' if len(records) == 1 else 'ies'} to {corpus_file}"
+        )
+        return 0
+
+    # corpus run
+    try:
+        entries = list(corpus.builtin_entries()) + list(
+            corpus.load_file_entries(corpus_file)
+        )
+        if args.entry:
+            entries = [corpus.entry_by_name(args.entry, tuple(entries))]
+    except VerificationError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    report = corpus.run_corpus(entries)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.describe())
+        for problem in report.problems:
+            print(f"repro: corpus divergence: {problem}")
+    return report.exit_status
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro import corpus
+    from repro.errors import VerificationError
+
+    try:
+        report = corpus.run_fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            workers=args.workers,
+            sabotage=args.sabotage,
+        )
+    except VerificationError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    if args.emit and report.findings:
+        emit_path = Path(args.emit)
+        if emit_path.parent != Path("."):
+            emit_path.parent.mkdir(parents=True, exist_ok=True)
+        with emit_path.open("a", encoding="utf-8") as handle:
+            for finding in report.findings:
+                record = corpus.corpus_record(finding, seed=args.seed)
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.describe())
+        for finding in report.findings:
+            print("minimal repro (ready for 'repro corpus add'):")
+            print(json.dumps(
+                corpus.corpus_record(finding, seed=args.seed),
+                sort_keys=True,
+            ))
+    return 0 if report.ok else EXIT_DIVERGENCE
+
+
 # Namespace attributes that never belong in a manifest's scope
 # fingerprint: plumbing (parser internals, store location), output-only
 # switches, and the robustness/engine flags whose reports are
@@ -1129,6 +1385,7 @@ _NON_SCOPE_KEYS = frozenset({
     "manifest", "runs_dir", "trace_out", "progress", "json",
     "workers", "engine", "state_budget",
     "timeout", "retries", "checkpoint", "resume", "inject_faults",
+    "emit",
 })
 
 

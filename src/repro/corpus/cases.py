@@ -1,0 +1,209 @@
+"""The tiny model, its mutations, and the case shapes the corpus replays.
+
+Every known-bad model in the defect corpus is built from the same
+three-state automaton (``a --go--> {b: 1/2, c: 1/2}; b --go--> c;
+c --stop--> c``) that the contracts mutation matrix has always used:
+small enough that a full engines x guards x workers replay costs
+milliseconds, rich enough to exercise a probabilistic branch, a
+deterministic step, and a self-loop.  The builders here are the single
+source of truth — ``tests/test_contracts.py`` imports them instead of
+carrying its own copies, and :mod:`repro.corpus.registry` wires them
+into declarative corpus entries.
+
+Two case shapes exist:
+
+* :class:`CheckCase` — everything :func:`check_arrow_by_sampling`
+  needs for one full differential replay (model, adversary family,
+  statement, sampling plan, optional fault-injection policy);
+* :class:`FlagsCase` — a compile-level case for defects that live in
+  the state-space layer rather than the sampling path (today: the
+  quotient-invariance spot check of ``CompiledSpace.flags``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Optional, Tuple
+
+from repro.adversary.base import AdversarySchema, FunctionAdversary, ShiftedAdversary
+from repro.adversary.deterministic import FirstEnabledAdversary
+from repro.automaton.automaton import ExplicitAutomaton
+from repro.automaton.signature import ActionSignature
+from repro.automaton.transition import Transition
+from repro.probability.space import FiniteDistribution
+from repro.proofs.statements import ArrowStatement, StateClass
+from repro.statespace.compile import SpaceSpec
+
+
+def zero_time(state) -> Fraction:
+    """The untimed clock: every state reads time zero."""
+    return Fraction(0)
+
+
+def tiny_signature() -> ActionSignature:
+    return ActionSignature(internal=frozenset({"go", "stop"}))
+
+
+def smuggled_distribution(weights) -> FiniteDistribution:
+    """A duck-typed ``FiniteDistribution`` bypassing the constructor.
+
+    This is how a broken model reaches the hot path in practice: the
+    constructor validates Definition 2.1, so the mutation enters via a
+    mutated or hand-rolled object.
+    """
+    dist = FiniteDistribution.__new__(FiniteDistribution)
+    dist._weights = {point: Fraction(raw) for point, raw in weights.items()}
+    dist._hash = None
+    return dist
+
+
+def tiny_automaton(first_target=None) -> ExplicitAutomaton:
+    """``a --go--> {b: 1/2, c: 1/2};  b --go--> c;  c --stop--> c``."""
+    if first_target is None:
+        first_target = FiniteDistribution(
+            {"b": Fraction(1, 2), "c": Fraction(1, 2)}
+        )
+    steps = [
+        Transition("a", "go", first_target),
+        Transition("b", "go", FiniteDistribution.dirac("c")),
+        Transition("c", "stop", FiniteDistribution.dirac("c")),
+    ]
+    return ExplicitAutomaton(
+        states=["a", "b", "c"],
+        start_states=["a"],
+        signature=tiny_signature(),
+        steps=steps,
+    )
+
+
+def broken_automaton() -> ExplicitAutomaton:
+    """The ``a --go-->`` target sums to 99/100: a Definition 2.1 breach."""
+    return tiny_automaton(
+        smuggled_distribution({"b": Fraction(49, 100), "c": Fraction(1, 2)})
+    )
+
+
+def rogue_adversary() -> FunctionAdversary:
+    """Schedules a fabricated ``stop`` step everywhere: a Definition 2.2
+    breach from ``a`` and ``b``, where ``stop`` is not enabled."""
+    return FunctionAdversary(
+        lambda automaton, fragment: Transition(
+            fragment.lstate, "stop", FiniteDistribution.dirac("c")
+        ),
+        name="rogue",
+    )
+
+
+def _raise_inside_task(automaton, fragment):
+    raise RuntimeError("injected adversary bug (corpus raising-adversary)")
+
+
+def raising_adversary() -> FunctionAdversary:
+    """An adversary whose ``choose`` raises a non-library error.
+
+    In a pooled run the worker dies deterministically and the parent
+    surfaces :class:`~repro.errors.TaskExecutionError`; inline the raw
+    ``RuntimeError`` propagates instead, so corpus entries built on
+    this adversary constrain themselves to pooled worker counts.
+    """
+    return FunctionAdversary(_raise_inside_task, name="raiser")
+
+
+def honest_schema() -> AdversarySchema:
+    return AdversarySchema(
+        name="tiny-honest", contains=lambda adv: True, execution_closed=True
+    )
+
+
+def liar_schema() -> AdversarySchema:
+    """Claims execution closure but rejects every shifted member."""
+    return AdversarySchema(
+        name="tiny-liar",
+        contains=lambda adv: not isinstance(adv, ShiftedAdversary),
+        execution_closed=True,
+    )
+
+
+A_CLASS = StateClass("A", lambda s: s == "a")
+C_CLASS = StateClass("C", lambda s: s == "c")
+NEVER_CLASS = StateClass("Never", lambda s: False)
+
+TINY_STATEMENT = ArrowStatement(A_CLASS, C_CLASS, 0, Fraction(1, 4), "tiny")
+NEVER_STATEMENT = ArrowStatement(A_CLASS, NEVER_CLASS, 0, 0, "tiny")
+
+
+def noninvariant_orbit_spec() -> SpaceSpec:
+    """An identity-key spec whose orbit merges ``b`` and ``c``.
+
+    The orbit claims ``{b, c}`` form one symmetry class while the
+    predicate ``s == 'c'`` tells them apart — exactly the misdeclared
+    symmetry the ``CompiledSpace.flags`` spot check exists to catch.
+    """
+    return SpaceSpec(
+        orbit=lambda state: ("b", "c") if state in ("b", "c") else (state,)
+    )
+
+
+@dataclass(frozen=True)
+class CheckCase:
+    """One full arrow-check replay: model, family, and sampling plan.
+
+    ``policy_factory`` builds a *fresh* :class:`RunPolicy` per matrix
+    cell (policies can carry stateful checkpoints) and ``fuel_steps``
+    is applied only in the checking guard modes — ``off`` forbids fuel
+    by construction.
+    """
+
+    automaton_factory: Callable[[], object]
+    adversaries_factory: Callable[[], Tuple[Tuple[str, object], ...]]
+    statement: ArrowStatement = TINY_STATEMENT
+    start_states: Tuple[object, ...] = ("a",)
+    schema_factory: Optional[Callable[[], AdversarySchema]] = None
+    time_of: Callable[[object], Fraction] = zero_time
+    samples: int = 8
+    max_steps: int = 24
+    seed: int = 11
+    fuel_steps: Optional[int] = None
+    space_spec: Optional[SpaceSpec] = None
+    state_budget: Optional[int] = None
+    policy_factory: Optional[Callable[[], object]] = None
+
+
+@dataclass(frozen=True)
+class FlagsCase:
+    """A compile-level case: quotient the space, evaluate a predicate."""
+
+    automaton_factory: Callable[[], object]
+    spec_factory: Callable[[], SpaceSpec]
+    predicate: Callable[[object], bool]
+    roots: Tuple[object, ...] = ("a",)
+    max_states: int = 10_000
+
+
+def first_enabled_family() -> Tuple[Tuple[str, object], ...]:
+    return (("first", FirstEnabledAdversary()),)
+
+
+def two_pair_family() -> Tuple[Tuple[str, object], ...]:
+    """Two healthy pairs: pooled runs get >= 2 tasks, so injected
+    worker faults actually fire (single-task runs execute inline)."""
+    return (
+        ("first", FirstEnabledAdversary()),
+        ("second", FirstEnabledAdversary()),
+    )
+
+
+def rogue_family() -> Tuple[Tuple[str, object], ...]:
+    return (("rogue", rogue_adversary()),)
+
+
+def raising_family() -> Tuple[Tuple[str, object], ...]:
+    return (
+        ("first", FirstEnabledAdversary()),
+        ("raiser", raising_adversary()),
+    )
+
+
+# Keep dataclass field import exercised for frozen defaults.
+_ = field

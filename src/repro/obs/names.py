@@ -40,6 +40,12 @@ METRICS: Dict[str, Tuple[str, str]] = {
         "counter", "(adversary, start) pairs a strict run skipped"),
     "contracts.violations": (
         "counter", "every contract violation detected (any kind)"),
+    "corpus.cells": (
+        "counter", "matrix cells (mode x engine x workers) classified"),
+    "corpus.entries": (
+        "counter", "defect-corpus entries replayed"),
+    "corpus.mismatches": (
+        "counter", "corpus problems: divergent or unexpected cells"),
     "execution.automata_built": (
         "counter", "execution automata constructed"),
     "execution.step_cache_hits": (
@@ -48,6 +54,12 @@ METRICS: Dict[str, Tuple[str, str]] = {
         "counter", "execution-automaton step-cache misses"),
     "fragment.extensions": (
         "counter", "execution-fragment extension steps"),
+    "fuzz.cases": (
+        "counter", "differential fuzz cases generated and diffed"),
+    "fuzz.divergences": (
+        "counter", "fuzz cases on which engines disagreed"),
+    "fuzz.shrink_steps": (
+        "counter", "simplifying rewrites adopted while shrinking"),
     "ledger.applications": (
         "counter", "proof-rule applications recorded in the ledger"),
     "measure.evaluations": (

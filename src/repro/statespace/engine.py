@@ -63,8 +63,11 @@ from repro.statespace.compile import (
 )
 from repro.statespace.product import AdversaryTable, compile_adversary
 
-#: Engine names accepted by ``--engine``.
-ENGINE_NAMES = ("tree", "compiled", "batched", "auto")
+#: Engine names accepted by ``--engine``.  ``batched-pure`` is the
+#: batched engine with the numpy block filler disabled — the exact path
+#: numpy-less machines take, promoted to a first-class name so the
+#: defect corpus (and users debugging a numpy divergence) can pin it.
+ENGINE_NAMES = ("tree", "compiled", "batched", "batched-pure", "auto")
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
@@ -749,6 +752,10 @@ def build_engine(
       the flattened arrays; the numpy block filler is auto-detected per
       sampling stream, with the pure-python filler as the always-present
       fallback.
+    * ``batched-pure`` — the batched engine with the numpy block filler
+      forced off; byte-identical to ``batched`` by construction and
+      selectable explicitly so the pure path is testable on machines
+      where numpy is installed.
     * ``auto`` — prefer the batched engine when everything fits the
       budget and guards permit, else silently use the tree walk.
 
@@ -776,7 +783,7 @@ def build_engine(
     if engine == "tree":
         return tree
     if config.fuelled:
-        if engine in ("compiled", "batched"):
+        if engine in ("compiled", "batched", "batched-pure"):
             raise VerificationError(
                 f"--engine {engine} is incompatible with --fuel: fuel is "
                 "accounted per execution fragment, which compiled "
@@ -809,7 +816,7 @@ def build_engine(
             # cover it like any other compile-time violation.
             flags = space.flags(target, guards)
     except StateBudgetExceeded:
-        if engine in ("compiled", "batched"):
+        if engine in ("compiled", "batched", "batched-pure"):
             raise
         return tree
     except ContractViolation:
@@ -817,7 +824,9 @@ def build_engine(
     if engine == "compiled":
         compiled: CompiledEngine = CompiledEngine(tree, tables, flags)
     else:
-        compiled = BatchedEngine(tree, tables, flags)
+        compiled = BatchedEngine(
+            tree, tables, flags, force_pure=(engine == "batched-pure")
+        )
     if obs.enabled():
         obs.gauge("statespace.compiled_adversaries", compiled.compiled_adversaries)
         if isinstance(compiled, BatchedEngine):

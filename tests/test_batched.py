@@ -265,6 +265,26 @@ class TestBatchedByteIdentity:
             want = tree.sample(0, 0, rng_from_seed(seed))
             assert (got.verdict, got.steps) == (want.verdict, want.steps)
 
+    def test_numpy_absent_machine_takes_pure_path(
+        self, setup3, statement, monkeypatch
+    ):
+        # A machine without numpy: available() is False and make_bulk
+        # degrades to None.  Both the implicit fallback under
+        # --engine batched and the explicit batched-pure engine name
+        # must build and match the tree walk byte for byte.
+        monkeypatch.setattr(np_backend, "available", lambda: False)
+        monkeypatch.setattr(np_backend, "make_bulk", lambda rng: None)
+        tree = build_for(setup3, statement, engine="tree")
+        batched = build_for(setup3, statement, engine="batched")
+        pure = build_for(setup3, statement, engine="batched-pure")
+        for seed in (0, 1, 2):
+            want = tree.sample(0, 0, rng_from_seed(seed))
+            for engine in (batched, pure):
+                got = engine.sample(0, 0, rng_from_seed(seed))
+                assert (got.verdict, got.steps) == (
+                    want.verdict, want.steps
+                )
+
     def test_flat_chain_arrays_are_consistent(self, setup3, statement):
         batched = build_for(setup3, statement, engine="batched")
         flats = [flat for flat in batched.flat_tables if flat is not None]

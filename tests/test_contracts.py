@@ -7,6 +7,12 @@ run — are *caught* in ``strict`` mode (quarantined with diagnostics
 naming the state/action), *counted* in ``warn`` mode, and *invisible*
 in ``off`` mode; and on healthy models every guard mode produces
 byte-identical reports for every worker count.
+
+The mutated models themselves live in :mod:`repro.corpus.cases` and
+are registered, with their expected classifications, in the standing
+defect corpus (:mod:`repro.corpus.registry`).  The mutation-matrix
+tests here consume those registry entries rather than carrying private
+copies — adding a defect to the corpus is what adds it here.
 """
 
 from __future__ import annotations
@@ -14,18 +20,12 @@ from __future__ import annotations
 import importlib.util
 import json
 import math
-from fractions import Fraction
 from pathlib import Path
 
 import pytest
 
 from repro import contracts, obs
-from repro.adversary.base import (
-    AdversarySchema,
-    FunctionAdversary,
-    ShiftedAdversary,
-    shift,
-)
+from repro.adversary.base import AdversarySchema, shift
 from repro.adversary.deterministic import FirstEnabledAdversary
 from repro.automaton.automaton import (
     ExplicitAutomaton,
@@ -44,6 +44,16 @@ from repro.contracts import (
     check_transition_distribution,
     spot_check_closure,
 )
+from repro.corpus.cases import (
+    TINY_STATEMENT,
+    broken_automaton,
+    honest_schema,
+    liar_schema,
+    rogue_adversary,
+    tiny_automaton,
+    zero_time,
+)
+from repro.corpus.registry import entry_by_name
 from repro.errors import (
     AdversaryContractError,
     AutomatonError,
@@ -55,7 +65,6 @@ from repro.errors import (
 from repro.parallel import fork_available
 from repro.parallel.seeds import derive_rng
 from repro.probability.space import FiniteDistribution
-from repro.proofs.statements import ArrowStatement, StateClass
 from repro.proofs.verifier import (
     check_arrow_by_sampling,
     measure_time_to_target,
@@ -80,89 +89,28 @@ def _fresh_warning_sites():
 
 
 # ----------------------------------------------------------------------
-# The tiny model and its mutations
+# The tiny model and its mutations (from the shared defect corpus)
 # ----------------------------------------------------------------------
 
 
-def zero_time(state):
-    return Fraction(0)
+def corpus_case(name):
+    """The registry entry and a freshly built case for one mutation."""
+    entry = entry_by_name(name)
+    return entry, entry.build()
 
 
-def tiny_signature():
-    return ActionSignature(internal=frozenset({"go", "stop"}))
-
-
-def smuggled_distribution(weights):
-    """A duck-typed ``FiniteDistribution`` bypassing the constructor.
-
-    This is how a broken model reaches the hot path in practice: the
-    constructor validates Definition 2.1, so the mutation enters via a
-    mutated or hand-rolled object.
-    """
-    dist = FiniteDistribution.__new__(FiniteDistribution)
-    dist._weights = {point: Fraction(raw) for point, raw in weights.items()}
-    dist._hash = None
-    return dist
-
-
-def tiny_automaton(first_target=None):
-    """a --go--> {b: 1/2, c: 1/2};  b --go--> c;  c --stop--> c."""
-    if first_target is None:
-        first_target = FiniteDistribution(
-            {"b": Fraction(1, 2), "c": Fraction(1, 2)}
-        )
-    steps = [
-        Transition("a", "go", first_target),
-        Transition("b", "go", FiniteDistribution.dirac("c")),
-        Transition("c", "stop", FiniteDistribution.dirac("c")),
-    ]
-    return ExplicitAutomaton(
-        states=["a", "b", "c"],
-        start_states=["a"],
-        signature=tiny_signature(),
-        steps=steps,
+def run_case(case, guards, workers=1):
+    """Replay a corpus :class:`CheckCase` through the sampling checker."""
+    return run_check(
+        case.automaton_factory(),
+        list(case.adversaries_factory()),
+        guards,
+        statement=case.statement,
+        schema=case.schema_factory() if case.schema_factory else None,
+        workers=workers,
+        samples=case.samples,
+        seed=case.seed,
     )
-
-
-def broken_automaton():
-    """The ``a --go-->`` target sums to 99/100: a Definition 2.1 breach."""
-    return tiny_automaton(
-        smuggled_distribution({"b": Fraction(49, 100), "c": Fraction(1, 2)})
-    )
-
-
-def rogue_adversary():
-    """Schedules a fabricated ``stop`` step everywhere: a Definition 2.2
-    breach from ``a`` and ``b``, where ``stop`` is not enabled."""
-    return FunctionAdversary(
-        lambda automaton, fragment: Transition(
-            fragment.lstate, "stop", FiniteDistribution.dirac("c")
-        ),
-        name="rogue",
-    )
-
-
-def honest_schema():
-    return AdversarySchema(
-        name="tiny-honest", contains=lambda adv: True, execution_closed=True
-    )
-
-
-def liar_schema():
-    """Claims execution closure but rejects every shifted member."""
-    return AdversarySchema(
-        name="tiny-liar",
-        contains=lambda adv: not isinstance(adv, ShiftedAdversary),
-        execution_closed=True,
-    )
-
-
-A_CLASS = StateClass("A", lambda s: s == "a")
-C_CLASS = StateClass("C", lambda s: s == "c")
-NEVER_CLASS = StateClass("Never", lambda s: False)
-
-TINY_STATEMENT = ArrowStatement(A_CLASS, C_CLASS, 0, Fraction(1, 4), "tiny")
-NEVER_STATEMENT = ArrowStatement(A_CLASS, NEVER_CLASS, 0, 0, "tiny")
 
 
 def run_check(
@@ -498,23 +446,20 @@ class TestGuardChecks:
 
 # ----------------------------------------------------------------------
 # Mutation matrix: strict catches, warn counts, off is invisible —
-# at workers 1 and 4
+# at workers 1 and 4.  Every mutation comes from the defect corpus.
 # ----------------------------------------------------------------------
 
 
 class TestMutationMatrix:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_broken_distribution_strict_quarantines(self, workers):
-        report = run_check(
-            broken_automaton(),
-            [("first", FirstEnabledAdversary())],
-            STRICT,
-            workers=workers,
-        )
+        entry, case = corpus_case("distribution-sum-99-100")
+        assert entry.expect["strict"] == "quarantined:distribution"
+        report = run_case(case, STRICT, workers=workers)
         assert not report.checks
         assert len(report.quarantined) == 1
         pair = report.quarantined[0]
-        assert pair.kind == "distribution"
+        assert pair.kind == entry.expected_kind
         assert "'a'" in pair.message and "'go'" in pair.message
         assert "99/100" in pair.message
         assert not report.supported
@@ -524,128 +469,91 @@ class TestMutationMatrix:
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_broken_distribution_warn_counts(self, workers):
+        entry, case = corpus_case("distribution-sum-99-100")
         with obs.recording() as registry:
-            report = run_check(
-                broken_automaton(),
-                [("first", FirstEnabledAdversary())],
-                WARN,
-                workers=workers,
-            )
+            report = run_case(case, WARN, workers=workers)
         assert not report.quarantined
-        assert report.checks[0].summary.trials == 8
+        assert report.checks[0].summary.trials == case.samples
         counters = registry.metrics.snapshot()["counters"]
         assert counters["contracts.violations"] >= 1
-        assert counters["contracts.distribution"] >= 1
+        assert counters[f"contracts.{entry.expected_kind}"] >= 1
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_broken_distribution_off_is_invisible(self, workers):
+        entry, case = corpus_case("distribution-sum-99-100")
+        assert entry.expect["off"] == "ok"
         with obs.recording() as registry:
-            off_report = run_check(
-                broken_automaton(),
-                [("first", FirstEnabledAdversary())],
-                OFF,
-                workers=workers,
-            )
+            off_report = run_case(case, OFF, workers=workers)
         counters = registry.metrics.snapshot()["counters"]
         assert not any(name.startswith("contracts.") for name in counters)
         # Warn mode changes nothing but the counters: same bytes.
-        warn_report = run_check(
-            broken_automaton(),
-            [("first", FirstEnabledAdversary())],
-            WARN,
-            workers=workers,
-        )
+        warn_report = run_case(case, WARN, workers=workers)
         assert warn_report.to_dict() == off_report.to_dict()
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_rogue_adversary_strict_quarantines(self, workers):
-        report = run_check(
-            tiny_automaton(),
-            [("rogue", rogue_adversary())],
-            STRICT,
-            workers=workers,
-        )
+        entry, case = corpus_case("adversary-disabled-step")
+        report = run_case(case, STRICT, workers=workers)
         assert len(report.quarantined) == 1
         pair = report.quarantined[0]
-        assert pair.kind == "adversary"
+        assert pair.kind == entry.expected_kind == "adversary"
         assert pair.adversary_name == "rogue"
         assert "not enabled" in pair.message
         assert "'stop'" in pair.message
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_rogue_adversary_warn_counts(self, workers):
+        entry, case = corpus_case("adversary-disabled-step")
         with obs.recording() as registry:
-            report = run_check(
-                tiny_automaton(),
-                [("rogue", rogue_adversary())],
-                WARN,
-                workers=workers,
-            )
+            report = run_case(case, WARN, workers=workers)
         assert not report.quarantined
         counters = registry.metrics.snapshot()["counters"]
-        assert counters["contracts.adversary"] >= 1
+        assert counters[f"contracts.{entry.expected_kind}"] >= 1
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_rogue_adversary_off_is_invisible(self, workers):
+        _, case = corpus_case("adversary-disabled-step")
         with obs.recording() as registry:
-            report = run_check(
-                tiny_automaton(),
-                [("rogue", rogue_adversary())],
-                OFF,
-                workers=workers,
-            )
+            report = run_case(case, OFF, workers=workers)
         assert not report.quarantined
         counters = registry.metrics.snapshot()["counters"]
         assert not any(name.startswith("contracts.") for name in counters)
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_false_closure_strict_quarantines(self, workers):
-        report = run_check(
-            tiny_automaton(),
-            [("first", FirstEnabledAdversary())],
-            STRICT,
-            schema=liar_schema(),
-            workers=workers,
-        )
+        entry, case = corpus_case("schema-false-closure")
+        report = run_case(case, STRICT, workers=workers)
         assert len(report.quarantined) == 1
         pair = report.quarantined[0]
-        assert pair.kind == "closure"
+        assert pair.kind == entry.expected_kind == "closure"
         assert "tiny-liar" in pair.message
         assert "execution_closed" in pair.message
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_false_closure_warn_counts(self, workers):
+        entry, case = corpus_case("schema-false-closure")
         with obs.recording() as registry:
-            report = run_check(
-                tiny_automaton(),
-                [("first", FirstEnabledAdversary())],
-                WARN,
-                schema=liar_schema(),
-                workers=workers,
-            )
+            report = run_case(case, WARN, workers=workers)
         assert not report.quarantined
         counters = registry.metrics.snapshot()["counters"]
-        assert counters["contracts.closure"] >= 1
+        assert counters[f"contracts.{entry.expected_kind}"] >= 1
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_false_closure_off_is_invisible(self, workers):
+        _, case = corpus_case("schema-false-closure")
         with obs.recording() as registry:
-            run_check(
-                tiny_automaton(),
-                [("first", FirstEnabledAdversary())],
-                OFF,
-                schema=liar_schema(),
-                workers=workers,
-            )
+            run_case(case, OFF, workers=workers)
         counters = registry.metrics.snapshot()["counters"]
         assert not any(name.startswith("contracts.") for name in counters)
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_healthy_model_identical_across_modes(self, workers):
+        entry, case = corpus_case("healthy-tiny")
+        assert all(entry.expect[mode] == "ok" for mode in entry.expect)
         reports = [
             run_check(
-                tiny_automaton(),
-                [("first", FirstEnabledAdversary())],
+                case.automaton_factory(),
+                list(case.adversaries_factory()),
                 guards,
                 schema=honest_schema(),
                 workers=workers,
@@ -663,32 +571,29 @@ class TestMutationMatrix:
 
 class TestFuelAndQuarantine:
     def test_strict_fuel_surfaces_nontermination(self):
-        report = run_check(
-            tiny_automaton(),
-            [("first", FirstEnabledAdversary())],
-            GuardConfig(mode="strict", fuel_steps=1),
-            statement=NEVER_STATEMENT,
+        entry, case = corpus_case("fuel-exhausted-never-target")
+        report = run_case(
+            case, GuardConfig(mode="strict", fuel_steps=case.fuel_steps)
         )
         assert len(report.quarantined) == 1
         pair = report.quarantined[0]
-        assert pair.kind == "fuel"
-        assert "step budget of 1" in pair.message
+        assert pair.kind == entry.expected_kind == "fuel"
+        assert f"step budget of {case.fuel_steps}" in pair.message
         assert "prefix=" in pair.message
 
     def test_warn_fuel_truncates_like_max_steps(self):
+        entry, case = corpus_case("fuel-exhausted-never-target")
+        assert not entry.warn_matches_off  # fuel truncates trajectories
         with obs.recording() as registry:
-            report = run_check(
-                tiny_automaton(),
-                [("first", FirstEnabledAdversary())],
-                GuardConfig(mode="warn", fuel_steps=1),
-                statement=NEVER_STATEMENT,
+            report = run_case(
+                case, GuardConfig(mode="warn", fuel_steps=case.fuel_steps)
             )
         assert not report.quarantined
         check = report.checks[0]
-        assert check.summary.trials == 8
+        assert check.summary.trials == case.samples
         assert check.summary.successes == 0
         counters = registry.metrics.snapshot()["counters"]
-        assert counters["contracts.fuel"] == 8
+        assert counters["contracts.fuel"] == case.samples
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_poisoned_pair_degrades_not_aborts(self, workers):

@@ -635,6 +635,35 @@ class TestAcceptance:
         assert code == 0
         assert resumed == baseline
 
+    def test_checkpoint_resumes_across_engines(self, capsys, tmp_path):
+        # Checkpoint records carry task seeds and results, not engine
+        # internals: a checkpoint written under --engine tree must
+        # satisfy a resumed run under --engine batched with the same
+        # bytes out.
+        code, baseline, _ = self.run_cli(
+            self.CHECK + ["--engine", "batched"], capsys
+        )
+        assert code == 0
+        checkpoint = str(tmp_path / "run.jsonl")
+        code, first, _ = self.run_cli(
+            self.CHECK + ["--engine", "tree", "--checkpoint", checkpoint],
+            capsys,
+        )
+        assert code == 0
+        assert first == baseline
+        with obs.recording() as registry:
+            code, resumed, _ = self.run_cli(
+                self.CHECK + [
+                    "--engine", "batched",
+                    "--checkpoint", checkpoint, "--resume",
+                ],
+                capsys,
+            )
+        assert code == 0
+        assert resumed == baseline
+        counters = registry.metrics.snapshot()["counters"]
+        assert counters["checkpoint.tasks_skipped"] >= 1
+
     def test_fault_flags_reject_contradictions(self, capsys):
         with pytest.raises(VerificationError, match="requires a per-task"):
             main(self.CHECK + ["--inject-faults", "hang=0.5"])

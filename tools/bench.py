@@ -18,13 +18,19 @@ Usage::
     python tools/bench.py --out-dir /tmp/bench
 
 ``--compare`` checks each suite's wall time against its previous
-trajectory entry and exits nonzero when it regressed by more than 25%
-(entries without a comparable ``seconds`` field — e.g. the historical
-aggregate format — are skipped).
+trajectory entry and exits nonzero when it regressed by more than 25%.
+Before anything runs, every selected suite's trajectory file is
+checked up front: a missing, unreadable, empty, malformed, or
+baseline-less ``BENCH_<suite>.json`` fails fast with a one-line error
+and exit status 3 — there is nothing meaningful to compare against,
+and silently "passing" would hide exactly the regression the flag
+exists to catch.
 
-Exits nonzero when any benchmark module fails (pytest exit codes other
-than 0/5; 5 = all tests skipped, which counts as a clean skip) or, with
-``--compare``, when any suite regressed.
+Exit status: 0 clean; 1 when any benchmark module fails (pytest exit
+codes other than 0/5; 5 = all tests skipped, which counts as a clean
+skip) or, with ``--compare``, when any suite regressed; 2 when no
+modules matched ``--only``; 3 when ``--compare`` has no usable
+baseline for a selected suite.
 """
 
 from __future__ import annotations
@@ -93,20 +99,41 @@ def run_module(path: Path) -> dict:
     }
 
 
+def read_trajectory(out_path: Path):
+    """``(trajectory, problem)`` for the file at ``out_path``.
+
+    ``problem`` is ``None`` when the file holds a JSON list (the
+    trajectory format), else a one-line reason: ``missing``,
+    ``unreadable: ...``, ``malformed JSON: ...``, or ``not a JSON
+    list``.  Never raises — every way a trajectory file can be broken
+    is reported as data so callers can choose between tolerating it
+    (plain appends) and failing fast (``--compare``).
+    """
+    if not out_path.exists():
+        return [], "missing"
+    try:
+        text = out_path.read_text()
+    except OSError as error:
+        return [], f"unreadable: {error}"
+    try:
+        loaded = json.loads(text)
+    except json.JSONDecodeError as error:
+        return [], f"malformed JSON: {error}"
+    if not isinstance(loaded, list):
+        return [], "not a JSON list"
+    return loaded, None
+
+
 def load_trajectory(out_path: Path) -> list:
     """The existing trajectory list at ``out_path`` (tolerant of junk)."""
-    if not out_path.exists():
-        return []
-    try:
-        loaded = json.loads(out_path.read_text())
-    except json.JSONDecodeError:
+    trajectory, problem = read_trajectory(out_path)
+    if problem is not None and problem != "missing":
         print(
-            f"bench: warning: {out_path} is not valid JSON; "
+            f"bench: warning: {out_path} is unusable ({problem}); "
             "starting a fresh trajectory",
             file=sys.stderr,
         )
-        return []
-    return loaded if isinstance(loaded, list) else []
+    return trajectory
 
 
 def previous_seconds(trajectory: list):
@@ -159,6 +186,25 @@ def main(argv=None) -> int:
         return 2
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.compare:
+        # Fail fast before burning benchmark time: a comparison run
+        # with nothing to compare against would otherwise "pass".
+        uncomparable = 0
+        for module in modules:
+            out_path = out_dir / f"BENCH_{suite_name(module)}.json"
+            trajectory, problem = read_trajectory(out_path)
+            if problem is None and previous_seconds(trajectory) is None:
+                problem = "no previous entry with a numeric 'seconds'"
+            if problem is not None:
+                uncomparable += 1
+                print(
+                    f"bench: error: cannot compare "
+                    f"{suite_name(module)}: {problem} ({out_path})",
+                    file=sys.stderr,
+                )
+        if uncomparable:
+            return 3
 
     failures = 0
     regressions = 0

@@ -46,6 +46,16 @@ prefix such as ``ledger.rule.``).  A typo'd name would otherwise
 record into a dead metric that no table, manifest, or ``runs diff``
 ever reads.
 
+A corpus-sync pass (mirroring the metric-name rule) keeps the defect
+corpus and the error taxonomy aligned: every strict subclass of
+``ContractViolation`` / ``PoolFaultError`` / ``StateSpaceError`` in
+``src/repro/errors.py`` must have at least one entry in
+``src/repro/corpus/registry.py`` claiming it via a literal
+``expected_class="Name"`` keyword, and every claimed name must be a
+real taxonomy subclass.  A taxonomy class without a corpus entry is an
+error class no engine is forced to classify identically — exactly the
+gap the differential corpus exists to close (``docs/corpus.md``).
+
 Usage: ``python tools/lint.py [paths...]`` (defaults to src tests
 benchmarks tools). Exits nonzero on findings.
 """
@@ -334,6 +344,118 @@ def undeclared_metric_sites(path, exact, prefixes):
     return findings
 
 
+# -- corpus <-> error-taxonomy sync ------------------------------------
+
+_ERRORS_MODULE = (
+    Path(__file__).resolve().parent.parent
+    / "src" / "repro" / "errors.py"
+)
+
+_CORPUS_REGISTRY_MODULE = (
+    Path(__file__).resolve().parent.parent
+    / "src" / "repro" / "corpus" / "registry.py"
+)
+
+#: The public taxonomy roots whose strict subclasses the defect corpus
+#: must cover — the contracts, pool-fault, and state-space families.
+_TAXONOMY_ROOTS = ("ContractViolation", "PoolFaultError", "StateSpaceError")
+
+
+def taxonomy_classes(errors_path=_ERRORS_MODULE):
+    """Strict subclasses of the public taxonomy roots in ``errors.py``.
+
+    Parsed from the AST (the linter must not import ``src/``); returns
+    ``None`` when the module is missing or unparseable — the sync pass
+    is then skipped rather than flagging everything.
+    """
+    try:
+        tree = ast.parse(errors_path.read_text(), filename=str(errors_path))
+    except (OSError, SyntaxError):
+        return None
+    bases = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = [
+                base.id for base in node.bases
+                if isinstance(base, ast.Name)
+            ]
+    if not bases:
+        return None
+
+    def descends(name, root, seen=()):
+        if name in seen:
+            return False
+        for base in bases.get(name, ()):
+            if base == root or descends(base, root, (*seen, name)):
+                return True
+        return False
+
+    required = {
+        name
+        for name in bases
+        if name not in _TAXONOMY_ROOTS
+        and any(descends(name, root) for root in _TAXONOMY_ROOTS)
+    }
+    return required or None
+
+
+def corpus_expected_classes(registry_path=_CORPUS_REGISTRY_MODULE):
+    """``expected_class="..."`` literals in the corpus registry, with
+    the line of their call site.  ``None`` when the registry is missing
+    or unparseable (graceful skip, mirroring :func:`metric_catalog`)."""
+    try:
+        tree = ast.parse(
+            registry_path.read_text(), filename=str(registry_path)
+        )
+    except (OSError, SyntaxError):
+        return None
+    declared = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "expected_class"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+            ):
+                declared.setdefault(keyword.value.value, node.lineno)
+    return declared or None
+
+
+def corpus_sync_findings(
+    errors_path=_ERRORS_MODULE, registry_path=_CORPUS_REGISTRY_MODULE
+):
+    """Both directions of the corpus/taxonomy contract, as findings.
+
+    Every strict subclass of a public taxonomy root must have >= 1
+    corpus entry claiming it (``expected_class="Name"``), and every
+    claimed class must be a real taxonomy subclass.
+    """
+    required = taxonomy_classes(errors_path)
+    declared = corpus_expected_classes(registry_path)
+    if required is None or declared is None:
+        return []
+    findings = []
+    for name, line in sorted(declared.items()):
+        if name not in required:
+            findings.append(
+                (registry_path, line,
+                 f"corpus entry claims expected_class={name!r}, which is "
+                 f"not a subclass of {'/'.join(_TAXONOMY_ROOTS)} in "
+                 f"src/repro/errors.py")
+            )
+    for name in sorted(required - set(declared)):
+        findings.append(
+            (registry_path, 1,
+             f"error-taxonomy class {name!r} has no defect-corpus entry "
+             f"— add one to src/repro/corpus/registry.py with "
+             f"expected_class={name!r} so every engine is forced to "
+             f"classify it identically")
+        )
+    return findings
+
+
 def run_ban_check(paths):
     """Always-on pass: forbid banned constructs in ``src/``."""
     findings = 0
@@ -348,6 +470,9 @@ def run_ban_check(paths):
             for line, message in undeclared_metric_sites(path, *catalog):
                 print(f"{path}:{line}: {message}")
                 findings += 1
+    for path, line, message in corpus_sync_findings():
+        print(f"{path}:{line}: {message}")
+        findings += 1
     if findings:
         print(f"{findings} banned construct(s)")
     return 0 if not findings else 1
