@@ -1,0 +1,135 @@
+"""Job-service overhead: serving must be cheap, cache hits cheaper.
+
+Two claims about the durable verification service (``docs/service.md``),
+both measured against one representative verification job:
+
+* **Serving overhead under 5%.**  Submitting a job and draining it
+  through ``repro serve`` adds WAL appends, a claim/fold round-trip, a
+  heartbeat thread, supervision, and a cache write on top of the
+  verification work itself.  All of that must cost less than 5% over
+  running the same job in a one-shot forked worker process — the
+  baseline any out-of-process execution pays, so the measured gap is
+  the service machinery alone (process isolation's copy-on-write cost
+  scales with the job and belongs to both sides).  The durability
+  layer is bookkeeping around the real work, not a tax on it.
+* **Cache hits at least 90% faster.**  Resubmitting the identical spec
+  and draining again must complete in at most 10% of the first serve's
+  wall-clock: the result is read back from the content-addressed
+  cache, sha256-verified, and recorded — zero verification work.
+
+The job is sized at a few seconds of verification so the fixed
+per-serve costs (process fork, polling quanta) are measured against a
+realistic workload rather than dominating a toy one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.parallel import fork_available
+from repro.service import JobSpec, JobStore
+from repro.service.supervisor import Supervisor
+from repro.service.worker import run_job_argv
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="needs the fork start method"
+)
+
+#: One representative verification job, sized at a few seconds so
+#: fixed service costs are amortised the way real campaigns see them.
+JOB = ("check", "--prop", "A.14", "--samples", "220", "--n", "5")
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def best_of(fn, repeats=3):
+    """The fastest of ``repeats`` timed runs, in seconds.
+
+    This container's wall-clock jitters around +-5% on identical
+    work, which would swamp a 5% budget measured from single samples;
+    the minimum of a few runs is the stable estimate of the true cost
+    (the same idiom as the other bench suites).
+    """
+    best = None
+    for _ in range(repeats):
+        seconds, _result = _timed(fn)
+        best = seconds if best is None else min(best, seconds)
+    return best
+
+
+def _serve_drained(store_root):
+    return Supervisor(
+        root=str(store_root), workers=1, drain=True, poll_seconds=0.02,
+    ).run()
+
+
+def _run_in_fork():
+    """The baseline: the same job in a one-shot forked worker."""
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=run_job_argv, args=(JOB,))
+    process.start()
+    process.join()
+    assert process.exitcode == 0
+
+
+@needs_fork
+def test_served_overhead_under_5_percent(tmp_path):
+    run_job_argv(JOB)  # warm every import and cache before timing
+    direct_seconds = best_of(_run_in_fork)
+
+    roots = iter(
+        tmp_path / f"svc{i}" for i in range(10)
+    )
+
+    def serve_fresh():
+        # A fresh store per repeat: a reused root would serve the
+        # second repeat from the result cache and measure nothing.
+        store_root = next(roots)
+        with JobStore(str(store_root)) as store:
+            store.submit(JobSpec.parse(JOB))
+        summary = _serve_drained(store_root)
+        assert summary["executed"] == 1
+        return summary
+
+    served_seconds = best_of(serve_fresh)
+    overhead = served_seconds / direct_seconds - 1.0
+    print(
+        f"\ndirect: {direct_seconds:.2f}s; served: {served_seconds:.2f}s "
+        f"(overhead {overhead * 100:+.1f}%)"
+    )
+    assert overhead < 0.05, (
+        f"served run costs {overhead * 100:.1f}% over a direct run "
+        "(budget: 5%)"
+    )
+
+
+@needs_fork
+def test_cache_hit_speedup_at_least_90_percent(tmp_path):
+    store_root = tmp_path / "svc"
+    with JobStore(str(store_root)) as store:
+        store.submit(JobSpec.parse(JOB))
+    first_seconds, summary = _timed(lambda: _serve_drained(store_root))
+    assert summary["executed"] == 1
+
+    with JobStore(str(store_root)) as store:
+        store.submit(JobSpec.parse(JOB))
+    second_seconds, summary = _timed(lambda: _serve_drained(store_root))
+    assert summary["served_from_cache"] == 1
+    assert summary["executed"] == 0
+
+    ratio = second_seconds / first_seconds
+    print(
+        f"\nfirst serve: {first_seconds:.2f}s; cached serve: "
+        f"{second_seconds:.2f}s ({(1 - ratio) * 100:.1f}% faster)"
+    )
+    assert ratio <= 0.10, (
+        f"cached serve took {ratio * 100:.1f}% of the first serve "
+        "(budget: 10%)"
+    )

@@ -29,7 +29,14 @@ plain-text report:
   every run appends to ``.repro/runs`` (opt-out: ``--no-manifest``);
 * ``profile``        — fold a recorded span tree (a ``--trace-out``
   file or a manifest) into per-phase self/cumulative hotspots, with
-  ``--folded`` flamegraph output.
+  ``--folded`` flamegraph output;
+* ``submit``         — append a verification command to the durable
+  job store (validated now, run by ``serve`` later);
+* ``serve``          — run supervised workers over the job store:
+  leases with heartbeats, crash restarts with backoff, a
+  content-addressed result cache, graceful SIGTERM drain;
+* ``jobs``           — list, show, and cancel stored jobs
+  (see ``docs/service.md``).
 
 Every subcommand accepts ``--trace-out FILE.jsonl`` to record spans and
 metrics to a JSONL trace file (see ``docs/observability.md``).  The
@@ -85,8 +92,10 @@ exit status:
   1  a checked claim was refuted (or a measured bound failed)
   2  usage error (unknown flags or propositions, contradictory flags,
      or --engine compiled/batched blew its --state-budget)
-  3  pooled run exhausted its fault-tolerance budget, or a checkpoint
-     file was unusable
+  3  infrastructure failure: a pooled run exhausted its
+     fault-tolerance budget, a checkpoint file was unusable, or the
+     job service failed (lease lost, job store corrupt, workers
+     crash-looping — docs/service.md)
   4  model-contract violation: a --guards strict check failed, the
      audit found findings, or pairs were quarantined (docs/contracts.md)
   5  engine divergence: a corpus replay or fuzz campaign saw two
@@ -1159,6 +1168,122 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_fuzz)
 
+    def service_store_flag(sp):
+        sp.add_argument(
+            "--store", metavar="DIR", default=None,
+            help="job store location (default: $REPRO_SERVICE_DIR or "
+                 ".repro/service)",
+        )
+
+    p = sub.add_parser(
+        "submit",
+        help="validate a verification command and append it to the "
+             "durable job store (see docs/service.md)",
+    )
+    service_store_flag(p)
+    p.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        dest="max_attempts",
+        help="execution failures before the job is marked failed "
+             "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the submitted job record as canonical JSON",
+    )
+    p.add_argument(
+        "spec", nargs=argparse.REMAINDER, metavar="command ...",
+        help="the verification command to run, e.g. "
+             "'check --prop A.14 --samples 200'",
+    )
+    p.set_defaults(func=_cmd_submit, skip_manifest=True)
+
+    p = sub.add_parser(
+        "serve", parents=[traceable],
+        help="run supervised workers over the job store until drained "
+             "or stopped (see docs/service.md)",
+    )
+    service_store_flag(p)
+    p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes to supervise (default: %(default)s)",
+    )
+    p.add_argument(
+        "--lease", type=float, default=30.0, metavar="SECONDS",
+        help="job lease duration; a worker silent this long is "
+             "presumed dead and its job is reclaimed (default: "
+             "%(default)s)",
+    )
+    p.add_argument(
+        "--drain", action="store_true",
+        help="exit once every job is settled instead of serving "
+             "forever",
+    )
+    p.add_argument(
+        "--poll", type=float, default=0.1, metavar="SECONDS",
+        help="supervisor/worker polling interval (default: "
+             "%(default)s)",
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.2, metavar="SECONDS",
+        help="base restart backoff, doubled per consecutive young "
+             "crash (default: %(default)s)",
+    )
+    p.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        dest="max_restarts",
+        help="consecutive young unclean worker exits a slot tolerates "
+             "before the supervisor declares a crash loop (default: "
+             "%(default)s)",
+    )
+    p.add_argument(
+        "--healthy-seconds", type=float, default=5.0, metavar="SECONDS",
+        dest="healthy_seconds",
+        help="a worker living this long resets its slot's crash "
+             "streak (default: %(default)s)",
+    )
+    p.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="deterministically inject service failures, e.g. "
+             "'kill=0.3,steal=0.2,torn=0.1,cache=0.1,seed=7' "
+             "(see docs/service.md)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the serve summary as canonical JSON",
+    )
+    p.set_defaults(func=_cmd_serve, skip_manifest=True)
+
+    p = sub.add_parser(
+        "jobs",
+        help="list, show, and cancel jobs in the durable job store "
+             "(see docs/service.md)",
+    )
+    jobs_sub = p.add_subparsers(dest="jobs_cmd", required=True)
+    jp = jobs_sub.add_parser("list", help="one row per stored job")
+    service_store_flag(jp)
+    jp.add_argument(
+        "--json", action="store_true",
+        help="print the job table as canonical JSON",
+    )
+    jp = jobs_sub.add_parser("show", help="one job, fully expanded")
+    jp.add_argument("id", help="job id (any unique prefix)")
+    service_store_flag(jp)
+    jp.add_argument(
+        "--json", action="store_true",
+        help="print the job record as canonical JSON",
+    )
+    jp = jobs_sub.add_parser(
+        "cancel", help="cancel a pending or running job"
+    )
+    jp.add_argument("id", help="job id (any unique prefix)")
+    service_store_flag(jp)
+    jp.add_argument(
+        "--json", action="store_true",
+        help="print the cancelled job record as canonical JSON",
+    )
+    p.set_defaults(func=_cmd_jobs, skip_manifest=True)
+
     return parser
 
 
@@ -1306,10 +1431,12 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             print(f"repro: error: no records found in {source}",
                   file=sys.stderr)
             return 2
+        from repro import durable_io
+
         corpus_file.parent.mkdir(parents=True, exist_ok=True)
-        with corpus_file.open("a", encoding="utf-8") as handle:
+        with durable_io.DurableAppender(str(corpus_file)) as appender:
             for record in records:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                appender.append_json(record)
         print(
             f"corpus: added {len(records)} entr"
             f"{'y' if len(records) == 1 else 'ies'} to {corpus_file}"
@@ -1354,13 +1481,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
     if args.emit and report.findings:
+        from repro import durable_io
+
         emit_path = Path(args.emit)
         if emit_path.parent != Path("."):
             emit_path.parent.mkdir(parents=True, exist_ok=True)
-        with emit_path.open("a", encoding="utf-8") as handle:
+        with durable_io.DurableAppender(str(emit_path)) as appender:
             for finding in report.findings:
-                record = corpus.corpus_record(finding, seed=args.seed)
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                appender.append_json(
+                    corpus.corpus_record(finding, seed=args.seed)
+                )
     if args.json:
         print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
     else:
@@ -1372,6 +1502,131 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 sort_keys=True,
             ))
     return 0 if report.ok else EXIT_DIVERGENCE
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import service
+    from repro.errors import VerificationError
+
+    spec_argv = list(args.spec)
+    if spec_argv and spec_argv[0] == "--":
+        spec_argv = spec_argv[1:]
+    try:
+        spec = service.JobSpec.parse(spec_argv)
+        store = service.JobStore(service.resolve_store_dir(args.store))
+        with store:
+            view = store.submit(spec, max_attempts=args.max_attempts)
+    except VerificationError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(view.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(
+            f"submitted {view.job_id} "
+            f"(command: {' '.join(spec.argv)}; scope {spec.scope[:12]})"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import service
+    from repro.errors import VerificationError
+    from repro.parallel.faults import FaultPlan
+
+    try:
+        if args.inject_faults:
+            FaultPlan.parse(args.inject_faults)  # fail fast on typos
+        supervisor = service.Supervisor(
+            root=service.resolve_store_dir(args.store),
+            workers=args.workers,
+            lease_seconds=args.lease,
+            drain=args.drain,
+            fault_spec=args.inject_faults,
+            poll_seconds=args.poll,
+            backoff_seconds=args.backoff,
+            max_restarts=args.max_restarts,
+            healthy_seconds=args.healthy_seconds,
+        )
+        summary = supervisor.run()
+    except VerificationError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        states = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(summary["jobs"].items())
+        )
+        print(
+            f"serve: {summary['completed_this_run']} job(s) completed "
+            f"this run ({summary['served_from_cache']} from cache), "
+            f"{summary['workers_restarted']} worker restart(s), "
+            f"{summary['leases_reclaimed']} lease(s) reclaimed"
+        )
+        print(f"jobs: {states or 'none submitted'}")
+    return 3 if summary["jobs"].get("failed") else 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import service
+    from repro.errors import VerificationError
+    from repro.obs.sinks import _table
+
+    store = service.JobStore(service.resolve_store_dir(args.store))
+    try:
+        with store:
+            if args.jobs_cmd == "list":
+                views = sorted(
+                    store.jobs().values(), key=lambda view: view.seq
+                )
+                if args.json:
+                    print(json.dumps(
+                        [view.to_dict() for view in views],
+                        sort_keys=True, indent=2,
+                    ))
+                elif not views:
+                    print("jobs: none submitted")
+                else:
+                    print(_table(
+                        ("job", "state", "command", "claims", "fails",
+                         "exit", "cached"),
+                        [
+                            (
+                                view.job_id,
+                                view.state,
+                                " ".join(view.argv)[:48],
+                                view.claims,
+                                view.failures,
+                                "" if view.exit_status is None
+                                else view.exit_status,
+                                "yes" if view.cached else "",
+                            )
+                            for view in views
+                        ],
+                    ))
+                return 0
+            view = store.find(args.id)
+            if args.jobs_cmd == "cancel":
+                view = store.cancel(view.job_id)
+    except VerificationError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(view.to_dict(), sort_keys=True, indent=2))
+    else:
+        record = view.to_dict()
+        record["argv"] = " ".join(view.argv)
+        for key in sorted(record):
+            print(f"{key:>12}: {record[key]}")
+    return 0
 
 
 # Namespace attributes that never belong in a manifest's scope
@@ -1479,6 +1734,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         CheckpointError,
         ContractViolation,
         PoolFaultError,
+        ServiceError,
         StateBudgetExceeded,
     )
 
@@ -1495,10 +1751,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except StateBudgetExceeded as error:
         print(f"repro: error: {error}", file=sys.stderr)
         code = 2
-    except (PoolFaultError, CheckpointError) as error:
+    except (PoolFaultError, CheckpointError, ServiceError) as error:
         print(f"repro: error: {error}", file=sys.stderr)
         if getattr(args, "checkpoint", None) and not isinstance(
-            error, CheckpointError
+            error, (CheckpointError, ServiceError)
         ):
             print(
                 "repro: completed tasks were checkpointed; rerun with "

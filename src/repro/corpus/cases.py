@@ -17,7 +17,11 @@ Two case shapes exist:
   statement, sampling plan, optional fault-injection policy);
 * :class:`FlagsCase` — a compile-level case for defects that live in
   the state-space layer rather than the sampling path (today: the
-  quotient-invariance spot check of ``CompiledSpace.flags``).
+  quotient-invariance spot check of ``CompiledSpace.flags``);
+* :class:`ServiceCase` — a job-service failure scenario replayed
+  in-process with injected clocks and hand-written log damage, so the
+  service error taxonomy (lease expiry, store corruption, crash
+  loops) is pinned by the corpus like every other defect class.
 """
 
 from __future__ import annotations
@@ -179,6 +183,115 @@ class FlagsCase:
     predicate: Callable[[object], bool]
     roots: Tuple[object, ...] = ("a",)
     max_states: int = 10_000
+
+
+@dataclass(frozen=True)
+class ServiceCase:
+    """A deterministic job-service failure scenario.
+
+    ``run`` either returns a small report dict (the "nothing went
+    wrong" outcome — a corpus mismatch for these entries) or raises
+    the :class:`~repro.errors.ServiceError` subclass the entry
+    declares.  Scenarios use injected clocks and scripted log damage,
+    never real time or real worker processes, so every replay is
+    exact.
+    """
+
+    run: Callable[[], dict]
+
+
+def _service_spec() -> object:
+    """A hand-built job spec: the corpus layer never imports the CLI."""
+    from repro.service.jobs import JobSpec
+
+    return JobSpec(
+        argv=("check", "--prop", "A.14"),
+        command="check",
+        scope="0" * 64,
+    )
+
+
+def lease_expiry_case() -> ServiceCase:
+    """A worker heartbeats after its lease expired and was taken over.
+
+    The clock is injected: worker ``w1`` claims with a 10-second
+    lease, the clock jumps past expiry, ``w2``'s claim takes the job
+    over, and ``w1``'s next heartbeat must raise
+    :class:`~repro.errors.LeaseExpiredError` — reviving the lost lease
+    could hand one job's completion to two workers.
+    """
+
+    def run() -> dict:
+        import shutil
+        import tempfile
+
+        from repro.service.store import JobStore
+
+        clock = {"now": 0.0}
+        root = tempfile.mkdtemp(prefix="repro-corpus-service-")
+        try:
+            store = JobStore(root, clock=lambda: clock["now"])
+            store.submit(_service_spec())
+            claimed = store.claim("w1", lease_seconds=10.0)
+            clock["now"] = 20.0
+            store.claim("w2", lease_seconds=10.0)  # the takeover
+            store.heartbeat(claimed.job_id, "w1", 10.0)
+            return {"kind": "service", "outcome": "lease revived"}
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return ServiceCase(run=run)
+
+
+def store_corruption_case() -> ServiceCase:
+    """A decodable record of an unknown event kind poisons the log.
+
+    A torn *tail* is crash damage and tolerated; a whole, decodable
+    line no correct writer produces is
+    :class:`~repro.errors.JobStoreCorruptionError` — folding around it
+    could hand one job to two workers.
+    """
+
+    def run() -> dict:
+        import os
+        import shutil
+        import tempfile
+
+        from repro import durable_io
+        from repro.service.store import STORE_FILE, JobStore
+
+        root = tempfile.mkdtemp(prefix="repro-corpus-service-")
+        try:
+            durable_io.append_json_line(
+                os.path.join(root, STORE_FILE),
+                {"event": "gossip", "job": "0001-feedface", "at": 0.0},
+            )
+            JobStore(root).jobs()
+            return {"kind": "service", "outcome": "corruption ignored"}
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return ServiceCase(run=run)
+
+
+def crash_loop_case() -> ServiceCase:
+    """Three young unclean worker deaths in a row trip the detector.
+
+    Pure policy replay — no processes: with ``max_restarts=2``, the
+    third consecutive sub-``healthy_seconds`` crash must raise
+    :class:`~repro.errors.SupervisorCrashLoopError` instead of burning
+    restarts forever against a poisoned job.
+    """
+
+    def run() -> dict:
+        from repro.service.supervisor import CrashLoopDetector
+
+        detector = CrashLoopDetector(max_restarts=2, healthy_seconds=5.0)
+        for _ in range(3):
+            detector.record_exit(0, lifetime=0.01, clean=False)
+        return {"kind": "service", "outcome": "crash loop tolerated"}
+
+    return ServiceCase(run=run)
 
 
 def first_enabled_family() -> Tuple[Tuple[str, object], ...]:

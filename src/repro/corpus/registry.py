@@ -33,13 +33,13 @@ class needs an entry; every entry must name a real class).
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Optional, Tuple, Union
 
+from repro import durable_io
 from repro.corpus import cases
-from repro.corpus.cases import CheckCase, FlagsCase
+from repro.corpus.cases import CheckCase, FlagsCase, ServiceCase
 from repro.errors import VerificationError
 from repro.parallel.faults import FaultPlan
 from repro.parallel.pool import RunPolicy
@@ -87,7 +87,7 @@ class CorpusEntry:
     expected_kind: Optional[str]
     expect: Mapping[str, str]
     exit_status: int
-    build: Callable[[], Union[CheckCase, FlagsCase]]
+    build: Callable[[], Union[CheckCase, FlagsCase, ServiceCase]]
     kind: str = "check"
     engines: Tuple[str, ...] = ENGINES
     baseline_ok: bool = False
@@ -398,6 +398,64 @@ BUILTIN_ENTRIES: Tuple[CorpusEntry, ...] = (
         build=_raising_case,
         workers=(4,),
     ),
+    CorpusEntry(
+        name="service-lease-expired",
+        description=(
+            "A worker heartbeats after its lease expired and a rival "
+            "claim took the job over: the store must raise "
+            "LeaseExpiredError rather than revive the lost lease."
+        ),
+        expected_class="LeaseExpiredError",
+        expected_kind=None,
+        expect={
+            "off": "error:LeaseExpiredError",
+            "warn": "error:LeaseExpiredError",
+            "strict": "error:LeaseExpiredError",
+        },
+        exit_status=3,
+        build=cases.lease_expiry_case,
+        kind="service",
+        workers=(1,),
+    ),
+    CorpusEntry(
+        name="service-store-unknown-event",
+        description=(
+            "A whole, decodable WAL record of an unknown event kind — "
+            "damage no correct writer and no crash produces — must "
+            "raise JobStoreCorruptionError, not be folded around."
+        ),
+        expected_class="JobStoreCorruptionError",
+        expected_kind=None,
+        expect={
+            "off": "error:JobStoreCorruptionError",
+            "warn": "error:JobStoreCorruptionError",
+            "strict": "error:JobStoreCorruptionError",
+        },
+        exit_status=3,
+        build=cases.store_corruption_case,
+        kind="service",
+        workers=(1,),
+    ),
+    CorpusEntry(
+        name="service-worker-crash-loop",
+        description=(
+            "Three young unclean worker exits in a row against a "
+            "max_restarts=2 budget: the supervisor's detector must "
+            "raise SupervisorCrashLoopError instead of restarting "
+            "forever."
+        ),
+        expected_class="SupervisorCrashLoopError",
+        expected_kind=None,
+        expect={
+            "off": "error:SupervisorCrashLoopError",
+            "warn": "error:SupervisorCrashLoopError",
+            "strict": "error:SupervisorCrashLoopError",
+        },
+        exit_status=3,
+        build=cases.crash_loop_case,
+        kind="service",
+        workers=(1,),
+    ),
 )
 
 
@@ -431,18 +489,13 @@ def load_file_entries(path: Path) -> Tuple[CorpusEntry, ...]:
     if not path.exists():
         return ()
     entries = []
-    for lineno, line in enumerate(
-        path.read_text(encoding="utf-8").splitlines(), start=1
-    ):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as error:
-            raise VerificationError(
-                f"corpus file {path}:{lineno}: malformed JSON ({error})"
-            ) from None
+    try:
+        records, _torn = durable_io.load_jsonl(str(path), tolerate="tail")
+    except ValueError as error:
+        raise VerificationError(
+            f"corpus file {path}: malformed JSON ({error})"
+        ) from None
+    for lineno, record in records:
         if not isinstance(record, dict) or "case" not in record:
             raise VerificationError(
                 f"corpus file {path}:{lineno}: expected an object with "

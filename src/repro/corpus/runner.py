@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.contracts import GuardConfig, reset_warnings
-from repro.corpus.cases import CheckCase, FlagsCase
+from repro.corpus.cases import CheckCase, FlagsCase, ServiceCase
 from repro.corpus.registry import (
     MODES,
     CorpusEntry,
@@ -40,6 +40,7 @@ from repro.errors import (
     CheckpointError,
     ContractViolation,
     PoolFaultError,
+    ServiceError,
     StateBudgetExceeded,
 )
 from repro.parallel.pool import fork_available
@@ -234,6 +235,25 @@ def classify_flags(case: FlagsCase, *, mode: str) -> Classification:
     return Classification("ok", "", EXIT_OK, digest, flagged)
 
 
+def classify_service(case: ServiceCase) -> Classification:
+    """Run one job-service scenario cell and classify its outcome.
+
+    Guard modes do not reach the service layer, so the same scenario
+    replays identically in every mode — the matrix still runs all
+    three to pin that independence.  A :class:`ServiceError` escaping
+    maps to the infrastructure exit status, mirroring the CLI.
+    """
+    reset_warnings()
+    with obs.recording():
+        try:
+            payload = case.run()
+        except ServiceError as error:
+            return Classification(
+                "error", type(error).__name__, EXIT_POOL, "", ()
+            )
+    return Classification("ok", "", EXIT_OK, report_digest(payload), ())
+
+
 @dataclass(frozen=True)
 class EntryResult:
     """The outcome of replaying one entry across its full matrix."""
@@ -293,6 +313,30 @@ def run_entry(entry: CorpusEntry) -> EntryResult:
             problems.append(
                 f"{entry.name}: warn-mode flag values diverge from off"
             )
+        return EntryResult(
+            entry.name, not problems, False, cells, tuple(problems)
+        )
+
+    if entry.kind == "service":
+        first_cls: Optional[Classification] = None
+        for mode in MODES:
+            cls = classify_service(entry.build())
+            cells[(mode, "service", 1)] = cls
+            if first_cls is None:
+                first_cls = cls
+            elif cls.label != first_cls.label:
+                problems.append(
+                    f"{entry.name}: mode {mode} classified "
+                    f"[{cls.label}] but off classified "
+                    f"[{first_cls.label}]"
+                )
+            if not entry.agreement_only and not cls.matches(
+                entry.expect[mode]
+            ):
+                problems.append(
+                    f"{entry.name}: mode {mode} expected "
+                    f"{entry.expect[mode]!r}, observed [{cls.label}]"
+                )
         return EntryResult(
             entry.name, not problems, False, cells, tuple(problems)
         )

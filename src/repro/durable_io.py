@@ -1,0 +1,216 @@
+"""Crash-safe file primitives shared by every append-only store.
+
+Four stores in this repository are JSONL files that must survive a
+``kill -9`` mid-write: the checkpoint store
+(:mod:`repro.parallel.checkpoint`), the run-manifest index
+(:mod:`repro.obs.manifest`), the on-disk corpus
+(:mod:`repro.corpus.registry`), and the job-service WAL
+(:mod:`repro.service.store`).  They all follow the same discipline,
+implemented once here:
+
+* **Appends are single writes.**  One record is serialised to one
+  ``\\n``-terminated line and written in a single ``write`` call on a
+  file opened in append mode, then flushed (and by default fsynced).
+  POSIX guarantees ``O_APPEND`` writes are atomic with respect to each
+  other, so concurrent appenders from many processes interleave whole
+  lines, never splice them.
+* **Torn tails are repaired, not fatal.**  A process killed mid-write
+  leaves at most one truncated final line with no trailing newline.
+  :class:`DurableAppender` terminates such a tail with a ``\\n`` before
+  its first append, so later records never merge into the torn one;
+  :func:`load_jsonl` drops undecodable lines instead of raising.
+* **Whole-file writes are atomic.**  :func:`atomic_write_text` writes
+  to a temporary file in the same directory, fsyncs it, and renames it
+  over the target — readers see the old bytes or the new bytes, never
+  a mixture.
+
+The lint gate (``tools/lint.py``) forbids raw append-mode ``open()``
+under ``src/`` outside this module, so every durable append in the
+library provably goes through one audited code path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import IO, List, Optional, Tuple
+
+
+def _fsync_handle(handle: IO[str]) -> None:
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: str) -> None:
+    """Fsync the directory holding ``path`` so renames/creates persist.
+
+    Best-effort: some filesystems refuse ``open`` on directories; the
+    data fsync already happened, so a refusal only weakens the
+    guarantee back to what most applications settle for.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class DurableAppender:
+    """An append handle that writes whole fsynced lines.
+
+    Opening is lazy; the first append repairs a torn tail left by a
+    previous crash (a final line missing its ``\\n`` gets one, so the
+    dead record stays a single undecodable line instead of merging
+    with the next append).  Each :meth:`append_line` is one ``write``
+    of one terminated line, flushed and (unless ``fsync=False``)
+    fsynced before returning — after it returns, the record survives a
+    power cut.
+    """
+
+    def __init__(self, path: str, *, fsync: bool = True):
+        self.path = str(path)
+        self.fsync = fsync
+        self._handle: Optional[IO[str]] = None
+
+    def _open(self) -> IO[str]:
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            repair = b""
+            try:
+                with open(self.path, "rb") as probe:
+                    probe.seek(0, os.SEEK_END)
+                    if probe.tell() > 0:
+                        probe.seek(-1, os.SEEK_END)
+                        if probe.read(1) != b"\n":
+                            repair = b"\n"
+            except FileNotFoundError:
+                pass
+            handle = open(self.path, "a", encoding="utf-8")
+            if repair:
+                handle.write("\n")
+                _fsync_handle(handle)
+            self._handle = handle
+        return self._handle
+
+    def open(self) -> None:
+        """Open now — repairing any torn tail — instead of lazily.
+
+        Appending already opens on demand; call this when the repair
+        itself is the point (e.g. before handing the file descriptor's
+        position to some other writer).
+        """
+        self._open()
+
+    def append_line(self, line: str) -> None:
+        """Write one record as a single terminated, durable line."""
+        handle = self._open()
+        handle.write(line + "\n")
+        if self.fsync:
+            _fsync_handle(handle)
+        else:
+            handle.flush()
+
+    def append_json(self, record: object) -> None:
+        """Serialise ``record`` canonically and append it durably."""
+        self.append_line(json.dumps(record, sort_keys=True))
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DurableAppender":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def append_json_line(path: str, record: object, *, fsync: bool = True) -> None:
+    """One-shot durable append of a single JSON record to ``path``."""
+    with DurableAppender(path, fsync=fsync) as appender:
+        appender.append_json(record)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Replace ``path``'s contents atomically (tmp + fsync + rename)."""
+    path = str(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            _fsync_handle(handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path)
+
+
+def load_jsonl(
+    path: str, *, tolerate: str = "tail"
+) -> Tuple[List[Tuple[int, object]], int]:
+    """Read a JSONL file, tolerating crash damage.
+
+    Returns ``(records, dropped)`` where ``records`` is a list of
+    ``(lineno, decoded_object)`` pairs (1-based line numbers) and
+    ``dropped`` counts undecodable lines that were skipped.  Blank
+    lines are ignored without counting.  A missing file is empty.
+
+    ``tolerate`` selects how much damage is forgiven:
+
+    * ``"tail"`` — only a genuinely *torn* tail is dropped: an
+      undecodable final line that is missing its terminating ``\\n``
+      (exactly the damage a ``kill -9`` mid-append leaves, and the
+      only damage it can leave).  Any undecodable *complete* line
+      raises :class:`ValueError` naming the line — a whole terminated
+      line that fails to decode was never a crash artefact.  Use for
+      files whose corruption means something is actually wrong.
+    * ``"all"`` — every undecodable line is dropped and counted.  Use
+      for stores that repair torn tails on reopen, where a dead line
+      can end up interior once later appends land after it.
+
+    ``OSError`` from an unreadable file propagates; callers wrap it in
+    their own taxonomy error.
+    """
+    if tolerate not in ("tail", "all"):
+        raise ValueError(f"unknown tolerate mode: {tolerate!r}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        return [], 0
+    lines = text.splitlines()
+    torn_lineno = (
+        len(lines) if text and not text.endswith("\n") else 0
+    )
+    records: List[Tuple[int, object]] = []
+    dropped = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append((lineno, json.loads(line)))
+        except ValueError as error:
+            if tolerate == "all" or lineno == torn_lineno:
+                dropped += 1
+                continue
+            raise ValueError(
+                f"{path}:{lineno}: undecodable JSONL record: {error}"
+            ) from error
+    return records, dropped

@@ -160,6 +160,55 @@ class CheckpointError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for durable job-service failures.
+
+    Raised by :mod:`repro.service` when the job runtime cannot make
+    progress: a worker lost the lease on its job, the WAL-style job
+    store holds records that cannot be trusted, or the supervisor
+    detected a worker crash-looping.  Like pool faults these map to
+    exit status 3 at the CLI — infrastructure failed, not the
+    verification logic.
+    """
+
+
+class LeaseExpiredError(ServiceError):
+    """Raised when a worker acts on a job whose lease it no longer holds.
+
+    A worker that stalls past its lease (or loses a claim race to a
+    takeover after the lease expired) must not record results for the
+    job — another worker may already be re-running it.  Heartbeats and
+    completion both verify holdership against the folded WAL state and
+    raise this when it is gone; the worker abandons the job and the
+    eventual re-run reproduces the identical result from the same
+    derived seeds.
+    """
+
+
+class JobStoreCorruptionError(ServiceError):
+    """Raised when the job store's WAL cannot be trusted.
+
+    A torn final line from a crash is *not* corruption — the store
+    repairs and tolerates it.  This error means something stronger: an
+    unreadable store file, a record that decodes but has the wrong
+    shape, or an event of an unknown kind — states that no crash of a
+    correct writer produces, so continuing could hand out the same job
+    twice or lose results silently.
+    """
+
+
+class SupervisorCrashLoopError(ServiceError):
+    """Raised when a worker slot keeps dying immediately after restart.
+
+    The supervisor restarts crashed workers with exponential backoff;
+    a slot whose workers die young ``max_restarts`` times in a row is
+    crash-looping (a poisoned job or broken environment), and endless
+    restarts would burn the machine without progress.  The supervisor
+    stops the campaign instead — the WAL keeps every completed result,
+    so a fixed environment resumes where it left off.
+    """
+
+
 class ContractViolation(ReproError):
     """A model broke a semantic contract of the paper's definitions.
 

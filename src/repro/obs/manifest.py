@@ -34,6 +34,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro import durable_io
 from repro.obs.sinks import _table, jsonable
 
 #: Environment variable overriding the default manifest store location.
@@ -151,9 +152,7 @@ def append_manifest(
     path = directory / MANIFEST_FILE
     try:
         directory.mkdir(parents=True, exist_ok=True)
-        with path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(jsonable(manifest), sort_keys=True))
-            handle.write("\n")
+        durable_io.append_json_line(str(path), jsonable(manifest))
     except OSError as error:
         print(
             f"repro: warning: could not write run manifest to {path}: "
@@ -169,21 +168,12 @@ def load_manifests(
 ) -> List[Manifest]:
     """Every record in the store, oldest first (corrupt lines skipped)."""
     path = resolve_runs_dir(runs_dir) / MANIFEST_FILE
-    if not path.exists():
-        return []
-    manifests: List[Manifest] = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict) and "id" in record:
-                manifests.append(record)
-    return manifests
+    records, _dropped = durable_io.load_jsonl(str(path), tolerate="all")
+    return [
+        record
+        for _lineno, record in records
+        if isinstance(record, dict) and "id" in record
+    ]
 
 
 def find_manifest(

@@ -118,6 +118,28 @@ METRICS: Dict[str, Tuple[str, str]] = {
         "counter", "samples cut off by the step budget"),
     "sampler.unreached": (
         "counter", "time samples that never reached the target"),
+    "service.cache.corrupt": (
+        "counter", "cache entries that failed sha256 verification"),
+    "service.cache.hits": (
+        "counter", "jobs served from the content-addressed result cache"),
+    "service.cache.misses": (
+        "counter", "cache lookups that found no verified entry"),
+    "service.jobs.cancelled": (
+        "counter", "jobs cancelled before completion"),
+    "service.jobs.completed": (
+        "counter", "jobs completed by a serve run"),
+    "service.jobs.failed": (
+        "counter", "job attempts recorded as failures"),
+    "service.jobs.submitted": (
+        "counter", "jobs appended to the durable queue"),
+    "service.leases.expired": (
+        "counter", "operations rejected because the lease was lost"),
+    "service.leases.reclaimed": (
+        "counter", "expired running leases returned to pending"),
+    "service.store.records_dropped": (
+        "counter", "undecodable job-store lines skipped on load"),
+    "service.workers.restarted": (
+        "counter", "supervised workers restarted after unclean exits"),
     "statespace.compile_ms": (
         "histogram", "wall-clock milliseconds per state-space compile"),
     "statespace.compiled_adversaries": (

@@ -21,6 +21,7 @@ from fractions import Fraction
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Union
 
+from repro import durable_io
 from repro.obs.metrics import Metrics
 from repro.obs.registry import Registry
 from repro.obs.trace import Span, Tracer
@@ -95,12 +96,18 @@ class JsonlSink:
         self.path = Path(path)
 
     def write(self, records: Iterable[Dict[str, object]]) -> int:
-        """Append records to the file; returns the number written."""
+        """Append records to the file; returns the number written.
+
+        Routed through :class:`repro.durable_io.DurableAppender` (one
+        fsynced write per record) so a crash mid-dump tears at most
+        the final line, which :func:`read_jsonl` tolerates.
+        """
         count = 0
-        with self.path.open("a", encoding="utf-8") as handle:
+        with durable_io.DurableAppender(str(self.path)) as appender:
             for record in records:
-                handle.write(json.dumps(jsonable(record), sort_keys=True))
-                handle.write("\n")
+                appender.append_line(
+                    json.dumps(jsonable(record), sort_keys=True)
+                )
                 count += 1
         return count
 
@@ -119,14 +126,17 @@ class JsonlSink:
 
 
 def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Parse a JSONL trace file back into dicts (blank lines skipped)."""
-    records = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
-    return records
+    """Parse a JSONL trace file back into dicts.
+
+    Blank lines are skipped, and a truncated *final* line (the torn
+    tail a killed writer leaves) is dropped; undecodable interior
+    lines still raise — a trace file damaged anywhere else was not
+    produced by a crash of a correct writer.
+    """
+    if not Path(path).exists():
+        raise FileNotFoundError(f"no such trace file: {path}")
+    records, _dropped = durable_io.load_jsonl(str(path), tolerate="tail")
+    return [record for _lineno, record in records]
 
 
 # ----------------------------------------------------------------------

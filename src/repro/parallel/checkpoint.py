@@ -33,9 +33,9 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, TextIO, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro import obs
+from repro import durable_io, obs
 from repro.errors import CheckpointError
 
 _RecordKey = Tuple[str, int]
@@ -55,7 +55,7 @@ class Checkpoint:
         self.dropped = 0
         self._records: Dict[_RecordKey, dict] = {}
         self._loaded = False
-        self._handle: Optional[TextIO] = None
+        self._appender: Optional[durable_io.DurableAppender] = None
 
     def load(self) -> "Checkpoint":
         """Read every intact record from disk (idempotent).
@@ -71,20 +71,15 @@ class Checkpoint:
         if not os.path.exists(self.path):
             return self
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
+            records, undecodable = durable_io.load_jsonl(
+                self.path, tolerate="all"
+            )
         except OSError as error:
             raise CheckpointError(
                 f"cannot read checkpoint {self.path}: {error}"
             ) from error
-        for line in lines:
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                self.dropped += 1
-                continue
+        self.dropped += undecodable
+        for _lineno, record in records:
             if not self._well_formed(record):
                 self.dropped += 1
                 continue
@@ -120,8 +115,9 @@ class Checkpoint:
     def append(self, scope: str, seed: int, result: dict) -> None:
         """Persist one completed task's encoded result.
 
-        The record is serialised to a single line, written in one call,
-        and flushed — an interruption between appends never leaves a
+        The record is serialised to a single line and appended through
+        :class:`repro.durable_io.DurableAppender` (one write, flushed
+        and fsynced) — an interruption between appends never leaves a
         partial record, and one mid-append truncates only the final
         line (which :meth:`load` tolerates).
         """
@@ -130,10 +126,9 @@ class Checkpoint:
             sort_keys=True,
         )
         try:
-            if self._handle is None:
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            if self._appender is None:
+                self._appender = durable_io.DurableAppender(self.path)
+            self._appender.append_line(line)
         except (OSError, ValueError) as error:
             raise CheckpointError(
                 f"cannot append to checkpoint {self.path}: {error}"
@@ -143,9 +138,9 @@ class Checkpoint:
 
     def close(self) -> None:
         """Close the append handle (reopened lazily if appended again)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
 
     def __enter__(self) -> "Checkpoint":
         return self

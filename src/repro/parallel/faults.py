@@ -21,13 +21,23 @@ injected faults produces a report bit-identical to an undisturbed run
 Spec grammar (the ``--inject-faults`` flag)::
 
     SPEC  := FIELD ("," FIELD)*
-    FIELD := ("crash" | "hang" | "corrupt") "=" RATE | "seed" "=" INT
+    FIELD := POOL "=" RATE | SERVICE "=" RATE | "seed" "=" INT
+    POOL  := "crash" | "hang" | "corrupt"
+    SERVICE := "kill" | "steal" | "torn" | "cache"
     RATE  := float in [0, 1]
 
-e.g. ``crash=0.1,hang=0.05,corrupt=0.02,seed=7``.  The rates must sum
-to at most 1: one uniform draw per (task, attempt) is partitioned into
-crash / hang / corrupt / healthy bands, so the three faults are
-mutually exclusive per attempt.
+e.g. ``crash=0.1,hang=0.05,corrupt=0.02,seed=7``.  The pool rates must
+sum to at most 1: one uniform draw per (task, attempt) is partitioned
+into crash / hang / corrupt / healthy bands, so the three pool faults
+are mutually exclusive per attempt.
+
+The service fields target the job runtime in :mod:`repro.service`
+instead of the pool, and fire at unrelated sites — a worker killing
+itself after claiming a job (``kill``), a simulated lease takeover
+(``steal``), a WAL append torn mid-line by a process death (``torn``),
+a result-cache entry corrupted after write (``cache``) — so each is an
+independent per-site draw (:meth:`FaultPlan.decide_service`) rather
+than a band of the shared pool draw.
 """
 
 from __future__ import annotations
@@ -43,7 +53,14 @@ CRASH = "crash"
 HANG = "hang"
 CORRUPT = "corrupt"
 
+# Service-level injection kinds, as repro.service receives them.
+KILL = "kill"
+STEAL = "steal"
+TORN = "torn"
+CACHE = "cache"
+
 _RATE_FIELDS = (CRASH, HANG, CORRUPT)
+_SERVICE_FIELDS = (KILL, STEAL, TORN, CACHE)
 
 
 @dataclass(frozen=True)
@@ -61,10 +78,14 @@ class FaultPlan:
     crash: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
+    kill: float = 0.0
+    steal: float = 0.0
+    torn: float = 0.0
+    cache: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in _RATE_FIELDS:
+        for name in (*_RATE_FIELDS, *_SERVICE_FIELDS):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise VerificationError(
@@ -95,10 +116,11 @@ class FaultPlan:
                 raise VerificationError(
                     f"fault spec field {field!r} is not NAME=VALUE"
                 )
-            if name not in (*_RATE_FIELDS, "seed"):
+            if name not in (*_RATE_FIELDS, *_SERVICE_FIELDS, "seed"):
                 raise VerificationError(
-                    f"unknown fault spec field {name!r} "
-                    f"(choices: crash, hang, corrupt, seed)"
+                    f"unknown fault spec field {name!r} (choices: "
+                    f"crash, hang, corrupt, kill, steal, torn, cache, "
+                    f"seed)"
                 )
             if name in values:
                 raise VerificationError(
@@ -111,10 +133,13 @@ class FaultPlan:
                     f"fault spec field {name!r} has a malformed value "
                     f"{raw.strip()!r}"
                 ) from None
-        if not any(name in values for name in _RATE_FIELDS):
+        if not any(
+            name in values for name in (*_RATE_FIELDS, *_SERVICE_FIELDS)
+        ):
             raise VerificationError(
                 f"fault spec {spec!r} injects nothing "
-                "(set crash=, hang=, or corrupt=)"
+                "(set crash=, hang=, corrupt=, kill=, steal=, torn=, "
+                "or cache=)"
             )
         return cls(**values)
 
@@ -142,3 +167,34 @@ class FaultPlan:
         if draw < self.crash + self.hang + self.corrupt:
             return CORRUPT
         return None
+
+    @property
+    def service_active(self) -> bool:
+        """True when any service-level fault can fire."""
+        return (self.kill + self.steal + self.torn + self.cache) > 0.0
+
+    def decide_service(self, kind: str, *identity: object) -> bool:
+        """Whether the service fault ``kind`` fires at one site.
+
+        Unlike the pool faults, the service faults strike unrelated
+        sites (a claim, a WAL append, a cache write), so each kind
+        draws independently.  The draw is a pure function of
+        ``(plan seed, kind, identity)``; callers pass an identity that
+        names the site stably across restarts — e.g. ``(job_id,
+        attempt)`` for a worker kill, or ``(event_kind, job_id,
+        attempt_index)`` for a torn WAL append — so a resumed
+        campaign replays the same fault schedule and a retried site
+        redraws its fate.  The identity must advance on every retry
+        even when the fault destroys the evidence of the attempt: a
+        torn append leaves no landed event, so its index counts crash
+        scars (dropped half-lines), not landed occurrences —
+        otherwise a respawned worker redraws the identical tear
+        forever.
+        """
+        if kind not in _SERVICE_FIELDS:
+            raise VerificationError(f"unknown service fault kind {kind!r}")
+        rate = getattr(self, kind)
+        if rate <= 0.0:
+            return False
+        draw = derive_rng(self.seed, "service-fault", kind, *identity)
+        return draw.random() < rate

@@ -173,6 +173,9 @@ class TestRegistry:
             "TaskTimeoutError",
             "ResultCorruptionError",
             "TaskExecutionError",
+            "LeaseExpiredError",
+            "JobStoreCorruptionError",
+            "SupervisorCrashLoopError",
         }
 
 

@@ -1,0 +1,124 @@
+"""The durable-io helper: fsynced appends, torn tails, atomic writes.
+
+Every append-only store in the repository (checkpoints, manifests,
+corpus files, the job-service WAL) rides on these primitives, so the
+crash-damage semantics are pinned here once: a torn tail is repaired
+on reopen and tolerated on read, a whole undecodable line is an error
+for strict readers and a counted drop for lenient ones, and
+whole-file writes never expose a mixture of old and new bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import durable_io
+
+
+def _raw_write(path, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+class TestDurableAppender:
+    def test_appends_one_terminated_line_per_record(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with durable_io.DurableAppender(str(path)) as appender:
+            appender.append_json({"n": 1})
+            appender.append_json({"n": 2})
+        assert path.read_text() == '{"n": 1}\n{"n": 2}\n'
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "log.jsonl"
+        durable_io.append_json_line(str(path), {"ok": True})
+        assert json.loads(path.read_text()) == {"ok": True}
+
+    def test_reopen_seals_a_torn_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _raw_write(path, b'{"n": 1}\n{"half": tr')
+        with durable_io.DurableAppender(str(path)) as appender:
+            appender.append_json({"n": 2})
+        lines = path.read_text().splitlines()
+        # The torn record stays one line; the new record never merges
+        # into it.
+        assert lines == ['{"n": 1}', '{"half": tr', '{"n": 2}']
+
+    def test_reopen_of_clean_file_adds_nothing(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        durable_io.append_json_line(str(path), {"n": 1})
+        durable_io.append_json_line(str(path), {"n": 2})
+        assert path.read_text() == '{"n": 1}\n{"n": 2}\n'
+
+
+class TestLoadJsonl:
+    def test_missing_file_is_empty(self, tmp_path):
+        records, dropped = durable_io.load_jsonl(
+            str(tmp_path / "absent.jsonl")
+        )
+        assert records == [] and dropped == 0
+
+    def test_returns_line_numbers_with_records(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _raw_write(path, b'{"n": 1}\n\n{"n": 2}\n')
+        records, dropped = durable_io.load_jsonl(str(path))
+        assert records == [(1, {"n": 1}), (3, {"n": 2})]
+        assert dropped == 0
+
+    def test_tail_mode_drops_an_unterminated_final_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _raw_write(path, b'{"n": 1}\n{"torn": ')
+        records, dropped = durable_io.load_jsonl(
+            str(path), tolerate="tail"
+        )
+        assert records == [(1, {"n": 1})]
+        assert dropped == 1
+
+    def test_tail_mode_raises_on_a_complete_undecodable_line(
+        self, tmp_path
+    ):
+        path = tmp_path / "log.jsonl"
+        _raw_write(path, b'{"n": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="log.jsonl:2"):
+            durable_io.load_jsonl(str(path), tolerate="tail")
+
+    def test_tail_mode_raises_on_interior_damage(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _raw_write(path, b'broken\n{"n": 2}\n{"torn": ')
+        with pytest.raises(ValueError, match="log.jsonl:1"):
+            durable_io.load_jsonl(str(path), tolerate="tail")
+
+    def test_all_mode_drops_and_counts_every_bad_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _raw_write(path, b'broken\n{"n": 2}\n{"torn": ')
+        records, dropped = durable_io.load_jsonl(
+            str(path), tolerate="all"
+        )
+        assert records == [(2, {"n": 2})]
+        assert dropped == 2
+
+    def test_unknown_tolerate_mode_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="tolerate"):
+            durable_io.load_jsonl(
+                str(tmp_path / "x.jsonl"), tolerate="some"
+            )
+
+
+class TestAtomicWriteText:
+    def test_replaces_content_completely(self, tmp_path):
+        path = tmp_path / "entry.json"
+        durable_io.atomic_write_text(str(path), "old\n")
+        durable_io.atomic_write_text(str(path), "new\n")
+        assert path.read_text() == "new\n"
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        path = tmp_path / "entry.json"
+        durable_io.atomic_write_text(str(path), "data\n")
+        assert os.listdir(tmp_path) == ["entry.json"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "entry.json"
+        durable_io.atomic_write_text(str(path), "data\n")
+        assert path.read_text() == "data\n"

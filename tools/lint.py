@@ -32,6 +32,13 @@ It also forbids constructing ``random.Random`` under ``src/`` outside
 byte-identity guarantee (``docs/statespace.md``) rests on one seeding
 discipline instead of scattered constructor calls.
 
+Append-mode ``open()`` (and ``Path.open``) under ``src/`` is forbidden
+outside ``repro/durable_io.py``: every append-only log — checkpoints,
+manifests, corpus files, the job-service WAL — must go through the
+durable-io helper's fsynced, torn-tail-repairing appender
+(``docs/service.md``), so crash recovery rests on one write
+discipline instead of scattered file handles.
+
 Similarly, ``import numpy`` under ``src/`` is forbidden outside
 ``statespace/np_backend.py``: numpy is an *optional* accelerator, and
 that module is the single gated entry point that degrades to pure
@@ -48,7 +55,8 @@ ever reads.
 
 A corpus-sync pass (mirroring the metric-name rule) keeps the defect
 corpus and the error taxonomy aligned: every strict subclass of
-``ContractViolation`` / ``PoolFaultError`` / ``StateSpaceError`` in
+``ContractViolation`` / ``PoolFaultError`` / ``StateSpaceError`` /
+``ServiceError`` in
 ``src/repro/errors.py`` must have at least one entry in
 ``src/repro/corpus/registry.py`` claiming it via a literal
 ``expected_class="Name"`` keyword, and every claimed name must be a
@@ -183,6 +191,31 @@ def _is_np_backend_module(path):
     return Path(path).parts[-2:] == ("statespace", "np_backend.py")
 
 
+def _is_durable_io_module(path):
+    return Path(path).parts[-2:] == ("repro", "durable_io.py")
+
+
+def _append_mode_open(node):
+    """True for ``open(..., 'a...')`` / ``thing.open('a...')`` sites."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        mode_arg = node.args[1] if len(node.args) > 1 else None
+    elif isinstance(func, ast.Attribute) and func.attr == "open":
+        mode_arg = node.args[0] if node.args else None
+    else:
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_arg = keyword.value
+    return (
+        isinstance(mode_arg, ast.Constant)
+        and isinstance(mode_arg.value, str)
+        and "a" in mode_arg.value
+    )
+
+
 def _imports_numpy(node):
     """True for ``import numpy`` / ``from numpy... import`` statements."""
     if isinstance(node, ast.Import):
@@ -236,6 +269,17 @@ def banned_handlers(path):
                      "(derive_rng / rng_from_seed), not random.Random — "
                      "one seeding discipline backs the cross-engine "
                      "byte-identity guarantee")
+                )
+    if not _is_durable_io_module(path):
+        for node in ast.walk(tree):
+            if _append_mode_open(node):
+                findings.append(
+                    (node.lineno,
+                     "append-mode open() must go through "
+                     "repro.durable_io (DurableAppender / "
+                     "append_json_line) — one fsynced, "
+                     "torn-tail-repairing append discipline backs "
+                     "crash recovery")
                 )
     if not _is_np_backend_module(path):
         for node in ast.walk(tree):
@@ -358,7 +402,12 @@ _CORPUS_REGISTRY_MODULE = (
 
 #: The public taxonomy roots whose strict subclasses the defect corpus
 #: must cover — the contracts, pool-fault, and state-space families.
-_TAXONOMY_ROOTS = ("ContractViolation", "PoolFaultError", "StateSpaceError")
+_TAXONOMY_ROOTS = (
+    "ContractViolation",
+    "PoolFaultError",
+    "StateSpaceError",
+    "ServiceError",
+)
 
 
 def taxonomy_classes(errors_path=_ERRORS_MODULE):
