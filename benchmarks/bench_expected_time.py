@@ -95,7 +95,7 @@ def test_phase_decomposition(benchmark, setup3):
     discretisation for the crossing witness)."""
     import random
 
-    from repro.analysis.phases import (
+    from repro.algorithms.lehmann_rabin.phases import (
         FAIL_FOURTH,
         FAIL_THIRD,
         SUCCESS,

@@ -1,90 +1,54 @@
-"""Method generality: arrow statements for randomized leader election.
+"""Method generality: leader election through the model registry.
 
 Section 7 of the paper hopes the technique will be "used for the
-analysis of other algorithms"; this example obliges.  Anonymous
-candidates flip coins in rounds until one remains.  We state per-level
-progress arrows, compose them with the same ledger machinery as the
-Lehmann-Rabin proof, and validate the composed bound by simulation
-under hostile Unit-Time adversaries.
+analysis of other algorithms"; this example obliges — now entirely
+through the pluggable model front-end.  The ``election`` registry
+entry supplies the per-level arrow statements, the composed proof
+chain (built with the same ledger machinery as the Lehmann-Rabin
+proof), and the Unit-Time adversary family; the generic Monte-Carlo
+runner validates the composed bound by simulation under hostile
+adversaries.
 
 Run:  python examples/leader_election.py [candidates]
 """
 
 from __future__ import annotations
 
-import random
 import sys
 
-from repro.adversary.search import HashedRandomRoundPolicy
-from repro.adversary.unit_time import (
-    FifoRoundPolicy,
-    ReversedRoundPolicy,
-    RoundBasedAdversary,
-)
-from repro.algorithms import election as el
+from repro.analysis.montecarlo import check_statement, measure_expected_time
 from repro.analysis.reporting import banner, format_table
-from repro.automaton.execution import ExecutionFragment
-from repro.events.reach import ReachWithinTime
-from repro.execution.sampler import sample_event, sample_time_until
+from repro.models import get_model
 
 
 def main(n: int = 4) -> None:
+    model = get_model("election")
+    model.validate_n(n)
     print(banner(f"Randomized leader election, {n} candidates"))
 
-    chain = el.election_proof(n)
+    chain = model.proof_chain(n)
     print("\nDerivation of the composed bound:")
     print(chain.ledger.explain(chain.final_id))
-    print(f"\nExpected-time bound: {el.election_expected_time_bound(n)}")
+    print(f"\nExpected-time bound: {model.expected_time_bound(n)}")
 
-    automaton = el.election_automaton(n)
-    view = el.ElectionProcessView(n)
-    adversaries = [
-        ("fifo", RoundBasedAdversary(view, FifoRoundPolicy())),
-        ("reversed", RoundBasedAdversary(view, ReversedRoundPolicy())),
-        ("hashed-7", RoundBasedAdversary(view, HashedRandomRoundPolicy(7))),
-    ]
-    start = ExecutionFragment.initial(el.election_initial_state(n))
+    setup = model.build(n)
     final = chain.final_statement
-    schema = ReachWithinTime(
-        el.leader_elected, final.time_bound, el.election_time_of
+    report = check_statement(
+        final, setup, samples_per_pair=80, max_steps=4_000
+    )
+    print(
+        f"\nP[{final.source.name} -{final.time_bound}-> "
+        f"{final.target.name}] sampled min {report.min_estimate:.3f} "
+        f"(claimed >= {float(final.probability):.3f}): "
+        f"{'REFUTED' if report.refuted else 'supported'}"
     )
 
-    rng = random.Random(0)
-    rows = []
-    for name, adversary in adversaries:
-        wins = 0
-        samples = 400
-        for _ in range(samples):
-            result = sample_event(
-                automaton, adversary, start, schema, rng, max_steps=4000
-            )
-            wins += bool(result.verdict)
-        times = []
-        for _ in range(200):
-            t = sample_time_until(
-                automaton, adversary, start, el.leader_elected,
-                el.election_time_of, rng, 4000,
-            )
-            times.append(t)
-        rows.append(
-            (
-                name,
-                f"{wins / samples:.3f}",
-                f"{float(final.probability):.3f}",
-                f"{float(sum(times) / len(times)):.2f}",
-                str(max(times)),
-            )
-        )
-    print("\n" + format_table(
-        (
-            "adversary",
-            f"P[leader within {final.time_bound}]",
-            "claimed >=",
-            "mean time",
-            "max time",
-        ),
-        rows,
-    ))
+    times = measure_expected_time(setup, samples=60, max_steps=4_000)
+    rows = [
+        (name, f"{r.mean:.2f}", str(r.maximum))
+        for name, r in sorted(times.items())
+    ]
+    print("\n" + format_table(("adversary", "mean time", "max time"), rows))
 
 
 if __name__ == "__main__":

@@ -25,10 +25,7 @@ from repro.adversary.deadline import (
     StaggeredDeadlineAdversary,
     evenly_staggered,
 )
-from repro.adversary.greedy import (
-    GreedyMinimizerPolicy,
-    lr_progress_potential,
-)
+from repro.adversary.greedy import GreedyMinimizerPolicy
 from repro.adversary.search import (
     HashedRandomRoundPolicy,
     fragment_digest,
@@ -55,7 +52,6 @@ __all__ = [
     "FirstEnabledAdversary",
     "FunctionAdversary",
     "GreedyMinimizerPolicy",
-    "lr_progress_potential",
     "HALT",
     "HashedRandomRoundPolicy",
     "ProcessView",

@@ -75,32 +75,3 @@ class GreedyMinimizerPolicy(MarkovRoundPolicy[State]):
 
     def __repr__(self) -> str:
         return "GreedyMinimizerPolicy()"
-
-
-def lr_progress_potential(state) -> float:
-    """A progress potential for the Lehmann-Rabin ring.
-
-    Rewards states the algorithm wants: critical/pre-critical processes
-    dominate, then committed processes whose second resource is free
-    (one step from ``P``), then good processes, then committed ones.
-    The greedy minimiser therefore delays promising checks and
-    manufactures contention — a sharper version of the hand-written
-    obstructionist heuristic.
-    """
-    from repro.algorithms.lehmann_rabin.regions import good_processes
-    from repro.algorithms.lehmann_rabin.state import FREE, PC
-
-    score = 0.0
-    for i in range(state.n):
-        local = state.process(i)
-        if local.pc is PC.C:
-            score += 100.0
-        elif local.pc is PC.P:
-            score += 50.0
-        elif local.pc is PC.S:
-            second = state.resource_index(i, local.u.opp)
-            score += 8.0 if state.resource(second) == FREE else 2.0
-        elif local.pc is PC.W:
-            score += 1.0
-    score += 3.0 * len(good_processes(state))
-    return score

@@ -1,0 +1,167 @@
+"""The Herman token-ring automaton and its Unit-Time process view.
+
+Round structure (see :mod:`repro.algorithms.herman.state`): every
+uncommitted process has exactly one enabled step per round — token
+holders flip the shared (possibly biased) coin, everyone else copies
+its left neighbour's round-start bit — plus the always-enabled
+``TIME_PASSAGE`` self-advance.  The commit/barrier encoding makes the
+synchronous protocol a probabilistic automaton in the sense of
+Definition 2.1 while keeping every round's randomness independent of
+the schedule, so reports are adversary-schedule-invariant within a
+round.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.adversary.unit_time import ProcessView
+from repro.algorithms.herman.state import HermanState, herman_fresh_state
+from repro.automaton.automaton import FunctionalAutomaton
+from repro.automaton.signature import TIME_PASSAGE, Action, ActionSignature
+from repro.automaton.transition import Transition
+from repro.errors import AutomatonError
+from repro.probability.space import FiniteDistribution
+
+#: Action kinds: token holders ``flip`` the coin, the rest ``copy``.
+FLIP = "flip"
+COPY = "copy"
+
+#: The default (fair) coin.
+FAIR_COIN = Fraction(1, 2)
+
+
+def token_at(state: HermanState, i: int) -> bool:
+    """Process ``i`` holds a token: its bit equals its left neighbour's."""
+    return state.bits[i] == state.bits[i - 1]
+
+
+def token_count(state: HermanState) -> int:
+    """The number of tokens on the ring (odd, never increasing)."""
+    return sum(1 for i in range(state.n) if token_at(state, i))
+
+
+def herman_signature(n: int) -> ActionSignature:
+    """All commit actions are internal, like the election's rounds."""
+    internal = frozenset(
+        (kind, i) for kind in (FLIP, COPY) for i in range(n)
+    ) | {TIME_PASSAGE}
+    return ActionSignature(internal=internal)
+
+
+def herman_transitions(
+    state: HermanState, bias: Fraction
+) -> List[Transition[HermanState]]:
+    """The enabled steps: one commit per uncommitted process, plus time."""
+    steps: List[Transition[HermanState]] = []
+    for i in range(state.n):
+        if state.commits[i] is not None:
+            continue
+        if token_at(state, i):
+            steps.append(
+                Transition(
+                    state,
+                    (FLIP, i),
+                    FiniteDistribution(
+                        {
+                            state.committed(i, 1): bias,
+                            state.committed(i, 0): 1 - bias,
+                        }
+                    ),
+                )
+            )
+        else:
+            steps.append(
+                Transition.deterministic(
+                    state, (COPY, i), state.committed(i, state.bits[i - 1])
+                )
+            )
+    steps.append(
+        Transition.deterministic(
+            state, TIME_PASSAGE, state.advanced(Fraction(1))
+        )
+    )
+    return steps
+
+
+def herman_initial_state(n: int, fill: int = 1) -> HermanState:
+    """The all-``fill`` configuration: every process holds a token."""
+    if fill not in (0, 1):
+        raise AutomatonError(f"fill bit must be 0 or 1, got {fill}")
+    return herman_fresh_state((fill,) * n)
+
+
+def herman_automaton(
+    n: int,
+    bias: Fraction = FAIR_COIN,
+    start: Optional[HermanState] = None,
+) -> FunctionalAutomaton[HermanState]:
+    """Herman's ring for ``n`` (odd) processes with coin bias ``bias``.
+
+    ``bias`` is the probability a token holder commits bit 1; Herman's
+    original protocol is the fair coin, and the biased variants are the
+    subject of the optimal-bias-synthesis literature.
+    """
+    if n < 3 or n % 2 == 0:
+        raise AutomatonError(
+            f"Herman's ring needs an odd number of processes >= 3, got {n}"
+        )
+    if not Fraction(0) < bias < Fraction(1):
+        raise AutomatonError(
+            f"the coin bias must lie strictly between 0 and 1, got {bias}"
+        )
+    if start is None:
+        start = herman_initial_state(n)
+    if start.n != n:
+        raise AutomatonError(
+            f"start state has {start.n} processes, expected {n}"
+        )
+    return FunctionalAutomaton(
+        start_states=(start,),
+        signature=herman_signature(n),
+        transition_fn=lambda state: herman_transitions(state, bias),
+    )
+
+
+def herman_time_of(state: HermanState) -> Fraction:
+    """The state's clock."""
+    return state.time
+
+
+class HermanProcessView(ProcessView[HermanState]):
+    """The Unit-Time obligations of the ring.
+
+    A process is ready while it has not committed this round; the
+    barrier release (last commit) leaves everyone ready for the next
+    round, so obligations never starve.
+    """
+
+    def __init__(self, n: int):
+        if n < 3 or n % 2 == 0:
+            raise AutomatonError(
+                f"Herman's ring needs an odd number of processes >= 3, "
+                f"got {n}"
+            )
+        self._processes: Tuple[int, ...] = tuple(range(n))
+
+    @property
+    def processes(self) -> Tuple[int, ...]:
+        return self._processes
+
+    def ready(self, state: HermanState) -> FrozenSet[int]:
+        return frozenset(
+            i for i, commit in enumerate(state.commits) if commit is None
+        )
+
+    def process_of(self, action: Action) -> Optional[int]:
+        if action == TIME_PASSAGE:
+            return None
+        if isinstance(action, tuple) and len(action) == 2:
+            kind, i = action
+            if kind in (FLIP, COPY):
+                return i
+        return None
+
+    def time_of(self, state: HermanState) -> Fraction:
+        return state.time

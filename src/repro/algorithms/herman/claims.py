@@ -1,0 +1,113 @@
+"""Arrow-statement claims for Herman's self-stabilizing ring.
+
+One hand-derived progress statement in the paper's style, rigorous for
+every odd ``n`` and coin bias ``p``:
+
+    Top --1-->_{1 - p^n - (1-p)^n} Reduced
+
+where ``Top`` is the round-fresh all-tokens region (all bits equal —
+the classic worst start) and ``Reduced`` is the region with fewer than
+``n`` tokens.  Justification: from ``Top`` every process holds a token,
+so the round commits ``n`` independent coin flips and installs them
+within one time unit of Unit-Time scheduling; the new configuration
+stays in ``Top`` exactly when all ``n`` flips agree, which has
+probability ``p^n + (1-p)^n``.
+
+Because a failed round lands back in ``Top``, the paper's retry
+recursion (Section 6.2) applies verbatim and bounds the expected time
+to leave ``Top`` by ``1 / (1 - p^n - (1-p)^n)`` — ``4/3`` for the fair
+coin on the default ``n = 3`` ring.
+
+At ``n = 3`` the token count is 1 or 3, so ``Reduced`` *is* the legal
+single-token region and the bound is an expected-self-stabilization
+bound.  For larger rings the claim bounds the first token collapse;
+composing collapse statements level by level (as the election does) is
+the natural extension and is tracked in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algorithms.herman.automaton import token_count
+from repro.algorithms.herman.state import HermanState
+from repro.errors import ProofError
+from repro.proofs.expected_time import RetryBranch, RetryRecursion
+from repro.proofs.statements import ArrowStatement, StateClass
+
+#: The schema name (same Unit-Time notion as the other case studies).
+HERMAN_SCHEMA = "Unit-Time"
+
+
+def at_top(state: HermanState) -> bool:
+    """Round-fresh with a token everywhere (all bits equal)."""
+    return all(commit is None for commit in state.commits) and (
+        len(set(state.bits)) == 1
+    )
+
+
+def in_reduced(state: HermanState) -> bool:
+    """Fewer than ``n`` tokens: the first collapse has happened."""
+    return token_count(state) < state.n
+
+
+def stabilized(state: HermanState) -> bool:
+    """The legal configuration: exactly one token circulates."""
+    return token_count(state) == 1
+
+
+#: ``Top``: every process holds a token, round fresh.
+TOP_CLASS = StateClass("Top", at_top)
+#: ``Reduced``: the token count has dropped below ``n``.
+REDUCED_CLASS = StateClass("Reduced", in_reduced)
+#: ``Stable``: the single-token legal region.
+STABLE_CLASS = StateClass("Stable", stabilized)
+
+
+def collapse_probability(n: int, bias: Fraction) -> Fraction:
+    """``1 - p^n - (1-p)^n``: one round breaks the all-equal pattern."""
+    if n < 3 or n % 2 == 0:
+        raise ProofError(
+            f"Herman's ring needs an odd number of processes >= 3, got {n}"
+        )
+    if not Fraction(0) < bias < Fraction(1):
+        raise ProofError(
+            f"the coin bias must lie strictly between 0 and 1, got {bias}"
+        )
+    return 1 - bias**n - (1 - bias) ** n
+
+
+def herman_progress_statement(
+    n: int, bias: Fraction = Fraction(1, 2)
+) -> ArrowStatement:
+    """``Top --1-->_{1 - p^n - (1-p)^n} Reduced``."""
+    return ArrowStatement(
+        source=TOP_CLASS,
+        target=REDUCED_CLASS,
+        time_bound=1,
+        probability=collapse_probability(n, bias),
+        schema_name=HERMAN_SCHEMA,
+    )
+
+
+def herman_expected_time_bound(
+    n: int, bias: Fraction = Fraction(1, 2)
+) -> Fraction:
+    """The retry-recursion bound on the expected time to ``Reduced``.
+
+    A failed round returns to ``Top``, so the recursion is exact in
+    the paper's sense: ``E <= 1 / (1 - p^n - (1-p)^n)``.
+    """
+    statement = herman_progress_statement(n, bias)
+    recursion = RetryRecursion(
+        [
+            RetryBranch.of(
+                statement.probability, statement.time_bound, retries=False
+            ),
+            RetryBranch.of(
+                1 - statement.probability, statement.time_bound,
+                retries=True,
+            ),
+        ]
+    )
+    return recursion.solve()

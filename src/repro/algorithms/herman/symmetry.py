@@ -1,0 +1,121 @@
+"""Herman's ring symmetries as compile-time quotients.
+
+Herman's protocol is invariant under **rotation**: relabelling process
+``i`` to ``i - k`` preserves left-neighbour adjacency and orientation,
+so it maps transitions to transitions with identical probabilities and
+time advances — rotation is a strict automorphism of the directed
+dynamics.
+
+**Reflection** is subtler than in Lehmann-Rabin: the mirror reverses
+the ring's orientation, and Herman's update rule is directional (every
+process reads its *left* neighbour), so reflection composed with one
+round is one round of the *mirror-image* protocol, not of the original.
+Reflection does preserve the token structure (the token at ``i`` maps
+to a token at ``1 - i``) and therefore every shipped predicate — token
+count, stability, the ``Top``/``Reduced`` regions — is constant on
+dihedral orbits, which is exactly what the quotient-invariance spot
+check of ``CompiledSpace.flags`` probes.  As with the Lehmann-Rabin
+dihedral quotient, the full quotient is sound for quotient-level
+analyses over symmetry-invariant predicates, while per-adversary
+sampling keeps the exact untimed quotient of the model's
+``space_spec`` (docs/models.md spells out the contract).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algorithms.herman.automaton import herman_time_of
+from repro.algorithms.herman.state import HermanState
+from repro.statespace.compile import SpaceSpec
+
+_COMMIT_LETTERS = {None: 2, 0: 0, 1: 1}
+
+
+def _ring_word(state: HermanState) -> Tuple[Tuple[int, int], ...]:
+    """The ring as a comparable word, one letter per index.
+
+    Letter ``j`` packs ``(bits[j], commits[j])`` (with ``None`` mapped
+    above the bit values); rotating the state rotates the word, so the
+    least rotation of the word identifies the least rotation of the
+    state, and equal least words mean equal canonical states.
+    """
+    return tuple(
+        (bit, _COMMIT_LETTERS[commit])
+        for bit, commit in zip(state.bits, state.commits)
+    )
+
+
+def _least_rotation(word) -> Tuple[int, Tuple]:
+    """``(k, word rotated by k)`` minimising the rotated word."""
+    n = len(word)
+    doubled = word + word
+    best_k = 0
+    best = word
+    for k in range(1, n):
+        candidate = doubled[k : k + n]
+        if candidate < best:
+            best = candidate
+            best_k = k
+    return best_k, best
+
+
+def canonical_rotation(state: HermanState) -> HermanState:
+    """The lexicographically least rotation of ``state`` (clock kept)."""
+    k, _ = _least_rotation(_ring_word(state))
+    return state.rotated(k)
+
+
+def rotation_orbit(state: HermanState) -> Tuple[HermanState, ...]:
+    """Every rotation of ``state`` (duplicates for symmetric states)."""
+    return tuple(state.rotated(k) for k in range(state.n))
+
+
+def canonical_symmetry(state: HermanState) -> HermanState:
+    """The least dihedral image of ``state``: rotations and mirrors."""
+    k, best = _least_rotation(_ring_word(state))
+    mirrored = state.reflected()
+    mk, mbest = _least_rotation(_ring_word(mirrored))
+    if mbest < best:
+        return mirrored.rotated(mk)
+    return state.rotated(k)
+
+
+def symmetry_orbit(state: HermanState) -> Tuple[HermanState, ...]:
+    """All ``2n`` dihedral images of ``state`` (duplicates possible)."""
+    mirrored = state.reflected()
+    return tuple(state.rotated(k) for k in range(state.n)) + tuple(
+        mirrored.rotated(k) for k in range(state.n)
+    )
+
+
+def rotation_space_spec() -> SpaceSpec:
+    """The untimed quotient composed with the rotation quotient.
+
+    Rotation is a strict automorphism of Herman's directed dynamics;
+    this quotient is exact for the automaton and for rotation-invariant
+    predicates (all shipped region predicates are).
+    """
+    return SpaceSpec(
+        key=lambda state: state.untimed(),
+        time_of=herman_time_of,
+        canonical=canonical_rotation,
+        orbit=rotation_orbit,
+    )
+
+
+def ring_symmetry_spec() -> SpaceSpec:
+    """The untimed quotient composed with the full dihedral quotient.
+
+    ~``2n``-fold reduction.  Reflection reverses the update rule's
+    orientation (see the module docstring), so this spec serves
+    quotient-level analyses over symmetry-invariant predicates only —
+    token counts, region flags, reachable-space measurement — never
+    per-adversary sampling.
+    """
+    return SpaceSpec(
+        key=lambda state: state.untimed(),
+        time_of=herman_time_of,
+        canonical=canonical_symmetry,
+        orbit=symmetry_orbit,
+    )

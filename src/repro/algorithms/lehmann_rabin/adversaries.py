@@ -144,6 +144,35 @@ class SlowStarterPolicy(MarkovRoundPolicy[LRState]):
         return f"SlowStarterPolicy(victim={self._victim})"
 
 
+def lr_progress_potential(state: LRState) -> float:
+    """A progress potential for the Lehmann-Rabin ring.
+
+    Rewards states the algorithm wants: critical/pre-critical processes
+    dominate, then committed processes whose second resource is free
+    (one step from ``P``), then good processes, then committed ones.
+    The greedy minimiser
+    (:class:`~repro.adversary.greedy.GreedyMinimizerPolicy`) therefore
+    delays promising checks and manufactures contention — a sharper
+    version of the hand-written obstructionist heuristic.
+    """
+    from repro.algorithms.lehmann_rabin.regions import good_processes
+
+    score = 0.0
+    for i in range(state.n):
+        local = state.process(i)
+        if local.pc is PC.C:
+            score += 100.0
+        elif local.pc is PC.P:
+            score += 50.0
+        elif local.pc is PC.S:
+            second = state.resource_index(i, local.u.opp)
+            score += 8.0 if state.resource(second) == FREE else 2.0
+        elif local.pc is PC.W:
+            score += 1.0
+    score += 3.0 * len(good_processes(state))
+    return score
+
+
 def lr_adversary_family(
     view: LRProcessView,
     max_rounds: Optional[int] = None,
@@ -158,10 +187,7 @@ def lr_adversary_family(
     def round_based(policy: RoundPolicy[LRState]) -> RoundBasedAdversary:
         return RoundBasedAdversary(view, policy, max_rounds=max_rounds)
 
-    from repro.adversary.greedy import (
-        GreedyMinimizerPolicy,
-        lr_progress_potential,
-    )
+    from repro.adversary.greedy import GreedyMinimizerPolicy
 
     family: List[Tuple[str, Adversary[LRState]]] = [
         ("fifo", round_based(FifoRoundPolicy())),

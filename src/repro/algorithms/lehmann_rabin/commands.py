@@ -1,0 +1,169 @@
+"""The Lehmann-Rabin-specific exact CLI subcommands.
+
+``prove``, ``exact``, ``appendix``, and ``exhaustive`` are inherently
+about the paper's Section 6.2 derivation and its regions — they have no
+generic model counterpart, so their implementations live with the
+algorithm and the CLI reaches them through the ``lr`` model front-end
+(:func:`repro.models.lr.lr_exact_commands`).  The generic sampling
+subcommands (``check``/``verify``/...) stay in :mod:`repro.cli` and
+dispatch through the model registry instead.
+
+Each function takes the parsed CLI namespace and returns a process
+exit code, exactly as the historical ``repro.cli._cmd_*`` bodies did.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.reporting import banner
+
+    chain = lr.lehmann_rabin_proof()
+    print(banner("Section 6.2: the composed time bound"))
+    print(chain.ledger.explain(chain.final_id))
+    print(f"\nexpected-time recursion E[V] = "
+          f"{lr.section_6_2_recursion().solve()}")
+    print(f"overall expected-time bound   = {lr.expected_time_bound()}")
+    return 0
+
+
+def cmd_exact(args: argparse.Namespace) -> int:
+    from fractions import Fraction
+
+    from repro.algorithms import lehmann_rabin as lr
+    from repro.analysis.reporting import banner, format_table
+    from repro.mdp.bounded import min_reach_probability_rounds
+    from repro.parallel.seeds import rng_from_seed
+
+    def strip(state):
+        return state.untimed()
+
+    automaton = lr.lehmann_rabin_automaton(args.n)
+    view = lr.LRProcessView(args.n)
+    rng = rng_from_seed(args.seed)
+    cases = [
+        ("A.1", lr.P_CLASS, lr.in_critical, 1, Fraction(1)),
+        (
+            "A.3", lr.T_CLASS,
+            lambda s: lr.in_reduced_trying(s) or lr.in_critical(s),
+            2, Fraction(1),
+        ),
+        (
+            "A.15", lr.RT_CLASS,
+            lambda s: lr.in_flip_ready(s) or lr.in_good(s)
+            or lr.in_pre_critical(s),
+            3, Fraction(1),
+        ),
+        (
+            "A.14", lr.F_CLASS,
+            lambda s: lr.in_good(s) or lr.in_pre_critical(s),
+            2, Fraction(1, 2),
+        ),
+        ("A.11", lr.G_CLASS, lr.in_pre_critical, 5, Fraction(1, 4)),
+    ]
+    print(banner(f"Exact round-synchronous minima, ring size {args.n}"))
+    rows = []
+    failures = 0
+    for name, region, target, rounds, bound in cases:
+        starts = lr.sample_states_in(region, args.n, args.states, rng)
+        worst = min(
+            min_reach_probability_rounds(
+                automaton, view, target, start, rounds, strip
+            )
+            for start in starts
+        )
+        holds = worst >= bound
+        failures += not holds
+        rows.append((name, rounds, str(bound), str(worst),
+                     "ok" if holds else "FAILS"))
+    print(format_table(
+        ("proposition", "rounds", "paper bound", "exact worst min",
+         "verdict"),
+        rows,
+    ))
+    return 1 if failures else 0
+
+
+def cmd_appendix(args: argparse.Namespace) -> int:
+    from repro.algorithms.lehmann_rabin import appendix as ap
+    from repro.analysis.reporting import banner, format_table
+
+    print(banner(f"Appendix lemmas, exactly, ring size {args.n}"))
+    rows = []
+    failures = 0
+    for lemma in ap.conditional_lemmas(args.n):
+        result = ap.check_conditional_lemma(lemma, args.n)
+        failures += not result.holds
+        rows.append(
+            (
+                result.name,
+                result.states_checked,
+                f"t={lemma.time_bound}",
+                str(result.worst_value),
+                "ok" if result.holds else "FAILS",
+            )
+        )
+    for lemma in ap.probabilistic_lemmas(args.n):
+        result = ap.check_probabilistic_lemma(lemma, args.n)
+        failures += not result.holds
+        rows.append(
+            (
+                result.name,
+                result.states_checked,
+                f"t={lemma.time_bound}, p>={lemma.probability}",
+                str(result.worst_value),
+                "ok" if result.holds else "FAILS",
+            )
+        )
+    print(format_table(
+        ("lemma", "states", "claim", "exact worst value", "verdict"), rows
+    ))
+    return 1 if failures else 0
+
+
+def cmd_exhaustive(args: argparse.Namespace) -> int:
+    from repro.algorithms.lehmann_rabin.exhaustive import (
+        LEAF_SPECS,
+        exhaustive_composed_check,
+        exhaustive_leaf_check,
+    )
+    from repro.analysis.reporting import banner, format_table
+
+    print(banner("Exhaustive verification over entire regions (n = 3)"))
+    rows = []
+    failures = 0
+    for name in sorted(LEAF_SPECS):
+        result = exhaustive_leaf_check(name, 3)
+        failures += not result.holds
+        rows.append(
+            (
+                result.name,
+                result.region,
+                result.states_checked,
+                str(result.bound),
+                str(result.exact_minimum),
+                "ok" if result.holds else "FAILS",
+            )
+        )
+    if args.composed:
+        result = exhaustive_composed_check(3, rounds=13)
+        failures += not result.holds
+        rows.append(
+            (
+                "composed",
+                result.region,
+                result.states_checked,
+                str(result.bound),
+                str(result.exact_minimum),
+                "ok" if result.holds else "FAILS",
+            )
+        )
+    print(format_table(
+        ("proposition", "region", "states", "paper bound",
+         "exhaustive min", "verdict"),
+        rows,
+    ))
+    return 1 if failures else 0

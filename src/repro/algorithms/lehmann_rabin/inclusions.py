@@ -1,0 +1,49 @@
+"""The Section 6.2 region inclusions, registered and spot-checked.
+
+Lives with the algorithm (not in :mod:`repro.proofs`) because the
+inclusions are facts about the Lehmann-Rabin regions; the generic
+:class:`~repro.proofs.inclusion.InclusionRegistry` machinery they feed
+stays model-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.lehmann_rabin.regions import (
+    F_CLASS,
+    G_CLASS,
+    P_CLASS,
+    RT_CLASS,
+    T_CLASS,
+)
+from repro.proofs.inclusion import InclusionRegistry
+
+
+def lehmann_rabin_inclusions(samples: Iterable = ()) -> InclusionRegistry:
+    """The inclusions among the Section 6.2 regions, registered.
+
+    ``G ⊆ RT``, ``F ⊆ RT``, ``RT ⊆ T``, and ``P ⊆ T`` all follow
+    directly from the definitions; supplying sample states (e.g. random
+    consistent states) spot-checks them.
+    """
+    samples = list(samples)
+    registry = InclusionRegistry()
+    registry.declare(
+        G_CLASS, RT_CLASS, "G is defined as a subset of RT (Section 6.2)",
+        samples,
+    )
+    registry.declare(
+        F_CLASS, RT_CLASS, "F is defined as a subset of RT (Section 6.2)",
+        samples,
+    )
+    registry.declare(
+        RT_CLASS, T_CLASS, "RT is defined as a subset of T (Section 6.2)",
+        samples,
+    )
+    registry.declare(
+        P_CLASS, T_CLASS,
+        "a pre-critical process is in its trying region (Section 6.1)",
+        samples,
+    )
+    return registry

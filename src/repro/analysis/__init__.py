@@ -8,43 +8,35 @@ from repro.analysis.experiments import (
     horizon_sweep,
     ring_size_sweep,
 )
-from repro.analysis.phases import (
-    FAIL_FOURTH,
-    FAIL_THIRD,
-    SUCCESS,
-    PhaseOutcome,
-    PhaseStatistics,
-    classify_attempt,
-    sample_phase_statistics,
-)
 from repro.analysis.montecarlo import (
     LRExperimentSetup,
     check_all_leaves,
     check_lr_statement,
+    check_statement,
+    measure_expected_time,
     measure_lr_expected_time,
     start_states_for,
 )
 from repro.analysis.reporting import banner, format_fraction, format_table
 
+# The Lehmann-Rabin phase decomposition moved to
+# repro.algorithms.lehmann_rabin.phases with the model front-end split:
+# it is algorithm-specific analysis, not generic machinery.
+
 __all__ = [
     "AdversaryPowerRow",
-    "FAIL_FOURTH",
-    "FAIL_THIRD",
     "HorizonRow",
     "LRExperimentSetup",
-    "PhaseOutcome",
-    "PhaseStatistics",
-    "SUCCESS",
     "ScalingRow",
-    "classify_attempt",
-    "sample_phase_statistics",
     "adversary_power_comparison",
     "banner",
     "check_all_leaves",
     "check_lr_statement",
+    "check_statement",
     "format_fraction",
     "format_table",
     "horizon_sweep",
+    "measure_expected_time",
     "measure_lr_expected_time",
     "ring_size_sweep",
     "start_states_for",

@@ -1,9 +1,14 @@
-"""Parameter sweeps: ring size, adversary class, and horizon ablations.
+"""Parameter sweeps: instance size, adversary class, and horizon ablations.
 
 These produce the rows for the scaling and adversary-power benchmarks
 (experiments E11 in DESIGN.md).  The paper proves constant bounds that
 are independent of the ring size ``n``; the sweeps check that measured
 worst-case probabilities and times indeed do not degrade with ``n``.
+
+Every sweep takes a :class:`~repro.models.base.Model` (default: the
+``lr`` registry entry) and reads the composed statement, the adversary
+family, and the expected-time target through the model protocol, so
+``repro sweep --model herman`` reuses the identical machinery.
 """
 
 from __future__ import annotations
@@ -11,19 +16,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.algorithms import lehmann_rabin as lr
 from repro.contracts import GuardConfig
+from repro.models.base import Model
+from repro.models.registry import get_model
 from repro.parallel.pool import RunPolicy
 from repro.analysis.montecarlo import (
-    LRExperimentSetup,
-    check_lr_statement,
-    measure_lr_expected_time,
+    check_statement,
+    measure_expected_time,
 )
+
+
+def _resolve_model(model: Optional[Model]) -> Model:
+    return model if model is not None else get_model("lr")
 
 
 @dataclass(frozen=True)
 class ScalingRow:
-    """One row of the ring-size sweep."""
+    """One row of the instance-size sweep."""
 
     n: int
     min_success_estimate: float
@@ -42,19 +51,21 @@ def ring_size_sweep(
     guards: Optional[GuardConfig] = None,
     engine: str = "tree",
     state_budget: Optional[int] = None,
+    model: Optional[Model] = None,
 ) -> List[ScalingRow]:
-    """The composed statement and time-to-C across ring sizes.
+    """The composed statement and time-to-target across instance sizes.
 
     The paper's bounds are independent of ``n``; each row's
-    ``min_success_estimate`` should stay at or above ``claimed`` (1/8)
-    and the measured expected times should stay below 63.
+    ``min_success_estimate`` should stay at or above ``claimed`` (1/8
+    for Lehmann-Rabin) and the measured expected times should stay
+    below the model's claimed bound (63 for Lehmann-Rabin).
     """
-    chain = lr.lehmann_rabin_proof()
-    final = chain.final_statement
+    resolved = _resolve_model(model)
     rows: List[ScalingRow] = []
     for n in sizes:
-        setup = LRExperimentSetup.build(n)
-        report = check_lr_statement(
+        final = resolved.proof_chain(n).final_statement
+        setup = resolved.build(n)
+        report = check_statement(
             final,
             setup,
             seed=seed,
@@ -66,7 +77,7 @@ def ring_size_sweep(
             engine=engine,
             state_budget=state_budget,
         )
-        times = measure_lr_expected_time(
+        times = measure_expected_time(
             setup, seed=seed, samples=time_samples, workers=workers,
             policy=policy, guards=guards, engine=engine,
             state_budget=state_budget,
@@ -105,6 +116,7 @@ def adversary_power_comparison(
     guards: Optional[GuardConfig] = None,
     engine: str = "tree",
     state_budget: Optional[int] = None,
+    model: Optional[Model] = None,
 ) -> List[AdversaryPowerRow]:
     """Per-adversary success probability and time statistics.
 
@@ -112,10 +124,10 @@ def adversary_power_comparison(
     obstructionist) hurt compared to oblivious orders?  The paper's
     bound must survive all of them.
     """
-    chain = lr.lehmann_rabin_proof()
-    final = chain.final_statement
-    setup = LRExperimentSetup.build(n)
-    report = check_lr_statement(
+    resolved = _resolve_model(model)
+    final = resolved.proof_chain(n).final_statement
+    setup = resolved.build(n)
+    report = check_statement(
         final, setup, seed=seed, samples_per_pair=samples_per_pair,
         random_starts=4, workers=workers, policy=policy, guards=guards,
         engine=engine, state_budget=state_budget,
@@ -125,7 +137,7 @@ def adversary_power_comparison(
         per_adversary.setdefault(check.adversary_name, []).append(
             check.estimate
         )
-    times = measure_lr_expected_time(
+    times = measure_expected_time(
         setup, seed=seed, samples=time_samples, workers=workers,
         policy=policy, guards=guards, engine=engine,
         state_budget=state_budget,
@@ -164,22 +176,25 @@ def horizon_sweep(
     guards: Optional[GuardConfig] = None,
     engine: str = "tree",
     state_budget: Optional[int] = None,
+    model: Optional[Model] = None,
 ) -> List[HorizonRow]:
-    """Success probability of ``T --t--> C`` as the deadline ``t`` varies.
+    """Success probability of the composed arrow as the deadline varies.
 
-    Shows where the paper's (loose) constant 13 sits on the measured
-    curve: success probability should be monotone in ``t`` and already
-    exceed 1/8 well before 13.
+    Shows where the paper's (loose) constant sits on the measured
+    curve: success probability should be monotone in ``t`` and, for
+    Lehmann-Rabin, already exceed 1/8 well before 13.
     """
     from repro.proofs.statements import ArrowStatement
 
-    setup = LRExperimentSetup.build(n)
+    resolved = _resolve_model(model)
+    final = resolved.proof_chain(n).final_statement
+    setup = resolved.build(n)
     rows: List[HorizonRow] = []
     for bound in bounds:
         statement = ArrowStatement(
-            lr.T_CLASS, lr.C_CLASS, bound, 0, lr.SCHEMA_NAME
+            final.source, final.target, bound, 0, resolved.schema_name
         )
-        report = check_lr_statement(
+        report = check_statement(
             statement, setup, seed=seed, samples_per_pair=samples_per_pair,
             random_starts=4, workers=workers, policy=policy, guards=guards,
             engine=engine, state_budget=state_budget,

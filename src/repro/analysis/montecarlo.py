@@ -1,24 +1,27 @@
 """High-level Monte-Carlo experiment runner for arrow statements.
 
-Wraps :mod:`repro.proofs.verifier` with the Lehmann-Rabin specifics:
-building the automaton and adversary family for a ring size, sampling
-region start states, and aggregating per-claim results into the rows
-the benchmarks print.
+Wraps :mod:`repro.proofs.verifier` with the model-level specifics:
+building the automaton and adversary family for an instance size,
+sampling region start states, and aggregating per-claim results into
+the rows the benchmarks print.  All model knowledge flows through the
+:class:`~repro.models.base.Model` protocol — the historical
+Lehmann-Rabin entry points (``LRExperimentSetup``,
+``check_lr_statement``, ...) are thin aliases over the generic
+functions with the ``lr`` model's hooks, and their behaviour (spans,
+seed derivations, start-state selection) is byte-identical to the
+hard-wired originals.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro import obs
-from repro.adversary.base import Adversary, AdversarySchema
-from repro.adversary.unit_time import unit_time_schema
-from repro.algorithms import lehmann_rabin as lr
-from repro.automaton.automaton import ProbabilisticAutomaton
 from repro.contracts import GuardConfig
 from repro.errors import VerificationError
+from repro.models.base import ExperimentSetup, require_model
+from repro.models.lr import LRExperimentSetup
 from repro.parallel.pool import RunPolicy
 from repro.parallel.seeds import derive_rng, derive_seed
 from repro.proofs.statements import ArrowStatement
@@ -28,89 +31,43 @@ from repro.proofs.verifier import (
     check_arrow_by_sampling,
     measure_time_to_target,
 )
-from repro.statespace.compile import SpaceSpec
 
-
-@dataclass(frozen=True)
-class LRExperimentSetup:
-    """Everything needed to run Lehmann-Rabin experiments on one ring."""
-
-    n: int
-    automaton: ProbabilisticAutomaton[lr.LRState]
-    view: lr.LRProcessView
-    adversaries: Tuple[Tuple[str, Adversary[lr.LRState]], ...]
-    #: The schema the family is declared to range over; the guard layer
-    #: checks membership and probes execution closure against it.
-    schema: Optional[AdversarySchema] = None
-
-    def space_spec(self) -> SpaceSpec:
-        """The compile quotient for this ring: intern states up to the
-        clock (``LRState.untimed``) and read time advances off
-        ``lr_time_of``.  Lehmann-Rabin dynamics are time-invariant, so
-        the quotient is exact and keeps the compiled space finite."""
-        return SpaceSpec(
-            key=lambda state: state.untimed(), time_of=lr.lr_time_of
-        )
-
-    def symmetry_spec(self) -> SpaceSpec:
-        """The untimed quotient *plus* the ring's dihedral quotient.
-
-        Shrinks the compiled space by a factor approaching ``2n``
-        (fitting n=5 inside the default state budget), but is only
-        sound for quotient-level analyses and symmetry-invariant
-        predicates: the shipped adversary policies break ties by
-        process index and are not equivariant, so per-adversary
-        sampling must keep :meth:`space_spec`.  See
-        ``repro.algorithms.lehmann_rabin.symmetry``."""
-        return lr.ring_symmetry_spec()
-
-    @classmethod
-    def build(
-        cls,
-        n: int,
-        max_rounds: Optional[int] = None,
-        random_seeds: Sequence[int] = (1, 2, 3),
-    ) -> "LRExperimentSetup":
-        """Construct the automaton, view, and adversary family for ``n``."""
-        with obs.span("lr.setup_build", n=n):
-            view = lr.LRProcessView(n)
-            return cls(
-                n=n,
-                automaton=lr.lehmann_rabin_automaton(n),
-                view=view,
-                adversaries=tuple(
-                    lr.lr_adversary_family(
-                        view, max_rounds=max_rounds, random_seeds=random_seeds
-                    )
-                ),
-                schema=unit_time_schema(view),
-            )
+__all__ = [
+    "LRExperimentSetup",
+    "check_all_leaves",
+    "check_lr_statement",
+    "check_statement",
+    "measure_expected_time",
+    "measure_lr_expected_time",
+    "start_states_for",
+]
 
 
 def start_states_for(
     statement: ArrowStatement,
-    setup: LRExperimentSetup,
+    setup: ExperimentSetup,
     rng: random.Random,
     random_count: int = 6,
-) -> List[lr.LRState]:
+) -> List:
     """Start states in the statement's source region: canonical + random.
 
     Canonical states that happen to fall in the source region are always
-    included so the paper's pivotal configurations are covered; random
+    included so the model's pivotal configurations are covered; random
     invariant-consistent states fill out the quantifier.
     """
+    model = require_model(setup)
     states = [
         state
-        for state in lr.canonical_states(setup.n).values()
+        for state in model.canonical_states(setup.n).values()
         if statement.source.contains(state)
     ]
-    seen = {state.untimed() for state in states}
+    seen = {model.untimed(state) for state in states}
     if random_count > 0:
-        for state in lr.sample_states_in(
+        for state in model.sample_states_in(
             statement.source, setup.n, random_count, rng
         ):
-            if state.untimed() not in seen:
-                seen.add(state.untimed())
+            if model.untimed(state) not in seen:
+                seen.add(model.untimed(state))
                 states.append(state)
     if not states:
         raise VerificationError(
@@ -119,9 +76,9 @@ def start_states_for(
     return states
 
 
-def check_lr_statement(
+def check_statement(
     statement: ArrowStatement,
-    setup: LRExperimentSetup,
+    setup: ExperimentSetup,
     seed: int = 0,
     samples_per_pair: int = 120,
     random_starts: int = 6,
@@ -134,7 +91,7 @@ def check_lr_statement(
     engine: str = "tree",
     state_budget: Optional[int] = None,
 ) -> ArrowCheckReport:
-    """Monte-Carlo check of one arrow statement on a Lehmann-Rabin ring.
+    """Monte-Carlo check of one arrow statement on a model instance.
 
     Start-state selection and pair sampling draw from *independent*
     child seeds of ``seed``: changing ``random_starts`` only adds or
@@ -150,6 +107,7 @@ def check_lr_statement(
     evaluation strategy and ``state_budget`` the compile cap
     (``docs/statespace.md``); reports are byte-identical across engines.
     """
+    model = require_model(setup)
     starts_rng = derive_rng(seed, "starts")
     starts = start_states_for(statement, setup, starts_rng, random_starts)
     return check_arrow_by_sampling(
@@ -157,7 +115,7 @@ def check_lr_statement(
         statement,
         list(setup.adversaries),
         starts,
-        lr.lr_time_of,
+        model.time_of,
         samples_per_pair=samples_per_pair,
         max_steps=max_steps,
         seed=derive_seed(seed, "pairs"),
@@ -173,7 +131,7 @@ def check_lr_statement(
 
 
 def check_all_leaves(
-    setup: LRExperimentSetup,
+    setup: ExperimentSetup,
     seed: int = 0,
     samples_per_pair: int = 120,
     *,
@@ -184,11 +142,12 @@ def check_all_leaves(
     engine: str = "tree",
     state_budget: Optional[int] = None,
 ) -> Dict[str, ArrowCheckReport]:
-    """Check every Section 6.2 leaf statement; keyed by proposition name."""
+    """Check every leaf statement of the model; keyed by proposition."""
+    model = require_model(setup)
     reports: Dict[str, ArrowCheckReport] = {}
-    for name, statement in lr.leaf_statements().items():
-        with obs.span("lr.check_leaf", proposition=name):
-            reports[name] = check_lr_statement(
+    for name, statement in model.leaf_statements(setup.n).items():
+        with obs.span(f"{model.name}.check_leaf", proposition=name):
+            reports[name] = check_statement(
                 statement, setup, seed=seed,
                 samples_per_pair=samples_per_pair, workers=workers,
                 early_stop=early_stop, policy=policy, guards=guards,
@@ -197,8 +156,8 @@ def check_all_leaves(
     return reports
 
 
-def measure_lr_expected_time(
-    setup: LRExperimentSetup,
+def measure_expected_time(
+    setup: ExperimentSetup,
     seed: int = 0,
     samples: int = 150,
     max_steps: int = 30_000,
@@ -209,26 +168,31 @@ def measure_lr_expected_time(
     engine: str = "tree",
     state_budget: Optional[int] = None,
 ) -> Dict[str, TimeToTargetReport]:
-    """Measure time-to-critical from ``T`` states under every adversary.
+    """Measure time-to-target from source states under every adversary.
 
-    The paper's bound: expected time at most 63 for every Unit-Time
-    adversary.  Reports per-adversary sample means and maxima.  As in
-    :func:`check_lr_statement`, start selection and each adversary's
-    time sampling use independent child seeds of ``seed``.
+    The model's claimed bound (``Model.expected_time_bound``) must
+    dominate every Unit-Time adversary's mean; for Lehmann-Rabin that
+    is the paper's 63 to the critical region from ``T`` states.
+    Reports per-adversary sample means and maxima.  As in
+    :func:`check_statement`, start selection and each adversary's time
+    sampling use independent child seeds of ``seed``.
     """
+    model = require_model(setup)
     starts_rng = derive_rng(seed, "starts")
-    final = lr.leaf_statements()["A.3"]  # source class T
+    final = model.time_source_statement(setup.n)
     starts = start_states_for(final, setup, starts_rng, random_count=6)
     reports: Dict[str, TimeToTargetReport] = {}
-    with obs.span("lr.expected_time", n=setup.n, samples=samples):
+    with obs.span(
+        f"{model.name}.expected_time", n=setup.n, samples=samples
+    ):
         for name, adversary in setup.adversaries:
             reports[name] = measure_time_to_target(
                 setup.automaton,
                 name,
                 adversary,
                 starts,
-                lr.in_critical,
-                lr.lr_time_of,
+                model.target,
+                model.time_of,
                 samples=samples,
                 max_steps=max_steps,
                 seed=derive_seed(seed, "time", name),
@@ -241,3 +205,10 @@ def measure_lr_expected_time(
                 state_budget=state_budget,
             )
     return reports
+
+
+#: Historical Lehmann-Rabin names, kept as exact aliases: with a setup
+#: built by ``LRExperimentSetup.build`` these run the same code path,
+#: spans, and seed derivations as before the model front-end existed.
+check_lr_statement = check_statement
+measure_lr_expected_time = measure_expected_time

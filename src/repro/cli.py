@@ -21,8 +21,10 @@ plain-text report:
 * ``stats``          — an instrumented Lehmann-Rabin run: span tree and
   metric tables (samples drawn, steps simulated, value-iteration
   residuals);
-* ``audit``          — static well-formedness audit of the
-  Lehmann-Rabin automaton (Definition 2.1 obligations);
+* ``audit``          — static well-formedness audit of the selected
+  model's automaton (Definition 2.1 obligations);
+* ``models``         — list the registered case-study models with
+  their instance-size range, adversary family, and quotient support;
 * ``trace``          — run any other subcommand with instrumentation on
   and render its span tree and metric tables afterwards;
 * ``runs``           — list, show, and diff the provenance manifests
@@ -59,7 +61,11 @@ violations exit with the dedicated status 4 (see ``docs/contracts.md``).
 strategy — the historical tree walk, the compile-once interned state
 space, or its flattened array form sampling uniforms in blocks — and
 ``--state-budget`` caps the compile; reports are byte-identical
-whichever engine ran (see ``docs/statespace.md``).
+whichever engine ran (see ``docs/statespace.md``).  The sampling
+subcommands, ``audit``, and ``fuzz`` accept ``--model NAME`` to select
+a registered case study from :mod:`repro.models`; the default ``lr``
+is the paper's Lehmann-Rabin ring and reproduces the historical output
+byte for byte (see ``docs/models.md``).
 """
 
 from __future__ import annotations
@@ -101,6 +107,17 @@ exit status:
   5  engine divergence: a corpus replay or fuzz campaign saw two
      engines disagree, or an entry defied its expected classification
      (docs/corpus.md)
+"""
+
+MODELS_EPILOG = """\
+models:
+  the sampling subcommands (verify, check, chain, expected-time,
+  stats, sweep), audit, and fuzz take --model NAME to select a
+  registered case study; the default 'lr' is the paper's Lehmann-Rabin
+  ring and reproduces the historical output byte for byte.
+  'repro models' lists every registered model with its instance-size
+  range, adversary family, and quotient support (docs/models.md)
+
 """
 
 
@@ -163,32 +180,45 @@ def _quarantine_lines(*reports) -> list:
     return lines
 
 
-def _cmd_prove(args: argparse.Namespace) -> int:
-    from repro.algorithms import lehmann_rabin as lr
-    from repro.analysis.reporting import banner
+def _resolve_model(args: argparse.Namespace):
+    """The registry model named by ``--model``, with defaults filled in.
 
-    chain = lr.lehmann_rabin_proof()
-    print(banner("Section 6.2: the composed time bound"))
-    print(chain.ledger.explain(chain.final_id))
-    print(f"\nexpected-time recursion E[V] = "
-          f"{lr.section_6_2_recursion().solve()}")
-    print(f"overall expected-time bound   = {lr.expected_time_bound()}")
-    return 0
+    The parser leaves the model-dependent flags (``--n``, ``--prop``,
+    ``--sizes``) as ``None``; this resolves them to the selected
+    model's own defaults, so downstream code and the run manifest
+    always see concrete values.  Raises
+    :class:`~repro.errors.UnknownModelError` for unregistered names
+    (mapped to exit status 2 in :func:`main`).
+    """
+    from repro.models import get_model
+
+    model = get_model(getattr(args, "model", "lr"))
+    if hasattr(args, "n"):
+        if args.n is None:
+            args.n = model.n_default
+        model.validate_n(args.n)
+    if getattr(args, "prop", 0) is None:
+        args.prop = model.default_prop
+    if getattr(args, "sizes", 0) is None:
+        args.sizes = ",".join(str(size) for size in model.sweep_sizes)
+    return model
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    from repro.models.lr import lr_exact_commands
+
+    return lr_exact_commands().cmd_prove(args)
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.algorithms import lehmann_rabin as lr
-    from repro.analysis.montecarlo import (
-        LRExperimentSetup,
-        check_all_leaves,
-        check_lr_statement,
-    )
+    from repro.analysis.montecarlo import check_all_leaves, check_statement
     from repro.analysis.reporting import arrow_report_row, banner, format_table
 
+    model = _resolve_model(args)
     policy = _build_policy(args)
     guards = _build_guards(args)
-    setup = LRExperimentSetup.build(args.n)
-    print(banner(f"Monte-Carlo verification, ring size {args.n}"))
+    setup = model.build(args.n)
+    print(banner(f"Monte-Carlo verification, {model.size_noun} {args.n}"))
     with _checkpoint_scope(policy):
         reports = check_all_leaves(
             setup, seed=args.seed, samples_per_pair=args.samples,
@@ -200,8 +230,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         for name, report in sorted(reports.items()):
             failures += report.refuted
             rows.append(arrow_report_row(f"Prop {name}", report))
-        chain = lr.lehmann_rabin_proof()
-        final = check_lr_statement(
+        chain = model.proof_chain(args.n)
+        final = check_statement(
             chain.final_statement, setup, seed=args.seed,
             samples_per_pair=args.samples, workers=args.workers,
             policy=policy, guards=guards, engine=args.engine,
@@ -220,29 +250,31 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return EXIT_CONTRACT if skips else 0
 
 
-def _resolve_statement(prop: str):
+def _resolve_statement(model, n: int, prop: str):
     """The arrow statement named ``prop`` ('composed' or a leaf name).
 
-    Returns ``None`` when the name is unknown (the caller reports the
+    ``composed`` always names the model's end-to-end chain conclusion;
+    anything else is looked up among the leaf statements.  Returns
+    ``None`` when the name is unknown (the caller reports the
     available choices).
     """
-    from repro.algorithms import lehmann_rabin as lr
-
     if prop == "composed":
-        return lr.lehmann_rabin_proof().final_statement
-    return lr.leaf_statements().get(prop)
+        return model.proof_chain(n).final_statement
+    return model.leaf_statements(n).get(prop)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
 
-    from repro.algorithms import lehmann_rabin as lr
-    from repro.analysis.montecarlo import LRExperimentSetup, check_lr_statement
+    from repro.analysis.montecarlo import check_statement
     from repro.analysis.reporting import arrow_report_row, banner, format_table
 
-    statement = _resolve_statement(args.prop)
+    model = _resolve_model(args)
+    statement = _resolve_statement(model, args.n, args.prop)
     if statement is None:
-        choices = ", ".join(["composed", *sorted(lr.leaf_statements())])
+        choices = ", ".join(
+            ["composed", *sorted(model.leaf_statements(args.n))]
+        )
         print(
             f"repro: error: unknown proposition {args.prop!r} "
             f"(choices: {choices})",
@@ -251,9 +283,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 2
     policy = _build_policy(args)
     guards = _build_guards(args)
-    setup = LRExperimentSetup.build(args.n)
+    setup = model.build(args.n)
     with _checkpoint_scope(policy):
-        report = check_lr_statement(
+        report = check_statement(
             statement, setup, seed=args.seed, samples_per_pair=args.samples,
             workers=args.workers, early_stop=args.early_stop, policy=policy,
             guards=guards, engine=args.engine,
@@ -263,7 +295,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
     else:
         print(banner(
-            f"Monte-Carlo check of {args.prop}, ring size {args.n}"
+            f"Monte-Carlo check of {args.prop}, {model.size_noun} {args.n}"
         ))
         print(format_table(
             ("claim", "statement", "worst estimate", "verdict"),
@@ -280,19 +312,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_chain(args: argparse.Namespace) -> int:
-    from repro.algorithms import lehmann_rabin as lr
-    from repro.analysis.montecarlo import LRExperimentSetup, check_lr_statement
+    from repro.analysis.montecarlo import check_statement
     from repro.analysis.reporting import banner
 
-    chain = lr.lehmann_rabin_proof()
-    setup = LRExperimentSetup.build(args.n)
-    print(banner(f"The composed chain, ring size {args.n}"))
+    model = _resolve_model(args)
+    chain = model.proof_chain(args.n)
+    setup = model.build(args.n)
+    print(banner(f"The composed chain, {model.size_noun} {args.n}"))
     print(chain.ledger.explain(chain.final_id))
     print()
     policy = _build_policy(args)
     guards = _build_guards(args)
     with _checkpoint_scope(policy):
-        report = check_lr_statement(
+        report = check_statement(
             chain.final_statement, setup, seed=args.seed,
             samples_per_pair=args.samples, workers=args.workers,
             early_stop=args.early_stop, policy=policy, guards=guards,
@@ -308,114 +340,30 @@ def _cmd_chain(args: argparse.Namespace) -> int:
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:
-    from fractions import Fraction
+    from repro.models.lr import lr_exact_commands
 
-    from repro.algorithms import lehmann_rabin as lr
-    from repro.analysis.reporting import banner, format_table
-    from repro.mdp.bounded import min_reach_probability_rounds
-    from repro.parallel.seeds import rng_from_seed
-
-    def strip(state):
-        return state.untimed()
-
-    automaton = lr.lehmann_rabin_automaton(args.n)
-    view = lr.LRProcessView(args.n)
-    rng = rng_from_seed(args.seed)
-    cases = [
-        ("A.1", lr.P_CLASS, lr.in_critical, 1, Fraction(1)),
-        (
-            "A.3", lr.T_CLASS,
-            lambda s: lr.in_reduced_trying(s) or lr.in_critical(s),
-            2, Fraction(1),
-        ),
-        (
-            "A.15", lr.RT_CLASS,
-            lambda s: lr.in_flip_ready(s) or lr.in_good(s)
-            or lr.in_pre_critical(s),
-            3, Fraction(1),
-        ),
-        (
-            "A.14", lr.F_CLASS,
-            lambda s: lr.in_good(s) or lr.in_pre_critical(s),
-            2, Fraction(1, 2),
-        ),
-        ("A.11", lr.G_CLASS, lr.in_pre_critical, 5, Fraction(1, 4)),
-    ]
-    print(banner(f"Exact round-synchronous minima, ring size {args.n}"))
-    rows = []
-    failures = 0
-    for name, region, target, rounds, bound in cases:
-        starts = lr.sample_states_in(region, args.n, args.states, rng)
-        worst = min(
-            min_reach_probability_rounds(
-                automaton, view, target, start, rounds, strip
-            )
-            for start in starts
-        )
-        holds = worst >= bound
-        failures += not holds
-        rows.append((name, rounds, str(bound), str(worst),
-                     "ok" if holds else "FAILS"))
-    print(format_table(
-        ("proposition", "rounds", "paper bound", "exact worst min",
-         "verdict"),
-        rows,
-    ))
-    return 1 if failures else 0
+    return lr_exact_commands().cmd_exact(args)
 
 
 def _cmd_appendix(args: argparse.Namespace) -> int:
-    from repro.algorithms.lehmann_rabin import appendix as ap
-    from repro.analysis.reporting import banner, format_table
+    from repro.models.lr import lr_exact_commands
 
-    print(banner(f"Appendix lemmas, exactly, ring size {args.n}"))
-    rows = []
-    failures = 0
-    for lemma in ap.conditional_lemmas(args.n):
-        result = ap.check_conditional_lemma(lemma, args.n)
-        failures += not result.holds
-        rows.append(
-            (
-                result.name,
-                result.states_checked,
-                f"t={lemma.time_bound}",
-                str(result.worst_value),
-                "ok" if result.holds else "FAILS",
-            )
-        )
-    for lemma in ap.probabilistic_lemmas(args.n):
-        result = ap.check_probabilistic_lemma(lemma, args.n)
-        failures += not result.holds
-        rows.append(
-            (
-                result.name,
-                result.states_checked,
-                f"t={lemma.time_bound}, p>={lemma.probability}",
-                str(result.worst_value),
-                "ok" if result.holds else "FAILS",
-            )
-        )
-    print(format_table(
-        ("lemma", "states", "claim", "exact worst value", "verdict"), rows
-    ))
-    return 1 if failures else 0
+    return lr_exact_commands().cmd_appendix(args)
 
 
 def _cmd_expected_time(args: argparse.Namespace) -> int:
-    from repro.algorithms import lehmann_rabin as lr
-    from repro.analysis.montecarlo import (
-        LRExperimentSetup,
-        measure_lr_expected_time,
-    )
+    from repro.analysis.montecarlo import measure_expected_time
     from repro.analysis.reporting import banner, format_table, time_report_row
 
-    setup = LRExperimentSetup.build(args.n)
-    print(banner(f"Time to the critical region, ring size {args.n} "
-                 f"(bound: {lr.expected_time_bound()})"))
+    model = _resolve_model(args)
+    bound = model.expected_time_bound(args.n)
+    setup = model.build(args.n)
+    print(banner(f"Time to {model.target_label}, {model.size_noun} {args.n} "
+                 f"(bound: {bound})"))
     policy = _build_policy(args)
     guards = _build_guards(args)
     with _checkpoint_scope(policy):
-        reports = measure_lr_expected_time(
+        reports = measure_expected_time(
             setup, seed=args.seed, samples=args.samples,
             workers=args.workers, policy=policy, guards=guards,
             engine=args.engine, state_budget=args.state_budget,
@@ -432,7 +380,7 @@ def _cmd_expected_time(args: argparse.Namespace) -> int:
             failures += verdict == "FAILS"
             rows.append(time_report_row(name, report) + (verdict,))
             continue
-        ok = report.unreached == 0 and report.mean <= 63.0
+        ok = report.unreached == 0 and report.mean <= float(bound)
         failures += not ok
         rows.append(time_report_row(name, report) + ("ok" if ok else "FAILS",))
     print(format_table(
@@ -451,19 +399,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import horizon_sweep, ring_size_sweep
     from repro.analysis.reporting import banner, format_table
 
+    model = _resolve_model(args)
     policy = _build_policy(args)
     guards = _build_guards(args)
     sizes = tuple(int(s) for s in args.sizes.split(","))
-    print(banner("Ring-size sweep"))
+    final = model.proof_chain(model.n_default).final_statement
+    source, target = final.source.name, final.target.name
+    print(banner(f"{model.sweep_noun} sweep"))
     with _checkpoint_scope(policy):
         rows = ring_size_sweep(
             sizes=sizes, seed=args.seed, samples_per_pair=args.samples,
             time_samples=args.samples, workers=args.workers, policy=policy,
             guards=guards, engine=args.engine,
-            state_budget=args.state_budget,
+            state_budget=args.state_budget, model=model,
         )
     print(format_table(
-        ("n", "min P[T -13-> C]", "claimed", "worst mean time"),
+        ("n", f"min P[{source} -{final.time_bound}-> {target}]",
+         "claimed", "worst mean time"),
         [
             (r.n, f"{r.min_success_estimate:.3f}", f"{r.claimed:.3f}",
              f"{r.mean_time_to_c:.2f}")
@@ -471,15 +423,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ],
     ))
     print()
-    print(banner("Deadline sweep (n = 3)"))
+    print(banner(f"Deadline sweep (n = {model.n_default})"))
     with _checkpoint_scope(policy):
         hrows = horizon_sweep(
-            seed=args.seed, samples_per_pair=args.samples,
+            n=model.n_default, seed=args.seed,
+            samples_per_pair=args.samples,
             workers=args.workers, policy=policy, guards=guards,
             engine=args.engine, state_budget=args.state_budget,
+            model=model,
         )
     print(format_table(
-        ("deadline", "min P[T -t-> C]"),
+        ("deadline", f"min P[{source} -t-> {target}]"),
         [(r.time_bound, f"{r.min_success_estimate:.3f}") for r in hrows],
     ))
     return 0
@@ -572,8 +526,7 @@ def _write_trace(registry, path: str, reports: Sequence[dict] = ()) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro import obs
-    from repro.algorithms import lehmann_rabin as lr
-    from repro.analysis.montecarlo import LRExperimentSetup, check_all_leaves
+    from repro.analysis.montecarlo import check_all_leaves
     from repro.analysis.reporting import banner
     from repro.mdp.expected_time import extremal_expected_time_rounds
     from repro.obs.profile import profile_tracer
@@ -583,13 +536,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         render_span_tree,
     )
 
+    model = _resolve_model(args)
+    target_name = model.proof_chain(args.n).final_statement.target.name
     policy = _build_policy(args)
     guards = _build_guards(args)
     with obs.recording() as registry, _checkpoint_scope(policy):
         with obs.span(
             "stats.run", n=args.n, seed=args.seed, samples=args.samples
         ):
-            setup = LRExperimentSetup.build(args.n)
+            setup = model.build(args.n)
             reports = check_all_leaves(
                 setup, seed=args.seed, samples_per_pair=args.samples,
                 workers=args.workers, policy=policy, guards=guards,
@@ -599,23 +554,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 worst_rounds = extremal_expected_time_rounds(
                     setup.automaton,
                     setup.view,
-                    lr.in_critical,
-                    lr.canonical_states(args.n)["one_trying"],
-                    lambda state: state.untimed(),
+                    model.target,
+                    model.mdp_reference(args.n),
+                    model.untimed,
                     maximise=True,
                 )
     # Stash the recording for the run manifest main() writes.
     args.final_metrics = metric_records(registry.metrics)
     args.final_profile = profile_tracer(registry.tracer)
     failures = sum(report.refuted for report in reports.values())
-    print(banner(f"Instrumented Lehmann-Rabin run, ring size {args.n}"))
+    print(banner(f"Instrumented {model.title} run, "
+                 f"{model.size_noun} {args.n}"))
     print("\nspan tree")
     print("---------")
     print(render_span_tree(registry.tracer))
     print()
     print(render_metric_tables(registry.metrics))
-    print(f"\nworst-case expected rounds to C (round-synchronous): "
-          f"{worst_rounds:.4f}")
+    print(f"\nworst-case expected rounds to {target_name} "
+          f"(round-synchronous): {worst_rounds:.4f}")
     print(f"refuted statements: {failures}")
     skips = _quarantine_lines(*reports.values())
     if skips:
@@ -633,18 +589,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_audit(args: argparse.Namespace) -> int:
     import json
 
-    from repro.algorithms import lehmann_rabin as lr
     from repro.analysis.reporting import banner
     from repro.contracts import audit_automaton
 
-    automaton = lr.lehmann_rabin_automaton(args.n)
+    model = _resolve_model(args)
+    automaton = model.build(args.n).automaton
     report = audit_automaton(automaton, horizon=args.horizon)
     if args.json:
         print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
     else:
         print(banner(
-            f"Definition 2.1 audit of the Lehmann-Rabin automaton, "
-            f"ring size {args.n}"
+            f"Definition 2.1 audit of the {model.title} automaton, "
+            f"{model.size_noun} {args.n}"
         ))
         print(report.summary_line())
         for finding in report.findings:
@@ -658,6 +614,58 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 "coverage"
             )
     return 0 if report.ok else EXIT_CONTRACT
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.reporting import banner, format_table
+    from repro.models import registered_models
+
+    records = []
+    for model in registered_models():
+        setup = model.build(model.n_default)
+        records.append({
+            "name": model.name,
+            "title": model.title,
+            "description": model.description,
+            "schema": model.schema_name,
+            "n_default": model.n_default,
+            "n_range": model.n_range,
+            "default_prop": model.default_prop,
+            "adversaries": [name for name, _ in setup.adversaries],
+            "quotient": (
+                "untimed+symmetry" if model.symmetry_spec is not None
+                else "untimed"
+            ),
+            "sweep_sizes": list(model.sweep_sizes),
+        })
+    if args.json:
+        print(json.dumps(records, sort_keys=True, indent=2))
+        return 0
+    print(banner("Registered models"))
+    print(format_table(
+        ("model", "title", "default n", "n-range", "adversaries",
+         "quotient"),
+        [
+            (
+                record["name"],
+                record["title"],
+                record["n_default"],
+                record["n_range"],
+                len(record["adversaries"]),
+                record["quotient"],
+            )
+            for record in records
+        ],
+    ))
+    for record in records:
+        print(f"\n{record['name']}: {record['description']}")
+        print(f"  adversary family: {', '.join(record['adversaries'])}")
+        print(f"  schema: {record['schema']}; default proposition: "
+              f"{record['default_prop']}; sweep sizes: "
+              f"{','.join(str(s) for s in record['sweep_sizes'])}")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -779,7 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of Lynch/Saias/Segala, 'Proving Time Bounds "
             "for Randomized Distributed Algorithms' (PODC 1994)."
         ),
-        epilog=EXIT_STATUS_EPILOG,
+        epilog=MODELS_EPILOG + EXIT_STATUS_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -875,8 +883,19 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default: 200000)",
         )
 
+    def model_flag(p):
+        p.add_argument(
+            "--model", default="lr", metavar="NAME",
+            help="registered case-study model to verify (default: "
+                 "%(default)s; list them with 'repro models')",
+        )
+
     def common(p, samples_default=80):
-        p.add_argument("--n", type=int, default=3, help="ring size")
+        model_flag(p)
+        p.add_argument(
+            "--n", type=int, default=None,
+            help="instance size (default: the model's own, 3 for lr)",
+        )
         p.add_argument("--seed", type=int, default=0, help="RNG seed")
         p.add_argument(
             "--samples", type=int, default=samples_default,
@@ -901,8 +920,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p)
     p.add_argument(
-        "--prop", default="composed",
-        help="leaf proposition name (e.g. A.14) or 'composed'",
+        "--prop", default=None,
+        help="leaf proposition name (e.g. A.14) or 'composed' "
+             "(default: the model's own, 'composed' for lr)",
     )
     p.add_argument(
         "--early-stop", action="store_true", dest="early_stop",
@@ -939,8 +959,13 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=_cmd_expected_time)
 
-    p = add_command("sweep", help="ring-size and deadline ablations")
-    p.add_argument("--sizes", default="3,4,5")
+    p = add_command("sweep", help="instance-size and deadline ablations")
+    model_flag(p)
+    p.add_argument(
+        "--sizes", default=None,
+        help="comma-separated instance sizes (default: the model's "
+             "own, 3,4,5 for lr)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--samples", type=int, default=40)
     p.add_argument("--workers", type=int, default=1)
@@ -958,6 +983,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_command(
         "independence", help="Example 4.1 / Proposition 4.2, exactly"
     ).set_defaults(func=_cmd_independence)
+
+    p = sub.add_parser(
+        "models",
+        help="list the registered case-study models "
+             "(see docs/models.md)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the model table as canonical JSON",
+    )
+    p.set_defaults(func=_cmd_models, manages_tracing=True,
+                   skip_manifest=True)
 
     p = add_command(
         "exhaustive",
@@ -980,9 +1017,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add_command(
         "audit",
-        help="static Definition 2.1 audit of the Lehmann-Rabin automaton",
+        help="static Definition 2.1 audit of the selected model's "
+             "automaton",
     )
-    p.add_argument("--n", type=int, default=3, help="ring size")
+    model_flag(p)
+    p.add_argument(
+        "--n", type=int, default=None,
+        help="instance size (default: the model's own, 3 for lr)",
+    )
     p.add_argument(
         "--horizon", type=int, default=2000,
         help="cap on reachable states to expand before reporting "
@@ -1158,6 +1200,13 @@ def build_parser() -> argparse.ArgumentParser:
              "and reports a divergence",
     )
     p.add_argument(
+        "--model", default=None, metavar="NAME",
+        help="also target this registered model's automaton: every "
+             "generated case runs the model with a deterministically "
+             "mutated (or healthy) build (default: the tiny synthetic "
+             "automaton only)",
+    )
+    p.add_argument(
         "--emit", metavar="FILE.jsonl", default=None,
         help="append ready-to-commit corpus records for any findings "
              "(replay with 'repro corpus run --corpus-file FILE.jsonl')",
@@ -1288,48 +1337,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_exhaustive(args: argparse.Namespace) -> int:
-    from repro.algorithms.lehmann_rabin.exhaustive import (
-        LEAF_SPECS,
-        exhaustive_composed_check,
-        exhaustive_leaf_check,
-    )
-    from repro.analysis.reporting import banner, format_table
+    from repro.models.lr import lr_exact_commands
 
-    print(banner("Exhaustive verification over entire regions (n = 3)"))
-    rows = []
-    failures = 0
-    for name in sorted(LEAF_SPECS):
-        result = exhaustive_leaf_check(name, 3)
-        failures += not result.holds
-        rows.append(
-            (
-                result.name,
-                result.region,
-                result.states_checked,
-                str(result.bound),
-                str(result.exact_minimum),
-                "ok" if result.holds else "FAILS",
-            )
-        )
-    if args.composed:
-        result = exhaustive_composed_check(3, rounds=13)
-        failures += not result.holds
-        rows.append(
-            (
-                "composed",
-                result.region,
-                result.states_checked,
-                str(result.bound),
-                str(result.exact_minimum),
-                "ok" if result.holds else "FAILS",
-            )
-        )
-    print(format_table(
-        ("proposition", "region", "states", "paper bound",
-         "exhaustive min", "verdict"),
-        rows,
-    ))
-    return 1 if failures else 0
+    return lr_exact_commands().cmd_exhaustive(args)
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
@@ -1476,6 +1486,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             budget=args.budget,
             workers=args.workers,
             sabotage=args.sabotage,
+            model=args.model,
         )
     except VerificationError as error:
         print(f"repro: error: {error}", file=sys.stderr)
@@ -1645,14 +1656,40 @@ _NON_SCOPE_KEYS = frozenset({
 
 
 def _manifest_config(args: argparse.Namespace) -> dict:
-    """The result-affecting configuration a manifest's scope hashes."""
-    return {
+    """The result-affecting configuration a manifest's scope hashes.
+
+    The model-dependent flags the parser leaves as ``None`` (``--n``,
+    ``--prop``, ``--sizes``) are resolved to the selected model's
+    defaults, so a run spelling out a default and one omitting it share
+    a scope fingerprint — and the job service's result cache is keyed
+    per model.
+    """
+    config = {
         key: value
         for key, value in sorted(vars(args).items())
         if key not in _NON_SCOPE_KEYS
         and not key.startswith("final_")
         and not callable(value)
     }
+    if config.get("model"):
+        from repro.errors import UnknownModelError
+        from repro.models import get_model
+
+        try:
+            model = get_model(config["model"])
+        except UnknownModelError:
+            # The run itself already failed with a usage error; hash
+            # the unresolved flags rather than fail manifest writing.
+            return config
+        if "n" in config and config["n"] is None:
+            config["n"] = model.n_default
+        if "prop" in config and config["prop"] is None:
+            config["prop"] = model.default_prop
+        if "sizes" in config and config["sizes"] is None:
+            config["sizes"] = ",".join(
+                str(size) for size in model.sweep_sizes
+            )
+    return config
 
 
 def _maybe_write_manifest(
@@ -1736,6 +1773,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         PoolFaultError,
         ServiceError,
         StateBudgetExceeded,
+        UnknownModelError,
     )
 
     parser = build_parser()
@@ -1748,6 +1786,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ContractViolation as error:
         print(f"repro: contract violation: {error}", file=sys.stderr)
         code = EXIT_CONTRACT
+    except UnknownModelError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        code = 2
     except StateBudgetExceeded as error:
         print(f"repro: error: {error}", file=sys.stderr)
         code = 2

@@ -32,7 +32,7 @@ from typing import Callable, Optional, Tuple
 
 from repro.adversary.base import AdversarySchema, FunctionAdversary, ShiftedAdversary
 from repro.adversary.deterministic import FirstEnabledAdversary
-from repro.automaton.automaton import ExplicitAutomaton
+from repro.automaton.automaton import ExplicitAutomaton, ProbabilisticAutomaton
 from repro.automaton.signature import ActionSignature
 from repro.automaton.transition import Transition
 from repro.probability.space import FiniteDistribution
@@ -85,6 +85,108 @@ def broken_automaton() -> ExplicitAutomaton:
     """The ``a --go-->`` target sums to 99/100: a Definition 2.1 breach."""
     return tiny_automaton(
         smuggled_distribution({"b": Fraction(49, 100), "c": Fraction(1, 2)})
+    )
+
+
+class _SkimmedAutomaton(ProbabilisticAutomaton):
+    """A proxy skimming 1/100 off every probabilistic branch.
+
+    Wraps any automaton — including the registry models' functional,
+    lazily-expanded ones — and rewrites each multi-support transition
+    target through :func:`smuggled_distribution`, shaving ``1/100`` off
+    the first weight so the target sums to ``99/100``.  A pure
+    function of the wrapped automaton's transition order, so every
+    engine and worker sees the identical mutation.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    @property
+    def start_states(self):
+        return self._inner.start_states
+
+    @property
+    def signature(self):
+        return self._inner.signature
+
+    def transitions(self, state):
+        out = []
+        for step in self._inner.transitions(state):
+            if len(step.target.support) > 1:
+                weights = dict(step.target.items())
+                first = next(iter(weights))
+                weights[first] = weights[first] - Fraction(1, 100)
+                out.append(
+                    Transition(
+                        step.source,
+                        step.action,
+                        smuggled_distribution(weights),
+                    )
+                )
+            else:
+                out.append(step)
+        return tuple(out)
+
+
+def skimmed_automaton(automaton) -> ProbabilisticAutomaton:
+    """``automaton`` with every coin flip skimmed to sum 99/100."""
+    return _SkimmedAutomaton(automaton)
+
+
+def unknown_model_case() -> "CheckCase":
+    """``--model`` resolution failure as a corpus defect.
+
+    The builder resolves a name no model registered, so
+    :class:`~repro.errors.UnknownModelError` escapes before any
+    sampling starts — pinning that registry failures classify as usage
+    errors identically under every engine and guard mode.
+    """
+
+    def automaton_factory():
+        from repro.models import get_model
+
+        return get_model("no-such-model").build(3).automaton
+
+    return CheckCase(
+        automaton_factory=automaton_factory,
+        adversaries_factory=first_enabled_family,
+    )
+
+
+def herman_skimmed_case() -> "CheckCase":
+    """Herman's ring (n=3) with skimmed coin flips, via the registry.
+
+    The first registered model defect that is not hand-built: the
+    automaton, adversary family, clock, and compile quotient all come
+    from ``get_model("herman")``, and the mutation is the generic
+    distribution skim — the Definition 2.1 guards must fire for a
+    registered model exactly as they do for the tiny model.
+    """
+    from repro.models import get_model
+
+    model = get_model("herman")
+    canonical = model.canonical_states(3)
+    statement = ArrowStatement(
+        StateClass("HermanStart", lambda s: True),
+        StateClass("HermanTarget", model.target),
+        0,
+        Fraction(0),
+        "herman",
+    )
+    return CheckCase(
+        automaton_factory=lambda: skimmed_automaton(
+            model.build(3).automaton
+        ),
+        adversaries_factory=lambda: model.build(3).adversaries[:1],
+        statement=statement,
+        start_states=tuple(
+            canonical[name] for name in sorted(canonical)
+        ),
+        time_of=model.time_of,
+        samples=4,
+        max_steps=12,
+        space_spec=model.space_spec(3),
     )
 
 

@@ -56,18 +56,26 @@ _ACTIONS = ("go", "step", "loop")
 _MODES = ("off", "warn", "strict")
 _ADVERSARIES = ("first", "cycler")
 _MUTATIONS = (None, None, "distribution", "adversary")
+_MODEL_MUTATIONS = (None, None, None, "distribution")
 _FAULT_SPECS = (None, None, None, "crash=0.5,seed=3", "corrupt=0.5,seed=3")
 
 
-def generate_case(root_seed: int, index: int) -> dict:
+def generate_case(
+    root_seed: int, index: int, model: Optional[str] = None
+) -> dict:
     """Case ``index`` of the stream rooted at ``root_seed``.
 
     Pure function of its arguments: all randomness flows through
     :func:`derive_rng` — never the process-global ``random`` module —
     so the stream is identical across machines, runs, and worker
-    counts.
+    counts.  With ``model`` set the case targets that registered
+    model's real automaton instead of a synthetic shape; the
+    ``model=None`` stream is untouched, so historical campaigns replay
+    byte for byte.
     """
     rng = derive_rng(root_seed, "fuzz", "case", index)
+    if model is not None:
+        return _generate_model_case(rng, model)
     n_states = rng.randint(2, 5)
     states = [f"s{i}" for i in range(n_states)]
     transitions: List[list] = []
@@ -114,6 +122,32 @@ def generate_case(root_seed: int, index: int) -> dict:
     return case
 
 
+def _generate_model_case(rng, model_name: str) -> dict:
+    """A case over a registered model's own automaton.
+
+    The automaton shape is the model's — there is nothing to
+    randomise there — so the draws cover the harness knobs instead:
+    the sampling plan (kept tiny; registered automata dwarf the
+    synthetic five-state shapes), the guard mode, which member of the
+    model's adversary family runs, and an optional distribution skim
+    (:func:`repro.corpus.cases.skimmed_automaton`) standing in for the
+    synthetic mutations.
+    """
+    from repro.models import get_model
+
+    model = get_model(model_name)
+    return {
+        "model": model.name,
+        "n": model.n_default,
+        "seed": rng.randint(0, 2**31 - 1),
+        "samples": rng.randint(2, 4),
+        "max_steps": rng.randint(4, 10),
+        "guards": rng.choice(_MODES),
+        "adversary_index": rng.randint(0, 7),
+        "mutation": rng.choice(_MODEL_MUTATIONS),
+    }
+
+
 def _cycler_adversary() -> RoundRobinAdversary:
     """History-dependent (via the fragment length), hence uncompilable
     by design: every engine falls back to the per-pair tree walk and
@@ -146,8 +180,51 @@ def _build_automaton(case: dict) -> ExplicitAutomaton:
     )
 
 
+def _model_check_case(case: dict) -> CheckCase:
+    """Materialise a registry-model fuzz case as a runnable CheckCase.
+
+    Automaton, adversary family, clock, and compile quotient all come
+    from the registered model; starts are its canonical states in
+    sorted-name order, and the statement is the trivially-true zero
+    bound over the model's target region, so a healthy case classifies
+    ``ok`` and only the skim mutation can change the outcome.
+    """
+    from repro.models import get_model
+
+    model = get_model(case["model"])
+    n = case["n"]
+    skim = case.get("mutation") == "distribution"
+
+    def automaton_factory():
+        automaton = model.build(n).automaton
+        return cases.skimmed_automaton(automaton) if skim else automaton
+
+    def adversaries_factory():
+        family = model.build(n).adversaries
+        return (family[case["adversary_index"] % len(family)],)
+
+    canonical = model.canonical_states(n)
+    starts = tuple(canonical[name] for name in sorted(canonical))
+    source = StateClass(f"{model.name}-start", lambda s: True)
+    target = StateClass(f"{model.name}-target", model.target)
+    statement = ArrowStatement(source, target, 0, Fraction(0), "fuzz")
+    return CheckCase(
+        automaton_factory=automaton_factory,
+        adversaries_factory=adversaries_factory,
+        statement=statement,
+        start_states=starts,
+        time_of=model.time_of,
+        samples=case["samples"],
+        max_steps=case["max_steps"],
+        seed=case["seed"],
+        space_spec=model.space_spec(n),
+    )
+
+
 def check_case_from_dict(case: dict) -> CheckCase:
     """Materialise a serialized fuzz case as a runnable CheckCase."""
+    if case.get("model"):
+        return _model_check_case(case)
     starts = tuple(case["starts"])
     targets = frozenset(case["targets"])
     source = StateClass("FuzzStart", lambda s, _m=frozenset(starts): s in _m)
@@ -238,6 +315,21 @@ def _shrink_candidates(case: dict) -> List[dict]:
         candidate = {key: value for key, value in case.items()}
         candidate.update(changes)
         return candidate
+
+    if case.get("model"):
+        # Registry-model cases own their automaton shape — only the
+        # harness knobs shrink.
+        if case.get("mutation"):
+            out.append(variant(mutation=None))
+        if case["guards"] != "off":
+            out.append(variant(guards="off"))
+        if case["adversary_index"] != 0:
+            out.append(variant(adversary_index=0))
+        if case["samples"] > 1:
+            out.append(variant(samples=max(1, case["samples"] // 2)))
+        if case["max_steps"] > 1:
+            out.append(variant(max_steps=max(1, case["max_steps"] // 2)))
+        return out
 
     if case.get("mutation"):
         out.append(variant(mutation=None))
@@ -361,20 +453,30 @@ def run_fuzz(
     budget: int,
     workers: int = 1,
     sabotage: Optional[str] = None,
+    model: Optional[str] = None,
 ) -> FuzzReport:
-    """Fuzz ``budget`` cases; stop and shrink at the first divergence."""
+    """Fuzz ``budget`` cases; stop and shrink at the first divergence.
+
+    ``model`` switches the campaign from the synthetic shapes to a
+    registered model's automaton (resolved up front so an unknown name
+    fails with the usage error before any case runs).
+    """
     if budget < 1:
         raise VerificationError(f"--budget must be >= 1, got {budget}")
     if sabotage is not None and sabotage not in ENGINES:
         raise VerificationError(
             f"--sabotage must name an engine in {ENGINES}, got {sabotage!r}"
         )
+    if model is not None:
+        from repro.models import get_model
+
+        model = get_model(model).name
     if workers > 1 and not fork_available():
         workers = 1
     findings: List[dict] = []
     cases_run = 0
     for index in range(budget):
-        case = generate_case(seed, index)
+        case = generate_case(seed, index, model=model)
         cases_run += 1
         obs.incr("fuzz.cases")
         divergence = diff_case(case, workers=workers, sabotage=sabotage)

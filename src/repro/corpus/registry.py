@@ -234,6 +234,43 @@ BUILTIN_ENTRIES: Tuple[CorpusEntry, ...] = (
         build=_broken_distribution_case,
     ),
     CorpusEntry(
+        name="herman-distribution-skim",
+        description=(
+            "Herman's ring (n=3) built through the model registry with "
+            "every coin-flip target skimmed to 99/100 — the Definition "
+            "2.1 guards must fire for registered models exactly as "
+            "they do for the hand-built tiny model."
+        ),
+        expected_class="DistributionError",
+        expected_kind="distribution",
+        expect={
+            "off": OK,
+            "warn": "flagged:distribution",
+            "strict": "quarantined:distribution",
+        },
+        exit_status=4,
+        build=cases.herman_skimmed_case,
+    ),
+    CorpusEntry(
+        name="unknown-model-name",
+        description=(
+            "A --model name absent from the registry: resolution must "
+            "raise UnknownModelError before any sampling starts, in "
+            "every guard mode, mapping to the usage exit status like "
+            "an unknown proposition."
+        ),
+        expected_class="UnknownModelError",
+        expected_kind=None,
+        expect={
+            "off": "error:UnknownModelError",
+            "warn": "error:UnknownModelError",
+            "strict": "error:UnknownModelError",
+        },
+        exit_status=2,
+        build=cases.unknown_model_case,
+        workers=(1,),
+    ),
+    CorpusEntry(
         name="adversary-disabled-step",
         description=(
             "An adversary scheduling a fabricated 'stop' step from "

@@ -42,6 +42,7 @@ from repro.errors import (
     PoolFaultError,
     ServiceError,
     StateBudgetExceeded,
+    UnknownModelError,
 )
 from repro.parallel.pool import fork_available
 from repro.proofs.verifier import check_arrow_by_sampling
@@ -185,6 +186,10 @@ def classify_check(
                 "error", type(error).__name__, EXIT_CONTRACT, "", ()
             )
         except StateBudgetExceeded as error:
+            return Classification(
+                "error", type(error).__name__, EXIT_USAGE, "", ()
+            )
+        except UnknownModelError as error:
             return Classification(
                 "error", type(error).__name__, EXIT_USAGE, "", ()
             )

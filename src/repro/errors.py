@@ -71,6 +71,35 @@ class VerificationError(ReproError):
     """
 
 
+class ModelRegistryError(VerificationError):
+    """Base class for model front-end failures.
+
+    Raised by :mod:`repro.models` when a requested case study cannot be
+    resolved or registered.  A distinct taxonomy family (mirroring the
+    pool-fault and service families) so the defect corpus can pin how
+    every engine classifies registry failures.
+    """
+
+
+class UnknownModelError(ModelRegistryError):
+    """Raised when a model name is not in the model registry.
+
+    ``--model`` selects a case study from
+    :mod:`repro.models`; an unregistered name cannot be resolved into
+    an automaton or adversary family, so no sound answer is possible.
+    Maps to the usage exit status (2) at the CLI, like an unknown
+    proposition.  Carries the known model names for the error message.
+    """
+
+    def __init__(self, name: str, known: tuple = ()):  # type: ignore[assignment]
+        known_names = ", ".join(sorted(known)) or "none registered"
+        super().__init__(
+            f"unknown model {name!r} (registered models: {known_names})"
+        )
+        self.name = name
+        self.known = tuple(known)
+
+
 class StateSpaceError(VerificationError):
     """Raised when a state space cannot be compiled as requested.
 

@@ -1,0 +1,131 @@
+"""The Lehmann-Rabin dining-philosophers model (the paper's subject).
+
+Registers the original case study — the automaton of Section 5, the
+Unit-Time adversary family, the Section 6.2 proof chain, and the ring
+quotients — under the name ``lr``, which is also the ``--model``
+default.  Building through the registry is byte-identical to the
+historical hard-wired pipeline: span names, banner prose, seed
+derivations, and start-state selection are all unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.adversary.unit_time import unit_time_schema
+from repro.algorithms import lehmann_rabin as lr
+from repro.errors import VerificationError
+from repro.models.base import ExperimentSetup, Model
+from repro.models.registry import register_model
+from repro.statespace.compile import SpaceSpec
+
+
+class LRExperimentSetup(ExperimentSetup):
+    """Everything needed to run Lehmann-Rabin experiments on one ring.
+
+    The historical entry point, kept as a thin subclass of the generic
+    :class:`~repro.models.base.ExperimentSetup`; ``build`` remains the
+    canonical constructor and existing imports keep working.
+    """
+
+    def space_spec(self) -> SpaceSpec:
+        """The compile quotient for this ring: intern states up to the
+        clock (``LRState.untimed``) and read time advances off
+        ``lr_time_of``.  Lehmann-Rabin dynamics are time-invariant, so
+        the quotient is exact and keeps the compiled space finite."""
+        return SpaceSpec(
+            key=lambda state: state.untimed(), time_of=lr.lr_time_of
+        )
+
+    def symmetry_spec(self) -> SpaceSpec:
+        """The untimed quotient *plus* the ring's dihedral quotient.
+
+        Shrinks the compiled space by a factor approaching ``2n``
+        (fitting n=5 inside the default state budget), but is only
+        sound for quotient-level analyses and symmetry-invariant
+        predicates: the shipped adversary policies break ties by
+        process index and are not equivariant, so per-adversary
+        sampling must keep :meth:`space_spec`.  See
+        ``repro.algorithms.lehmann_rabin.symmetry``."""
+        return lr.ring_symmetry_spec()
+
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        max_rounds: Optional[int] = None,
+        random_seeds: Sequence[int] = (1, 2, 3),
+    ) -> "LRExperimentSetup":
+        """Construct the automaton, view, and adversary family for ``n``."""
+        with obs.span("lr.setup_build", n=n):
+            view = lr.LRProcessView(n)
+            return cls(
+                n=n,
+                automaton=lr.lehmann_rabin_automaton(n),
+                view=view,
+                adversaries=tuple(
+                    lr.lr_adversary_family(
+                        view, max_rounds=max_rounds, random_seeds=random_seeds
+                    )
+                ),
+                schema=unit_time_schema(view),
+                model=LR_MODEL,
+            )
+
+
+def _validate_n(n: int) -> None:
+    if n < 2:
+        raise VerificationError(
+            f"the Lehmann-Rabin ring needs at least two processes, got {n}"
+        )
+
+
+def lr_exact_commands():
+    """The Lehmann-Rabin-specific exact CLI subcommands (lazy import).
+
+    ``prove``/``exact``/``appendix``/``exhaustive`` are about the
+    paper's Section 6.2 derivation specifically and have no generic
+    model counterpart; :mod:`repro.cli` reaches their implementations
+    through this accessor so it never imports the algorithm package
+    directly (the lint rule that keeps the rest of the stack
+    model-agnostic).
+    """
+    from repro.algorithms.lehmann_rabin import commands
+
+    return commands
+
+
+LR_MODEL = register_model(
+    Model(
+        name="lr",
+        title="Lehmann-Rabin",
+        description=(
+            "Lehmann-Rabin randomized dining philosophers "
+            "(the paper's Section 5 case study)"
+        ),
+        size_noun="ring size",
+        sweep_noun="Ring-size",
+        target_label="the critical region",
+        schema_name=lr.SCHEMA_NAME,
+        n_default=3,
+        n_range="n >= 2 (n <= 4 compiles within the default state budget)",
+        default_prop="composed",
+        validate_n=_validate_n,
+        build=LRExperimentSetup.build,
+        time_of=lr.lr_time_of,
+        leaf_statements=lambda n: lr.leaf_statements(),
+        proof_chain=lambda n: lr.lehmann_rabin_proof(),
+        expected_time_bound=lambda n: lr.expected_time_bound(),
+        time_source_statement=lambda n: lr.leaf_statements()["A.3"],
+        target=lr.in_critical,
+        canonical_states=lr.canonical_states,
+        sample_states_in=lr.sample_states_in,
+        space_spec=lambda n: SpaceSpec(
+            key=lambda state: state.untimed(), time_of=lr.lr_time_of
+        ),
+        mdp_reference=lambda n: lr.canonical_states(n)["one_trying"],
+        symmetry_spec=lambda n: lr.ring_symmetry_spec(),
+        sweep_sizes=(3, 4, 5),
+    )
+)

@@ -6,11 +6,7 @@ from repro.proofs.expected_time import (
     expected_time_upper_bound,
     geometric_bound,
 )
-from repro.proofs.inclusion import (
-    Inclusion,
-    InclusionRegistry,
-    lehmann_rabin_inclusions,
-)
+from repro.proofs.inclusion import Inclusion, InclusionRegistry
 from repro.proofs.ledger import Derivation, ProofLedger, StatementId
 from repro.proofs.rules import (
     chain,
@@ -44,7 +40,6 @@ __all__ = [
     "PairCheck",
     "ProofLedger",
     "StartTimeCount",
-    "lehmann_rabin_inclusions",
     "RetryBranch",
     "RetryRecursion",
     "StateClass",

@@ -139,40 +139,3 @@ class InclusionRegistry:
             probability=statement.probability,
             schema_name=statement.schema_name,
         )
-
-
-def lehmann_rabin_inclusions(samples: Iterable = ()) -> InclusionRegistry:
-    """The inclusions among the Section 6.2 regions, registered.
-
-    ``G ⊆ RT``, ``F ⊆ RT``, ``RT ⊆ T``, and ``P ⊆ T`` all follow
-    directly from the definitions; supplying sample states (e.g. random
-    consistent states) spot-checks them.
-    """
-    from repro.algorithms.lehmann_rabin.regions import (
-        F_CLASS,
-        G_CLASS,
-        P_CLASS,
-        RT_CLASS,
-        T_CLASS,
-    )
-
-    samples = list(samples)
-    registry = InclusionRegistry()
-    registry.declare(
-        G_CLASS, RT_CLASS, "G is defined as a subset of RT (Section 6.2)",
-        samples,
-    )
-    registry.declare(
-        F_CLASS, RT_CLASS, "F is defined as a subset of RT (Section 6.2)",
-        samples,
-    )
-    registry.declare(
-        RT_CLASS, T_CLASS, "RT is defined as a subset of T (Section 6.2)",
-        samples,
-    )
-    registry.declare(
-        P_CLASS, T_CLASS,
-        "a pre-critical process is in its trying region (Section 6.1)",
-        samples,
-    )
-    return registry

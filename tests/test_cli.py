@@ -17,13 +17,15 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
     def test_defaults(self):
+        # --n and --prop parse as None and resolve to the selected
+        # model's own defaults (3 / "composed" for lr) at dispatch.
         args = build_parser().parse_args(["verify"])
-        assert args.n == 3 and args.seed == 0 and args.samples == 80
-        assert args.workers == 1
+        assert args.n is None and args.seed == 0 and args.samples == 80
+        assert args.workers == 1 and args.model == "lr"
 
     def test_workers_flag(self):
         args = build_parser().parse_args(["check", "--workers", "4"])
-        assert args.workers == 4 and args.prop == "composed"
+        assert args.workers == 4 and args.prop is None
         assert not args.early_stop and not args.json
 
     def test_overrides(self):
@@ -114,3 +116,46 @@ class TestCommands:
         assert "A.12" in out
         assert "peek-q-on-H" in out
         assert "FAILS" not in out and "REFUTED" not in out
+
+
+class TestModelsFrontEnd:
+    def test_models_lists_every_registered_model(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered models" in out
+        for name in ("lr", "benor", "election", "herman"):
+            assert name in out
+        assert "untimed+symmetry" in out
+
+    def test_models_json_is_canonical(self, capsys):
+        import json
+
+        assert main(["models", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["name"] for row in rows} == {
+            "lr", "benor", "election", "herman",
+        }
+        lr = next(row for row in rows if row["name"] == "lr")
+        assert lr["default_prop"] == "composed"
+        assert lr["n_default"] == 3
+
+    def test_unknown_model_is_a_usage_error(self, capsys):
+        assert main(["check", "--model", "nope", "--no-manifest"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model" in err and "herman" in err
+
+    def test_check_herman_end_to_end(self, capsys):
+        assert main([
+            "check", "--model", "herman", "--samples", "4",
+            "--no-manifest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "H.1" in out and "REFUTED" not in out
+
+    def test_lr_flag_matches_omitted_flag(self, capsys):
+        argv = ["check", "--samples", "5", "--no-manifest"]
+        assert main(argv) == 0
+        implicit = capsys.readouterr().out
+        assert main([*argv, "--model", "lr"]) == 0
+        explicit = capsys.readouterr().out
+        assert implicit == explicit

@@ -169,6 +169,7 @@ class TestRegistry:
             "FuelExhaustedError",
             "QuotientInvarianceError",
             "StateBudgetExceeded",
+            "UnknownModelError",
             "WorkerCrashError",
             "TaskTimeoutError",
             "ResultCorruptionError",

@@ -8,6 +8,7 @@ process via runpy with its module namespace isolated.
 from __future__ import annotations
 
 import runpy
+import sys
 from pathlib import Path
 
 import pytest
@@ -45,7 +46,18 @@ class TestFastExamples:
 
     def test_benor_consensus(self, capsys):
         out = run_example("benor_consensus.py", capsys)
+        assert "through the model registry" in out
+        assert "supported" in out and "REFUTED" not in out
         assert "Agreement and validity held" in out
+
+    def test_leader_election(self, capsys, monkeypatch):
+        # The example reads argv for the candidate count; pin it to 3
+        # so the smoke run stays fast under pytest's own argv.
+        monkeypatch.setattr(sys, "argv", ["leader_election.py", "3"])
+        out = run_example("leader_election.py", capsys)
+        assert "Randomized leader election, 3 candidates" in out
+        assert "Expected-time bound:" in out
+        assert "supported" in out and "REFUTED" not in out
 
 
 class TestExamplesExist:

@@ -6,7 +6,8 @@ import random
 
 import pytest
 
-from repro.adversary.greedy import GreedyMinimizerPolicy, lr_progress_potential
+from repro.adversary.greedy import GreedyMinimizerPolicy
+from repro.algorithms.lehmann_rabin.adversaries import lr_progress_potential
 from repro.adversary.unit_time import RoundBasedAdversary, unit_time_schema
 from repro.algorithms import lehmann_rabin as lr
 from repro.algorithms.lehmann_rabin.state import PC, ProcessState, Side

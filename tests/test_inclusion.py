@@ -9,7 +9,8 @@ import pytest
 
 from repro.algorithms import lehmann_rabin as lr
 from repro.errors import ProofError
-from repro.proofs.inclusion import InclusionRegistry, lehmann_rabin_inclusions
+from repro.algorithms.lehmann_rabin.inclusions import lehmann_rabin_inclusions
+from repro.proofs.inclusion import InclusionRegistry
 from repro.proofs.statements import ArrowStatement, StateClass
 
 

@@ -10,8 +10,10 @@ from repro.obs.sinks import read_jsonl
 
 class TestParser:
     def test_stats_defaults(self):
+        # --n parses as None and resolves to the model's default (3
+        # for lr) at dispatch.
         args = build_parser().parse_args(["stats"])
-        assert args.n == 3 and args.samples == 40
+        assert args.n is None and args.samples == 40
         assert args.trace_out is None
 
     def test_trace_out_accepted_everywhere(self):

@@ -11,7 +11,7 @@ from repro.adversary.search import HashedRandomRoundPolicy
 from repro.adversary.unit_time import FifoRoundPolicy, RoundBasedAdversary
 from repro.algorithms import lehmann_rabin as lr
 from repro.algorithms.lehmann_rabin.state import PC, ProcessState, Side
-from repro.analysis.phases import (
+from repro.algorithms.lehmann_rabin.phases import (
     FAIL_FOURTH,
     FAIL_THIRD,
     SUCCESS,

@@ -45,6 +45,15 @@ that module is the single gated entry point that degrades to pure
 python when it is absent.  A stray import anywhere else would make the
 library hard-require numpy and break containers without it.
 
+Likewise, importing ``repro.algorithms.lehmann_rabin`` under ``src/``
+is forbidden outside ``src/repro/models/`` and
+``src/repro/algorithms/``: the verification stack reaches case studies
+exclusively through the model registry (``repro.models``), and this
+ban keeps the pluggable-model decoupling enforced — a new hard-wired
+Lehmann-Rabin dependency in the CLI, analysis, statespace, corpus, or
+service layers would silently re-couple the stack to one case study
+(``docs/models.md``).
+
 Finally, every ``incr(``/``gauge(``/``observe(``/``counter(``/
 ``histogram(`` call site under ``src/`` whose first argument is a
 string literal must name a metric declared in
@@ -56,7 +65,7 @@ ever reads.
 A corpus-sync pass (mirroring the metric-name rule) keeps the defect
 corpus and the error taxonomy aligned: every strict subclass of
 ``ContractViolation`` / ``PoolFaultError`` / ``StateSpaceError`` /
-``ServiceError`` in
+``ServiceError`` / ``ModelRegistryError`` in
 ``src/repro/errors.py`` must have at least one entry in
 ``src/repro/corpus/registry.py`` claiming it via a literal
 ``expected_class="Name"`` keyword, and every claimed name must be a
@@ -229,6 +238,44 @@ def _imports_numpy(node):
     return False
 
 
+_LR_PACKAGE = "repro.algorithms.lehmann_rabin"
+
+
+def _imports_lehmann_rabin(node):
+    """True for imports reaching ``repro.algorithms.lehmann_rabin``.
+
+    Covers ``import repro.algorithms.lehmann_rabin[.sub]``,
+    ``from repro.algorithms.lehmann_rabin[.sub] import ...``, and
+    ``from repro.algorithms import lehmann_rabin``.
+    """
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == _LR_PACKAGE
+            or alias.name.startswith(_LR_PACKAGE + ".")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module == _LR_PACKAGE or module.startswith(_LR_PACKAGE + "."):
+            return True
+        if module == "repro.algorithms":
+            return any(
+                alias.name == "lehmann_rabin" for alias in node.names
+            )
+    return False
+
+
+def _may_import_algorithms(path):
+    """True for the packages allowed to import concrete algorithms."""
+    parts = Path(path).parts
+    for anchor in ("models", "algorithms"):
+        if anchor in parts:
+            index = parts.index(anchor)
+            if index >= 1 and parts[index - 1] == "repro":
+                return True
+    return False
+
+
 def banned_handlers(path):
     """Banned constructs under ``src/``: findings as (line, message).
 
@@ -290,6 +337,18 @@ def banned_handlers(path):
                      "statespace/np_backend.py — numpy is an optional "
                      "accelerator behind that one gated module; "
                      "everything else must run without it")
+                )
+    if not _may_import_algorithms(path):
+        for node in ast.walk(tree):
+            if _imports_lehmann_rabin(node):
+                findings.append(
+                    (node.lineno,
+                     "import repro.algorithms.lehmann_rabin only inside "
+                     "src/repro/models/ or src/repro/algorithms/ — the "
+                     "rest of the stack reaches case studies through the "
+                     "model registry (repro.models), keeping the "
+                     "pluggable-model decoupling enforced "
+                     "(docs/models.md)")
                 )
     return findings
 
@@ -407,6 +466,7 @@ _TAXONOMY_ROOTS = (
     "PoolFaultError",
     "StateSpaceError",
     "ServiceError",
+    "ModelRegistryError",
 )
 
 
